@@ -1,0 +1,70 @@
+//! Allen interval algebra throughput: `relate` (used on every successive-
+//! transaction-time check, §3.4) and set composition.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use tempora::prelude::*;
+
+fn bench_allen(c: &mut Criterion) {
+    let intervals: Vec<Interval> = (0..64_i64)
+        .flat_map(|b| {
+            (1..5_i64).map(move |len| {
+                Interval::new(
+                    Timestamp::from_secs(b * 3),
+                    Timestamp::from_secs(b * 3 + len * 2),
+                )
+                .expect("positive length")
+            })
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("allen");
+    group.bench_function("relate_pair", |b| {
+        let x = intervals[10];
+        let y = intervals[133];
+        b.iter(|| AllenRelation::relate(black_box(x), black_box(y)));
+    });
+    group.bench_function("relate_all_pairs_256", |b| {
+        let sample = &intervals[..256.min(intervals.len())];
+        b.iter(|| {
+            let mut counts = [0usize; 13];
+            for &x in sample {
+                for &y in sample {
+                    counts[AllenRelation::relate(x, y) as usize] += 1;
+                }
+            }
+            black_box(counts)
+        });
+    });
+    group.bench_function("compose_all_169", |b| {
+        // First call builds the derived table; steady state is lookups.
+        b.iter(|| {
+            let mut acc = 0usize;
+            for r1 in AllenRelation::ALL {
+                for r2 in AllenRelation::ALL {
+                    acc += r1.compose(r2).len();
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("set_compose", |b| {
+        let s1 = tempora::time::AllenSet::from_iter([
+            AllenRelation::Before,
+            AllenRelation::Meets,
+            AllenRelation::Overlaps,
+        ]);
+        let s2 = s1.inverse();
+        b.iter(|| black_box(s1).compose(black_box(s2)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_allen
+}
+criterion_main!(benches);

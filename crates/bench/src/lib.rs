@@ -1,0 +1,389 @@
+//! Shared machinery for the figure-regeneration binaries and benches:
+//! constructive extension generators for each inter-element specialization
+//! (used to verify the lattice implications of Figures 3–5 by sampling)
+//! and separating-witness search.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tempora::core::lattice::{InterIntervalNode, OrderingNode, RegularityNode};
+use tempora::core::spec::interevent::{EventStamp, OrderingSpec};
+use tempora::core::spec::interinterval::{IntervalStamp, SuccessionSpec};
+use tempora::core::spec::regularity::{EventRegularitySpec, RegularDimension};
+use tempora::prelude::*;
+
+/// The common unit used by all regularity lattice checks.
+#[must_use]
+pub fn unit() -> TimeDelta {
+    TimeDelta::from_secs(10)
+}
+
+fn ts(s: i64) -> Timestamp {
+    Timestamp::from_secs(s)
+}
+
+/// Generates a random extension *satisfying* the given ordering node
+/// (constructive, no rejection sampling).
+#[must_use]
+pub fn gen_ordering_extension(node: OrderingNode, n: usize, rng: &mut StdRng) -> Vec<EventStamp> {
+    let mut tts: Vec<i64> = (0..n).map(|i| i as i64 * 10 + rng.gen_range(0..9)).collect();
+    tts.sort_unstable();
+    tts.dedup();
+    match node {
+        OrderingNode::General => tts
+            .iter()
+            .map(|&tt| EventStamp::new(ts(rng.gen_range(-1_000..1_000)), ts(tt)))
+            .collect(),
+        OrderingNode::NonDecreasing => {
+            let mut vts: Vec<i64> = (0..tts.len()).map(|_| rng.gen_range(-1_000..1_000)).collect();
+            vts.sort_unstable();
+            tts.iter()
+                .zip(vts)
+                .map(|(&tt, vt)| EventStamp::new(ts(vt), ts(tt)))
+                .collect()
+        }
+        OrderingNode::NonIncreasing => {
+            let mut vts: Vec<i64> = (0..tts.len()).map(|_| rng.gen_range(-1_000..1_000)).collect();
+            vts.sort_unstable();
+            vts.reverse();
+            tts.iter()
+                .zip(vts)
+                .map(|(&tt, vt)| EventStamp::new(ts(vt), ts(tt)))
+                .collect()
+        }
+        OrderingNode::Sequential => {
+            // Interleave occurrence and storage: each event occurs and is
+            // stored before the next occurs or is stored.
+            let mut cursor = rng.gen_range(-100..0);
+            let mut out = Vec::with_capacity(tts.len());
+            for _ in 0..tts.len() {
+                let a = cursor + rng.gen_range(1..5);
+                let b = a + rng.gen_range(0..5);
+                // Randomly let vt lead or trail tt within the block.
+                let (vt, tt) = if rng.gen_bool(0.5) { (a, b) } else { (b, a) };
+                out.push(EventStamp::new(ts(vt), ts(tt)));
+                cursor = a.max(b);
+            }
+            // Transaction times must be strictly increasing; the block
+            // construction guarantees it.
+            out
+        }
+    }
+}
+
+/// Whether an extension satisfies an ordering node.
+#[must_use]
+pub fn ordering_holds(node: OrderingNode, stamps: &[EventStamp]) -> bool {
+    match node {
+        OrderingNode::General => true,
+        OrderingNode::NonDecreasing => OrderingSpec::GloballyNonDecreasing.holds_for(stamps),
+        OrderingNode::NonIncreasing => OrderingSpec::GloballyNonIncreasing.holds_for(stamps),
+        OrderingNode::Sequential => OrderingSpec::GloballySequential.holds_for(stamps),
+    }
+}
+
+/// Generates a random extension satisfying the given regularity node at
+/// [`unit()`](unit()).
+#[must_use]
+pub fn gen_regularity_extension(
+    node: RegularityNode,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<EventStamp> {
+    let u = unit().secs();
+    let n = n.max(2) as i64;
+    match node {
+        RegularityNode::General => (0..n)
+            .map(|i| EventStamp::new(ts(rng.gen_range(-500..500)), ts(i * 7 + rng.gen_range(0..6))))
+            .collect(),
+        RegularityNode::TtRegular => {
+            let mut acc = 0_i64;
+            (0..n)
+                .map(|_| {
+                    acc += u * rng.gen_range(1..4);
+                    EventStamp::new(ts(rng.gen_range(-500..500)), ts(acc))
+                })
+                .collect()
+        }
+        RegularityNode::VtRegular => {
+            let base = rng.gen_range(-100..100);
+            (0..n)
+                .map(|i| EventStamp::new(ts(base + u * rng.gen_range(-5..5)), ts(i * 7)))
+                .collect()
+        }
+        RegularityNode::TemporalRegular => {
+            let offset = rng.gen_range(-50..50);
+            (0..n)
+                .scan(0_i64, |acc, _| {
+                    *acc += u * rng.gen_range(1..4);
+                    Some(*acc)
+                })
+                .map(|tt| EventStamp::new(ts(tt + offset), ts(tt)))
+                .collect()
+        }
+        RegularityNode::StrictTtRegular => (0..n)
+            .map(|i| EventStamp::new(ts(rng.gen_range(-500..500)), ts(i * u)))
+            .collect(),
+        RegularityNode::StrictVtRegular => {
+            // Valid times form an exact progression; arrival order grows
+            // the progression at either end.
+            let base = rng.gen_range(-100..100);
+            let mut lo = 0_i64;
+            let mut hi = 0_i64;
+            let mut out = vec![EventStamp::new(ts(base), ts(0))];
+            for i in 1..n {
+                let vt = if rng.gen_bool(0.5) {
+                    hi += 1;
+                    base + hi * u
+                } else {
+                    lo -= 1;
+                    base + lo * u
+                };
+                out.push(EventStamp::new(ts(vt), ts(i * 7)));
+            }
+            out
+        }
+        RegularityNode::StrictTemporalRegular => {
+            let offset = rng.gen_range(-50..50);
+            (0..n)
+                .map(|i| EventStamp::new(ts(i * u + offset), ts(i * u)))
+                .collect()
+        }
+    }
+}
+
+/// Whether an extension satisfies a regularity node at [`unit()`](unit()).
+#[must_use]
+pub fn regularity_holds(node: RegularityNode, stamps: &[EventStamp]) -> bool {
+    let u = unit();
+    let spec = |dim, strict: bool| {
+        let s = EventRegularitySpec::new(dim, u);
+        if strict {
+            s.strict()
+        } else {
+            s
+        }
+    };
+    match node {
+        RegularityNode::General => true,
+        RegularityNode::TtRegular => spec(RegularDimension::TransactionTime, false).holds_for(stamps),
+        RegularityNode::VtRegular => spec(RegularDimension::ValidTime, false).holds_for(stamps),
+        RegularityNode::TemporalRegular => spec(RegularDimension::Temporal, false).holds_for(stamps),
+        RegularityNode::StrictTtRegular => {
+            spec(RegularDimension::TransactionTime, true).holds_for(stamps)
+        }
+        RegularityNode::StrictVtRegular => spec(RegularDimension::ValidTime, true).holds_for(stamps),
+        RegularityNode::StrictTemporalRegular => {
+            spec(RegularDimension::Temporal, true).holds_for(stamps)
+        }
+    }
+}
+
+/// Generates a random extension satisfying an inter-interval node.
+#[must_use]
+pub fn gen_interinterval_extension(
+    node: InterIntervalNode,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<IntervalStamp> {
+    let n = n.max(2);
+    let iv = |b: i64, e: i64| Interval::new(ts(b), ts(e)).expect("b < e");
+    let tts: Vec<i64> = (0..n as i64).map(|i| 10_000 + i * 10).collect();
+    match node {
+        InterIntervalNode::General => tts
+            .iter()
+            .map(|&tt| {
+                let b = rng.gen_range(-1_000..1_000);
+                IntervalStamp::new(iv(b, b + rng.gen_range(1..50)), ts(tt))
+            })
+            .collect(),
+        InterIntervalNode::NonDecreasing => {
+            let mut begins: Vec<i64> = (0..n).map(|_| rng.gen_range(-1_000..1_000)).collect();
+            begins.sort_unstable();
+            tts.iter()
+                .zip(begins)
+                .map(|(&tt, b)| IntervalStamp::new(iv(b, b + rng.gen_range(1..50)), ts(tt)))
+                .collect()
+        }
+        InterIntervalNode::NonIncreasing => {
+            let mut begins: Vec<i64> = (0..n).map(|_| rng.gen_range(-1_000..1_000)).collect();
+            begins.sort_unstable();
+            begins.reverse();
+            tts.iter()
+                .zip(begins)
+                .map(|(&tt, b)| IntervalStamp::new(iv(b, b + rng.gen_range(1..50)), ts(tt)))
+                .collect()
+        }
+        InterIntervalNode::Sequential => {
+            // Each interval occurs and is stored before the next commences;
+            // randomly meet or gap, and randomly store before or after the
+            // interval (within the slack).
+            let mut cursor = -1_000_i64;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                let b = cursor + rng.gen_range(0..5);
+                let e = b + rng.gen_range(1..10);
+                let tt = rng.gen_range(cursor..=e);
+                out.push(IntervalStamp::new(iv(b, e), ts(tt)));
+                cursor = e.max(tt);
+            }
+            // Enforce strictly increasing tts (the construction can tie).
+            for i in 1..out.len() {
+                if out[i].tt <= out[i - 1].tt {
+                    out[i] = IntervalStamp::new(
+                        out[i].valid,
+                        out[i - 1].tt.saturating_add(TimeDelta::RESOLUTION),
+                    );
+                }
+            }
+            out
+        }
+        InterIntervalNode::St(relation) => {
+            // Build a chain where each successive pair realizes `relation`.
+            let mut prev = iv(rng.gen_range(-100..0), rng.gen_range(1..100));
+            let mut out = vec![IntervalStamp::new(prev, ts(tts[0]))];
+            for &tt in &tts[1..] {
+                let next = realize_successor(prev, relation, rng);
+                out.push(IntervalStamp::new(next, ts(tt)));
+                prev = next;
+            }
+            out
+        }
+    }
+}
+
+/// Constructs an interval `b` with `relation(a, b)` holding.
+fn realize_successor(a: Interval, relation: AllenRelation, rng: &mut StdRng) -> Interval {
+    let (ab, ae) = (a.begin().micros(), a.end().micros());
+    let len = ae - ab;
+    let mut jitter = || rng.gen_range(1..1_000_000_i64).min(len.max(2) / 2).max(1);
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(Timestamp::from_micros(b), Timestamp::from_micros(e)).expect("b < e")
+    }
+    use AllenRelation as R;
+    match relation {
+        R::Before => iv(ae + jitter(), ae + jitter() + len.max(1) + jitter()),
+        R::Meets => iv(ae, ae + len.max(1) + jitter()),
+        R::Overlaps => iv(ab + jitter().min(len - 1).max(1), ae + jitter()),
+        R::FinishedBy => iv(ab + jitter().min(len - 1).max(1), ae),
+        // Chain intervals start ≥ 1 s long and shrink 2 µs per step, so the
+        // strict containment below always has room.
+        R::Contains => iv(ab + 1, ae - 1),
+        R::Starts => iv(ab, ae + jitter()),
+        R::Equals => a,
+        R::StartedBy => iv(ab, ae - jitter().min(len - 1).max(1)),
+        R::During => iv(ab - jitter(), ae + jitter()),
+        R::Finishes => iv(ab - jitter(), ae),
+        R::OverlappedBy => iv(ab - jitter(), ae - jitter().min(len - 1).max(1)),
+        R::MetBy => iv(ab - len.max(1) - jitter(), ab),
+        R::After => iv(ab - len.max(1) - 2 * jitter(), ab - jitter()),
+    }
+}
+
+/// Whether an extension satisfies an inter-interval node.
+#[must_use]
+pub fn interinterval_holds(node: InterIntervalNode, stamps: &[IntervalStamp]) -> bool {
+    match node {
+        InterIntervalNode::General => true,
+        InterIntervalNode::NonDecreasing => {
+            SuccessionSpec::GloballyNonDecreasing.holds_for(stamps)
+        }
+        InterIntervalNode::NonIncreasing => {
+            SuccessionSpec::GloballyNonIncreasing.holds_for(stamps)
+        }
+        InterIntervalNode::Sequential => SuccessionSpec::GloballySequential.holds_for(stamps),
+        InterIntervalNode::St(r) => SuccessionSpec::SuccessiveTt(r).holds_for(stamps),
+    }
+}
+
+/// Verifies a lattice edge (`child ⇒ parent`) by sampling: generates
+/// `trials` child extensions, returns the first counterexample, if any.
+pub fn verify_implication<N: Copy, S>(
+    child: N,
+    parent: N,
+    trials: usize,
+    seed: u64,
+    generate: impl Fn(N, usize, &mut StdRng) -> Vec<S>,
+    holds: impl Fn(N, &[S]) -> bool,
+) -> Result<(), usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for trial in 0..trials {
+        let ext = generate(child, 3 + trial % 20, &mut rng);
+        if !holds(child, &ext) {
+            // Generator bug: treat as failure of the harness itself.
+            return Err(trial);
+        }
+        if !holds(parent, &ext) {
+            return Err(trial);
+        }
+    }
+    Ok(())
+}
+
+/// Searches for a separating witness: an extension satisfying `a` but not
+/// `b` (evidence a lattice *non*-edge is genuine).
+pub fn find_separation<N: Copy, S>(
+    a: N,
+    b: N,
+    trials: usize,
+    seed: u64,
+    generate: impl Fn(N, usize, &mut StdRng) -> Vec<S>,
+    holds: impl Fn(N, &[S]) -> bool,
+) -> Option<Vec<S>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for trial in 0..trials {
+        let ext = generate(a, 3 + trial % 20, &mut rng);
+        if holds(a, &ext) && !holds(b, &ext) {
+            return Some(ext);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_generators_satisfy_their_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for node in OrderingNode::ALL {
+            for n in [2, 5, 20] {
+                let ext = gen_ordering_extension(node, n, &mut rng);
+                assert!(ordering_holds(node, &ext), "{node:?} generator violates itself");
+            }
+        }
+    }
+
+    #[test]
+    fn regularity_generators_satisfy_their_nodes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for node in RegularityNode::ALL {
+            for n in [2, 5, 20] {
+                let ext = gen_regularity_extension(node, n, &mut rng);
+                assert!(
+                    regularity_holds(node, &ext),
+                    "{node:?} generator violates itself: {ext:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interinterval_generators_satisfy_their_nodes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for node in InterIntervalNode::all() {
+            for n in [2, 5, 12] {
+                let ext = gen_interinterval_extension(node, n, &mut rng);
+                assert!(
+                    interinterval_holds(node, &ext),
+                    "{} generator violates itself",
+                    node
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Runs every figure-regeneration binary and asserts it reproduces its
+//! figure (the binaries exit non-zero on any discrepancy), so `cargo test`
+//! guards the paper reproduction end to end.
+
+use std::process::Command;
+
+fn run(bin: &str) -> String {
+    let output = Command::new(bin).output().expect("figure binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        output.status.success(),
+        "{bin} reported a reproduction failure:\n{stdout}\n{stderr}"
+    );
+    stdout
+}
+
+#[test]
+fn figure_1_reproduces() {
+    let out = run(env!("CARGO_BIN_EXE_fig1"));
+    assert!(out.contains("every sampled cell matches the region algebra ✓"));
+    // All twelve panels rendered.
+    assert_eq!(out.matches("── ").count(), 12, "{out}");
+}
+
+#[test]
+fn figure_2_reproduces() {
+    let out = run(env!("CARGO_BIN_EXE_fig2"));
+    assert!(out.contains("identical ✓"));
+    assert!(out.contains("6 one-line + 5 two-line = 11 types"));
+    assert!(out.contains("Figure 2 reproduced exactly ✓"));
+}
+
+#[test]
+fn figure_3_reproduces() {
+    let out = run(env!("CARGO_BIN_EXE_fig3"));
+    assert!(out.contains("Figure 3 reproduced exactly ✓"));
+    assert!(out.contains("globally sequential ⇒ globally non-decreasing"));
+}
+
+#[test]
+fn figure_4_reproduces_with_errata() {
+    let out = run(env!("CARGO_BIN_EXE_fig4"));
+    assert!(out.contains("Figure 4 reproduced (with two documented errata) ✓"));
+    assert!(out.contains("ERRATUM 1"));
+    assert!(out.contains("ERRATUM 2"));
+    assert!(out.contains("gcd(28s, 6s) = 2s"));
+}
+
+#[test]
+fn figure_5_reproduces() {
+    let out = run(env!("CARGO_BIN_EXE_fig5"));
+    assert!(out.contains("Figure 5 reproduced ✓"));
+    assert!(out.contains("globally contiguous (st-meets)"));
+}

@@ -1,0 +1,604 @@
+//! The constraint engine: incremental enforcement of declared temporal
+//! specializations.
+//!
+//! The paper's definitions are intensional — *every* extension of a typed
+//! schema must satisfy the type — so operationally the engine checks each
+//! update (insert, logical delete, modify = delete + insert, §2) before it
+//! is applied:
+//!
+//! * isolated-element specializations are checked against the update's own
+//!   stamps (insertion-referenced at insert time, deletion-referenced at
+//!   delete time — §3.1's distinction);
+//! * inter-element specializations are checked by `O(1)`-state incremental
+//!   checkers, one per declared `(spec, partition)` pair, fed in
+//!   transaction-time order (the only order in which a relation can grow,
+//!   §2).
+//!
+//! Checks are transactional: a rejected update leaves the engine's state
+//! untouched.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tempora_time::{Interval, Timestamp};
+
+use crate::element::{Element, ObjectId, ValidTime};
+use crate::error::{CoreError, Violation};
+use crate::schema::{Basis, RelationSchema, Stamping, TtReference};
+use crate::spec::interevent::{EventStamp, OrderingChecker};
+use crate::spec::interinterval::{IntervalStamp, SuccessionChecker};
+use crate::spec::regularity::RegularityChecker;
+
+/// A partition key: the whole relation, or one object's life-line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Partition {
+    Relation,
+    Object(ObjectId),
+}
+
+fn partition_of(basis: Basis, object: ObjectId) -> Partition {
+    match basis {
+        Basis::PerRelation => Partition::Relation,
+        Basis::PerObject => Partition::Object(object),
+    }
+}
+
+/// Per-constraint incremental state, keyed by partition.
+#[derive(Debug, Clone)]
+struct PartitionedState<C> {
+    basis: Basis,
+    checkers: HashMap<Partition, C>,
+}
+
+impl<C: Clone> PartitionedState<C> {
+    fn new(basis: Basis) -> Self {
+        PartitionedState {
+            basis,
+            checkers: HashMap::new(),
+        }
+    }
+}
+
+/// The constraint engine for one relation.
+///
+/// Wraps the relation's schema plus the incremental state of all declared
+/// inter-element specializations. Drive it with
+/// [`ConstraintEngine::admit_insert`] and
+/// [`ConstraintEngine::admit_delete`].
+#[derive(Debug, Clone)]
+pub struct ConstraintEngine {
+    schema: Arc<RelationSchema>,
+    orderings: Vec<PartitionedState<OrderingChecker>>,
+    regularities: Vec<PartitionedState<RegularityChecker>>,
+    successions: Vec<PartitionedState<SuccessionChecker>>,
+}
+
+impl ConstraintEngine {
+    /// Creates an engine for a schema.
+    #[must_use]
+    pub fn new(schema: Arc<RelationSchema>) -> Self {
+        let orderings = schema
+            .orderings()
+            .iter()
+            .map(|(_, basis)| PartitionedState::new(*basis))
+            .collect();
+        let regularities = schema
+            .event_regularities()
+            .iter()
+            .map(|(_, basis)| PartitionedState::new(*basis))
+            .collect();
+        let successions = schema
+            .successions()
+            .iter()
+            .map(|(_, basis)| PartitionedState::new(*basis))
+            .collect();
+        ConstraintEngine {
+            schema,
+            orderings,
+            regularities,
+            successions,
+        }
+    }
+
+    /// The schema this engine enforces.
+    #[must_use]
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// Checks an element about to be inserted; on success the engine's
+    /// incremental state advances, on failure it is unchanged.
+    ///
+    /// Elements must be admitted in strictly increasing `tt_begin` order —
+    /// the order the transaction clock produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Violations`] listing every violated
+    /// specialization, or [`CoreError::ElementMismatch`] for a stamping
+    /// mismatch.
+    pub fn admit_insert(&mut self, element: &Element) -> Result<(), CoreError> {
+        self.check_stamping(element)?;
+        let mut violations = Vec::new();
+        let tt = element.tt_begin;
+        let gran = self.schema.granularity();
+        let make = |spec: String, detail: String| Violation {
+            spec,
+            element: element.id,
+            tt,
+            vt: element.valid.begin(),
+            detail,
+        };
+
+        // Periodic valid-time pattern (§3.2's periodicity): events inside,
+        // intervals covered.
+        if let Some(pattern) = self.schema.vt_pattern() {
+            let ok = match element.valid {
+                ValidTime::Event(vt) => pattern.contains(vt),
+                ValidTime::Interval(iv) => pattern.covers(iv),
+            };
+            if !ok {
+                violations.push(make(
+                    format!("periodic pattern {pattern}"),
+                    format!("valid time {} falls outside the pattern", element.valid),
+                ));
+            }
+        }
+
+        // Isolated-element checks (stateless).
+        match element.valid {
+            ValidTime::Event(vt) => {
+                for (spec, tt_ref) in self.schema.event_specs() {
+                    if *tt_ref == TtReference::Insertion {
+                        if let Err(detail) = spec.check(vt, tt, gran) {
+                            violations.push(make(spec.to_string(), detail));
+                        }
+                    }
+                }
+                if let Some(det) = self.schema.determined() {
+                    if let Err(detail) = det.check(element, vt, gran) {
+                        violations.push(make(det.to_string(), detail));
+                    }
+                }
+            }
+            ValidTime::Interval(valid) => {
+                for (spec, tt_ref) in self.schema.endpoint_specs() {
+                    if *tt_ref == TtReference::Insertion {
+                        if let Err(detail) = spec.check(valid, tt, gran) {
+                            violations.push(make(spec.to_string(), detail));
+                        }
+                    }
+                }
+                for spec in self.schema.interval_regularities() {
+                    // Valid-duration part checked now; transaction-duration
+                    // part is deferred to deletion (existence unknown).
+                    if let Err(detail) = spec.check(valid, None) {
+                        violations.push(make(spec.to_string(), detail));
+                    }
+                }
+            }
+        }
+
+        // Inter-element checks: run on clones, commit on success.
+        let mut staged_orderings: Vec<(usize, Partition, OrderingChecker)> = Vec::new();
+        let mut staged_regularities: Vec<(usize, Partition, RegularityChecker)> = Vec::new();
+        let mut staged_successions: Vec<(usize, Partition, SuccessionChecker)> = Vec::new();
+
+        if let ValidTime::Event(vt) = element.valid {
+            let stamp = EventStamp::new(vt, tt);
+            for (idx, (spec, _)) in self.schema.orderings().iter().enumerate() {
+                let state = &self.orderings[idx];
+                let part = partition_of(state.basis, element.object);
+                let mut checker = state
+                    .checkers
+                    .get(&part)
+                    .cloned()
+                    .unwrap_or_else(|| OrderingChecker::new(*spec));
+                match checker.admit(stamp) {
+                    Ok(()) => staged_orderings.push((idx, part, checker)),
+                    Err(detail) => {
+                        violations.push(make(format!("{spec} [{}]", state.basis), detail));
+                    }
+                }
+            }
+            for (idx, (spec, _)) in self.schema.event_regularities().iter().enumerate() {
+                let state = &self.regularities[idx];
+                let part = partition_of(state.basis, element.object);
+                let mut checker = state
+                    .checkers
+                    .get(&part)
+                    .cloned()
+                    .unwrap_or_else(|| RegularityChecker::new(*spec));
+                match checker.admit(stamp) {
+                    Ok(()) => staged_regularities.push((idx, part, checker)),
+                    Err(detail) => {
+                        violations.push(make(format!("{spec} [{}]", state.basis), detail));
+                    }
+                }
+            }
+        }
+        if let ValidTime::Interval(valid) = element.valid {
+            let stamp = IntervalStamp::new(valid, tt);
+            for (idx, (spec, _)) in self.schema.successions().iter().enumerate() {
+                let state = &self.successions[idx];
+                let part = partition_of(state.basis, element.object);
+                let mut checker = state
+                    .checkers
+                    .get(&part)
+                    .cloned()
+                    .unwrap_or_else(|| SuccessionChecker::new(*spec));
+                match checker.admit(stamp) {
+                    Ok(()) => staged_successions.push((idx, part, checker)),
+                    Err(detail) => {
+                        violations.push(make(format!("{spec} [{}]", state.basis), detail));
+                    }
+                }
+            }
+        }
+
+        if violations.is_empty() {
+            for (idx, part, checker) in staged_orderings {
+                self.orderings[idx].checkers.insert(part, checker);
+            }
+            for (idx, part, checker) in staged_regularities {
+                self.regularities[idx].checkers.insert(part, checker);
+            }
+            for (idx, part, checker) in staged_successions {
+                self.successions[idx].checkers.insert(part, checker);
+            }
+            Ok(())
+        } else {
+            Err(CoreError::Violations(violations))
+        }
+    }
+
+    /// Checks the logical deletion of `element` at transaction time `tt_d`:
+    /// deletion-referenced isolated specializations and transaction-
+    /// duration regularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Violations`] listing every violated
+    /// specialization.
+    pub fn admit_delete(&mut self, element: &Element, tt_d: Timestamp) -> Result<(), CoreError> {
+        let mut violations = Vec::new();
+        let gran = self.schema.granularity();
+        let make = |spec: String, detail: String| Violation {
+            spec,
+            element: element.id,
+            tt: tt_d,
+            vt: element.valid.begin(),
+            detail,
+        };
+        match element.valid {
+            ValidTime::Event(vt) => {
+                for (spec, tt_ref) in self.schema.event_specs() {
+                    if *tt_ref == TtReference::Deletion {
+                        if let Err(detail) = spec.check(vt, tt_d, gran) {
+                            violations.push(make(format!("{spec} [deletion]"), detail));
+                        }
+                    }
+                }
+            }
+            ValidTime::Interval(valid) => {
+                for (spec, tt_ref) in self.schema.endpoint_specs() {
+                    if *tt_ref == TtReference::Deletion {
+                        if let Err(detail) = spec.check(valid, tt_d, gran) {
+                            violations.push(make(format!("{spec} [deletion]"), detail));
+                        }
+                    }
+                }
+                if let Ok(existence) = Interval::new(element.tt_begin, tt_d) {
+                    for spec in self.schema.interval_regularities() {
+                        if let Err(detail) = spec.check(valid, Some(existence)) {
+                            violations.push(make(spec.to_string(), detail));
+                        }
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::Violations(violations))
+        }
+    }
+
+    /// Validates an element's shape against the schema's stamping kind.
+    fn check_stamping(&self, element: &Element) -> Result<(), CoreError> {
+        let ok = matches!(
+            (self.schema.stamping(), element.valid),
+            (Stamping::Event, ValidTime::Event(_)) | (Stamping::Interval, ValidTime::Interval(_))
+        );
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::ElementMismatch {
+                element: element.id,
+                reason: format!(
+                    "schema is {}-stamped but element carries a {} valid time",
+                    self.schema.stamping(),
+                    match element.valid {
+                        ValidTime::Event(_) => "event",
+                        ValidTime::Interval(_) => "interval",
+                    }
+                ),
+            })
+        }
+    }
+
+    /// Validates a complete extension against the schema from scratch (used
+    /// by the design advisor and tests). Elements are processed in
+    /// `tt_begin` order; deleted elements additionally run the deletion
+    /// checks. Returns every violation found (empty = conforming).
+    #[must_use]
+    pub fn validate_extension(schema: &Arc<RelationSchema>, elements: &[Element]) -> Vec<Violation> {
+        let mut engine = ConstraintEngine::new(Arc::clone(schema));
+        let mut sorted: Vec<&Element> = elements.iter().collect();
+        sorted.sort_by_key(|e| e.tt_begin);
+        let mut violations = Vec::new();
+        for e in &sorted {
+            if let Err(CoreError::Violations(vs)) = engine.admit_insert(e) {
+                violations.extend(vs);
+            } else if let Err(CoreError::ElementMismatch { element, reason }) =
+                engine.check_stamping(e)
+            {
+                violations.push(Violation {
+                    spec: "stamping".to_string(),
+                    element,
+                    tt: e.tt_begin,
+                    vt: e.valid.begin(),
+                    detail: reason,
+                });
+            }
+        }
+        // Deletions in tt_d order.
+        let mut deleted: Vec<&Element> = sorted
+            .iter()
+            .copied()
+            .filter(|e| e.tt_end.is_some())
+            .collect();
+        deleted.sort_by_key(|e| e.tt_end);
+        for e in deleted {
+            let tt_d = e.tt_end.expect("filtered on Some");
+            if let Err(CoreError::Violations(vs)) = engine.admit_delete(e, tt_d) {
+                violations.extend(vs);
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementId;
+    use crate::spec::bound::Bound;
+    use crate::spec::event::EventSpec;
+    use crate::spec::interevent::OrderingSpec;
+    use crate::spec::interinterval::SuccessionSpec;
+    use crate::spec::interval::{Endpoint, IntervalEndpointSpec};
+    use crate::spec::regularity::{EventRegularitySpec, RegularDimension};
+    use tempora_time::TimeDelta;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(ts(b), ts(e)).unwrap()
+    }
+
+    fn ev(id: u64, obj: u64, vt: i64, tt: i64) -> Element {
+        Element::new(ElementId::new(id), ObjectId::new(obj), ts(vt), ts(tt))
+    }
+
+    fn retro_schema() -> Arc<RelationSchema> {
+        RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive {
+                delay: Bound::secs(30),
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn isolated_event_enforcement() {
+        let mut engine = ConstraintEngine::new(retro_schema());
+        assert!(engine.admit_insert(&ev(1, 1, 60, 100)).is_ok());
+        let err = engine.admit_insert(&ev(2, 1, 90, 110)).unwrap_err();
+        match err {
+            CoreError::Violations(vs) => {
+                assert_eq!(vs.len(), 1);
+                assert!(vs[0].spec.contains("delayed retroactive"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejected_insert_leaves_state_unchanged() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        engine.admit_insert(&ev(1, 1, 100, 1)).unwrap();
+        // Violates non-decreasing.
+        assert!(engine.admit_insert(&ev(2, 1, 50, 2)).is_err());
+        // State unchanged: vt 100 at tt 3 is still admissible relative to
+        // the last *accepted* element (vt 100).
+        assert!(engine.admit_insert(&ev(3, 1, 100, 3)).is_ok());
+    }
+
+    #[test]
+    fn per_object_basis_isolates_partitions() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        engine.admit_insert(&ev(1, 1, 100, 1)).unwrap();
+        // Object 2 may start below object 1's valid time.
+        engine.admit_insert(&ev(2, 2, 5, 2)).unwrap();
+        engine.admit_insert(&ev(3, 2, 6, 3)).unwrap();
+        // But regression *within* object 1 is rejected.
+        assert!(engine.admit_insert(&ev(4, 1, 99, 4)).is_err());
+    }
+
+    #[test]
+    fn per_relation_basis_spans_objects() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        engine.admit_insert(&ev(1, 1, 100, 1)).unwrap();
+        assert!(engine.admit_insert(&ev(2, 2, 5, 2)).is_err());
+    }
+
+    #[test]
+    fn deletion_reference_checked_at_delete() {
+        // Deletion retroactive: the element's valid time must precede the
+        // deletion's transaction time.
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec_for(EventSpec::Retroactive, TtReference::Deletion)
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        // Insertion of a future fact is fine (no insertion constraint).
+        let e = ev(1, 1, 1_000, 10);
+        engine.admit_insert(&e).unwrap();
+        // Deleting while the fact is still in the future violates it.
+        assert!(engine.admit_delete(&e, ts(500)).is_err());
+        // Deleting after the fact became past is fine.
+        assert!(engine.admit_delete(&e, ts(2_000)).is_ok());
+    }
+
+    #[test]
+    fn regularity_enforced_per_object() {
+        let schema = RelationSchema::builder("samples", Stamping::Event)
+            .event_regularity(
+                EventRegularitySpec::new(RegularDimension::TransactionTime, TimeDelta::from_secs(10)),
+                Basis::PerObject,
+            )
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        engine.admit_insert(&ev(1, 1, 0, 0)).unwrap();
+        engine.admit_insert(&ev(2, 2, 0, 5)).unwrap(); // different phase, other object
+        engine.admit_insert(&ev(3, 1, 0, 20)).unwrap();
+        engine.admit_insert(&ev(4, 2, 0, 25)).unwrap();
+        // Off-grid within object 1.
+        assert!(engine.admit_insert(&ev(5, 1, 0, 33)).is_err());
+    }
+
+    #[test]
+    fn interval_relation_insert_and_delete() {
+        let schema = RelationSchema::builder("assignments", Stamping::Interval)
+            .endpoint_spec(IntervalEndpointSpec::new(
+                Endpoint::Begin,
+                EventSpec::Predictive,
+            ))
+            .succession(SuccessionSpec::GLOBALLY_CONTIGUOUS, Basis::PerObject)
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        let a = Element::new(ElementId::new(1), ObjectId::new(1), iv(10, 20), ts(5));
+        let b = Element::new(ElementId::new(2), ObjectId::new(1), iv(20, 30), ts(6));
+        engine.admit_insert(&a).unwrap();
+        engine.admit_insert(&b).unwrap();
+        // A gap breaks contiguity.
+        let c = Element::new(ElementId::new(3), ObjectId::new(1), iv(35, 40), ts(7));
+        assert!(engine.admit_insert(&c).is_err());
+        // Begin in the past breaks predictive.
+        let d = Element::new(ElementId::new(4), ObjectId::new(2), iv(1, 5), ts(8));
+        assert!(engine.admit_insert(&d).is_err());
+    }
+
+    #[test]
+    fn stamping_mismatch_rejected() {
+        let mut engine = ConstraintEngine::new(retro_schema());
+        let wrong = Element::new(ElementId::new(1), ObjectId::new(1), iv(0, 10), ts(100));
+        assert!(matches!(
+            engine.admit_insert(&wrong),
+            Err(CoreError::ElementMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_extension_collects_all_violations() {
+        let schema = retro_schema();
+        let elements = vec![
+            ev(1, 1, 60, 100),  // OK
+            ev(2, 1, 90, 110),  // violates delay
+            ev(3, 1, 200, 120), // violates delay
+        ];
+        let violations = ConstraintEngine::validate_extension(&schema, &elements);
+        assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn periodic_pattern_enforced() {
+        use crate::spec::periodicity::PeriodicPattern;
+        let schema = RelationSchema::builder("trading", Stamping::Event)
+            .vt_pattern(PeriodicPattern::business_hours())
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        // 1992-02-12 was a Wednesday.
+        let in_hours: Timestamp = "1992-02-12T10:30:00".parse().unwrap();
+        let after_hours: Timestamp = "1992-02-12T20:30:00".parse().unwrap();
+        let weekend: Timestamp = "1992-02-15T10:30:00".parse().unwrap();
+        let mut tt = 0_i64;
+        let mut make = |vt: Timestamp| {
+            tt += 1;
+            let mut e = ev(u64::try_from(tt).unwrap(), 1, 0, tt);
+            e.valid = crate::element::ValidTime::Event(vt);
+            e
+        };
+        assert!(engine.admit_insert(&make(in_hours)).is_ok());
+        assert!(engine.admit_insert(&make(after_hours)).is_err());
+        assert!(engine.admit_insert(&make(weekend)).is_err());
+    }
+
+    #[test]
+    fn periodic_pattern_on_intervals_requires_cover() {
+        use crate::spec::periodicity::PeriodicPattern;
+        let schema = RelationSchema::builder("shifts", Stamping::Interval)
+            .vt_pattern(PeriodicPattern::business_hours())
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        let meeting = Interval::new(
+            "1992-02-12T10:00:00".parse().unwrap(),
+            "1992-02-12T12:00:00".parse().unwrap(),
+        )
+        .unwrap();
+        let overnight = Interval::new(
+            "1992-02-12T16:00:00".parse().unwrap(),
+            "1992-02-13T10:00:00".parse().unwrap(),
+        )
+        .unwrap();
+        let a = Element::new(ElementId::new(1), ObjectId::new(1), meeting, ts(1));
+        let b = Element::new(ElementId::new(2), ObjectId::new(1), overnight, ts(2));
+        assert!(engine.admit_insert(&a).is_ok());
+        assert!(engine.admit_insert(&b).is_err());
+    }
+
+    #[test]
+    fn multiple_violations_reported_together() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .ordering(OrderingSpec::GloballyNonIncreasing, Basis::PerRelation)
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        engine.admit_insert(&ev(1, 1, 50, 100)).unwrap();
+        // vt 200 violates retroactive (200 > 110) AND non-increasing.
+        match engine.admit_insert(&ev(2, 1, 200, 110)).unwrap_err() {
+            CoreError::Violations(vs) => assert_eq!(vs.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Temporal elements (§2 of the paper).
+//!
+//! "A temporal relation consists of a set of temporal elements, each of
+//! which records one or more facts about an object … Temporal elements have
+//! the following attribute values: element surrogate, object surrogate,
+//! transaction time-stamp, valid time-stamp (interval or event),
+//! time-invariant attribute values, time-varying attribute values, and
+//! user-defined times."
+
+use std::fmt;
+
+use tempora_time::{Interval, Timestamp};
+
+use crate::value::{AttrName, Value};
+
+/// An element surrogate: a system-generated unique identifier of an element
+/// "that can be referenced and compared for equality, but not displayed to
+/// the user" (§2). (We do display it in diagnostics — the prohibition is
+/// about *application* visibility.)
+///
+/// The element surrogate pins down the existence interval `[tt_b, tt_d)`:
+/// "if a particular event or interval is (logically) deleted, then
+/// immediately re-inserted, the two resulting elements will have different
+/// element surrogates" (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElementId(u64);
+
+impl ElementId {
+    /// Creates an element surrogate from a raw counter value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        ElementId(raw)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An object surrogate: "a unique identifier of the object being modeled by
+/// an element … used for identifying all the database representations of
+/// individual real-world objects" (§2).
+///
+/// Elements sharing an object surrogate form that object's *life-line*; the
+/// induced partitioning of a relation is the paper's **per surrogate
+/// partitioning**, the most useful basis for per-partition specializations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(u64);
+
+impl ObjectId {
+    /// Creates an object surrogate.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        ObjectId(raw)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A valid time-stamp: an event (single instant) or an interval (§2: "the
+/// elements of a relation may represent events … Alternatively, the facts
+/// … may be true for a duration of time").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidTime {
+    /// The fact holds at a single instant.
+    Event(Timestamp),
+    /// The fact holds throughout a half-open interval `[vt⁻, vt⁺)`.
+    Interval(Interval),
+}
+
+impl ValidTime {
+    /// The begin of the valid time (`vt` for events, `vt⁻` for intervals).
+    #[must_use]
+    pub fn begin(self) -> Timestamp {
+        match self {
+            ValidTime::Event(t) => t,
+            ValidTime::Interval(i) => i.begin(),
+        }
+    }
+
+    /// The end of the valid time (`vt` for events, `vt⁺` for intervals).
+    #[must_use]
+    pub fn end(self) -> Timestamp {
+        match self {
+            ValidTime::Event(t) => t,
+            ValidTime::Interval(i) => i.end(),
+        }
+    }
+
+    /// The interval stamp, if interval-stamped.
+    #[must_use]
+    pub fn as_interval(self) -> Option<Interval> {
+        match self {
+            ValidTime::Interval(i) => Some(i),
+            ValidTime::Event(_) => None,
+        }
+    }
+
+    /// The event stamp, if event-stamped.
+    #[must_use]
+    pub fn as_event(self) -> Option<Timestamp> {
+        match self {
+            ValidTime::Event(t) => Some(t),
+            ValidTime::Interval(_) => None,
+        }
+    }
+
+    /// Whether the valid time covers the instant `t` (for events: equals).
+    #[must_use]
+    pub fn covers(self, t: Timestamp) -> bool {
+        match self {
+            ValidTime::Event(e) => e == t,
+            ValidTime::Interval(i) => i.contains(t),
+        }
+    }
+}
+
+impl fmt::Display for ValidTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidTime::Event(t) => write!(f, "{t}"),
+            ValidTime::Interval(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<Timestamp> for ValidTime {
+    fn from(t: Timestamp) -> Self {
+        ValidTime::Event(t)
+    }
+}
+
+impl From<Interval> for ValidTime {
+    fn from(i: Interval) -> Self {
+        ValidTime::Interval(i)
+    }
+}
+
+/// A temporal element: the unit of storage and constraint checking.
+///
+/// The two transaction times are the paper's `tt_b` (when the element was
+/// stored) and `tt_d` (when it was logically removed); the element's
+/// *existence interval* is `[tt_b, tt_d)`. A current element has
+/// `tt_end = None` ("until changed").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Element surrogate.
+    pub id: ElementId,
+    /// Object surrogate (life-line identifier).
+    pub object: ObjectId,
+    /// Valid time-stamp (event or interval).
+    pub valid: ValidTime,
+    /// Transaction time `tt_b`: when the element was stored.
+    pub tt_begin: Timestamp,
+    /// Transaction time `tt_d`: when the element was logically deleted, or
+    /// `None` while current.
+    pub tt_end: Option<Timestamp>,
+    /// Attribute values (time-invariant and time-varying alike; the schema
+    /// says which is which).
+    pub attrs: Vec<(AttrName, Value)>,
+}
+
+impl Element {
+    /// Creates a current element (no deletion time yet).
+    #[must_use]
+    pub fn new(
+        id: ElementId,
+        object: ObjectId,
+        valid: impl Into<ValidTime>,
+        tt_begin: Timestamp,
+    ) -> Self {
+        Element {
+            id,
+            object,
+            valid: valid.into(),
+            tt_begin,
+            tt_end: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute value (builder style).
+    #[must_use]
+    pub fn with_attr(mut self, name: impl Into<AttrName>, value: impl Into<Value>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks up an attribute value by name.
+    #[must_use]
+    pub fn attr(&self, name: &str) -> Option<&Value> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the element is current (not yet logically deleted).
+    #[must_use]
+    pub fn is_current(&self) -> bool {
+        self.tt_end.is_none()
+    }
+
+    /// Whether the element existed in the historical state at transaction
+    /// time `tt` — i.e. `tt ∈ [tt_b, tt_d)`.
+    #[must_use]
+    pub fn existed_at(&self, tt: Timestamp) -> bool {
+        self.tt_begin <= tt && self.tt_end.is_none_or(|d| tt < d)
+    }
+
+    /// The existence interval `[tt_b, tt_d)` if the element has been
+    /// deleted, `None` while current.
+    #[must_use]
+    pub fn existence_interval(&self) -> Option<Interval> {
+        self.tt_end.and_then(|d| Interval::new(self.tt_begin, d).ok())
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] vt={} tt=[{}, {})",
+            self.id,
+            self.object,
+            self.valid,
+            self.tt_begin,
+            match self.tt_end {
+                Some(d) => d.to_string(),
+                None => "∞".to_string(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_time::TimeDelta;
+
+    fn secs(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn valid_time_endpoints() {
+        let e = ValidTime::Event(secs(5));
+        assert_eq!(e.begin(), secs(5));
+        assert_eq!(e.end(), secs(5));
+        assert!(e.covers(secs(5)));
+        assert!(!e.covers(secs(6)));
+
+        let i = ValidTime::Interval(Interval::new(secs(5), secs(10)).unwrap());
+        assert_eq!(i.begin(), secs(5));
+        assert_eq!(i.end(), secs(10));
+        assert!(i.covers(secs(5)));
+        assert!(i.covers(secs(9)));
+        assert!(!i.covers(secs(10)));
+        assert!(i.as_interval().is_some());
+        assert!(i.as_event().is_none());
+    }
+
+    #[test]
+    fn element_lifecycle() {
+        let mut e = Element::new(ElementId::new(1), ObjectId::new(9), secs(4), secs(10));
+        assert!(e.is_current());
+        assert!(e.existed_at(secs(10)));
+        assert!(e.existed_at(secs(1_000)));
+        assert!(!e.existed_at(secs(9)));
+        assert_eq!(e.existence_interval(), None);
+
+        e.tt_end = Some(secs(20));
+        assert!(!e.is_current());
+        assert!(e.existed_at(secs(19)));
+        assert!(!e.existed_at(secs(20)));
+        assert_eq!(
+            e.existence_interval(),
+            Some(Interval::new(secs(10), secs(20)).unwrap())
+        );
+    }
+
+    #[test]
+    fn attrs() {
+        let e = Element::new(ElementId::new(1), ObjectId::new(1), secs(0), secs(0))
+            .with_attr("temp", 98.6)
+            .with_attr("unit", "F");
+        assert_eq!(e.attr("temp"), Some(&Value::Float(98.6)));
+        assert_eq!(e.attr("unit"), Some(&Value::str("F")));
+        assert_eq!(e.attr("missing"), None);
+    }
+
+    #[test]
+    fn reinserted_element_distinct_surrogate() {
+        // §2: delete + immediate re-insert yields two elements with
+        // different element surrogates and unambiguous existence intervals.
+        let t0 = secs(0);
+        let t1 = secs(10);
+        let mut first = Element::new(ElementId::new(1), ObjectId::new(5), t0, t0);
+        first.tt_end = Some(t1);
+        let second = Element::new(ElementId::new(2), ObjectId::new(5), t0, t1);
+        assert_ne!(first.id, second.id);
+        assert!(!first.existed_at(t1));
+        assert!(second.existed_at(t1));
+        assert_eq!(
+            first.existence_interval().unwrap().duration(),
+            TimeDelta::from_secs(10)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Element::new(ElementId::new(3), ObjectId::new(2), secs(1), secs(2));
+        let s = e.to_string();
+        assert!(s.contains("e3"));
+        assert!(s.contains("o2"));
+        assert!(s.contains('∞'));
+    }
+}

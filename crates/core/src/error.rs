@@ -1,0 +1,140 @@
+//! Error and violation types for the taxonomy core.
+
+use std::fmt;
+
+use tempora_time::Timestamp;
+
+use crate::element::ElementId;
+
+/// A constraint violation: an element (or element pair) failed a declared
+/// temporal specialization.
+///
+/// Violations carry enough context to produce actionable diagnostics: which
+/// specialization failed, for which element, and the offending time-stamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Human-readable name of the violated specialization (e.g.
+    /// `"delayed retroactive (Δt = 30s)"`).
+    pub spec: String,
+    /// The element that triggered the violation.
+    pub element: ElementId,
+    /// The element's relevant transaction time.
+    pub tt: Timestamp,
+    /// The element's relevant valid time (an endpoint, for intervals).
+    pub vt: Timestamp,
+    /// Explanation of how the stamps violate the specialization.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "element {} violates {}: {} (tt = {}, vt = {})",
+            self.element, self.spec, self.detail, self.tt, self.vt
+        )
+    }
+}
+
+/// Errors produced by the taxonomy core.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// One or more declared specializations were violated.
+    Violations(Vec<Violation>),
+    /// A specialization was declared with invalid parameters (e.g. a
+    /// negative Δt where the paper requires Δt ≥ 0).
+    InvalidSpec {
+        /// The specialization being declared.
+        spec: String,
+        /// Why the parameters are invalid.
+        reason: String,
+    },
+    /// A schema was assembled inconsistently (e.g. an interval-endpoint
+    /// constraint on an event-stamped relation).
+    InvalidSchema {
+        /// Why the schema is inconsistent.
+        reason: String,
+    },
+    /// An element does not conform to its schema (wrong stamping kind,
+    /// missing key attribute, …).
+    ElementMismatch {
+        /// The offending element.
+        element: ElementId,
+        /// Why it does not conform.
+        reason: String,
+    },
+    /// An operation referenced an element that does not exist (or is no
+    /// longer current).
+    NoSuchElement {
+        /// The missing element.
+        element: ElementId,
+    },
+}
+
+impl CoreError {
+    /// Convenience constructor for a single violation.
+    #[must_use]
+    pub fn violation(v: Violation) -> Self {
+        CoreError::Violations(vec![v])
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Violations(vs) => {
+                write!(f, "{} constraint violation(s):", vs.len())?;
+                for v in vs {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
+            CoreError::InvalidSpec { spec, reason } => {
+                write!(f, "invalid specialization {spec}: {reason}")
+            }
+            CoreError::InvalidSchema { reason } => write!(f, "invalid schema: {reason}"),
+            CoreError::ElementMismatch { element, reason } => {
+                write!(f, "element {element} does not conform to schema: {reason}")
+            }
+            CoreError::NoSuchElement { element } => {
+                write!(f, "no such (current) element: {element}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_display_mentions_everything() {
+        let v = Violation {
+            spec: "retroactive".to_string(),
+            element: ElementId::new(7),
+            tt: Timestamp::from_secs(10),
+            vt: Timestamp::from_secs(20),
+            detail: "vt exceeds tt".to_string(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("retroactive"));
+        assert!(s.contains("vt exceeds tt"));
+        assert!(s.contains("e7"));
+    }
+
+    #[test]
+    fn error_display_aggregates() {
+        let v = Violation {
+            spec: "predictive".to_string(),
+            element: ElementId::new(1),
+            tt: Timestamp::EPOCH,
+            vt: Timestamp::EPOCH,
+            detail: "d".to_string(),
+        };
+        let e = CoreError::Violations(vec![v.clone(), v]);
+        assert!(e.to_string().contains("2 constraint violation(s)"));
+    }
+}

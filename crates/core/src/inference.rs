@@ -1,0 +1,609 @@
+//! Specialization inference: given an extension, find the strongest
+//! specializations it satisfies.
+//!
+//! The paper positions the taxonomy as a *design-time* tool ("employed
+//! during database design to specify the particular time semantics of
+//! temporal relations"). Inference is the mechanical aid for that design
+//! step: feed in a sample extension (or production history) and get back
+//! the tightest isolated-event band with named instantiations, the
+//! orderings that hold, the largest regularity units, and — for interval
+//! relations — the endpoint bands, duration units, and the Allen
+//! succession profile.
+//!
+//! Inference is *sound per sample*: the returned specializations hold for
+//! the given extension. Whether they should be *declared* is the designer's
+//! judgment (the design advisor in `tempora-design` adds slack heuristics
+//! for that).
+
+use std::collections::BTreeSet;
+
+use tempora_time::{AllenRelation, Granularity, TimeDelta, Timestamp};
+
+use crate::region::OffsetBand;
+use crate::spec::bound::Bound;
+use crate::spec::event::{EventSpec, EventSpecKind};
+use crate::spec::interevent::{EventStamp, OrderingSpec};
+use crate::spec::interinterval::{IntervalStamp, SuccessionSpec};
+use crate::spec::regularity::{EventRegularitySpec, RegularDimension};
+
+/// Result of isolated-event inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventBandInference {
+    /// Number of stamps examined.
+    pub n: usize,
+    /// The tightest offset band containing every observed `(vt, tt)` pair.
+    pub band: OffsetBand,
+    /// The strongest *named* instantiation whose region contains the band
+    /// (ties broken toward the more specific kind).
+    pub strongest: EventSpec,
+    /// Every kind with *some* instantiation satisfied by the extension,
+    /// most specific first (an ancestor chain through Figure 2).
+    pub satisfied_kinds: Vec<EventSpecKind>,
+    /// The finest granularity at which the extension is degenerate, if any.
+    pub degenerate_at: Option<Granularity>,
+}
+
+/// Infers the tightest isolated-event specialization of an extension.
+///
+/// Returns `None` for an empty extension (the paper's definitions quantify
+/// over non-empty extensions).
+#[must_use]
+pub fn infer_event_band(stamps: &[EventStamp]) -> Option<EventBandInference> {
+    if stamps.is_empty() {
+        return None;
+    }
+    let offsets: Vec<i64> = stamps
+        .iter()
+        .map(|s| s.vt.micros() - s.tt.micros())
+        .collect();
+    let min = *offsets.iter().min().expect("non-empty");
+    let max = *offsets.iter().max().expect("non-empty");
+    let band = OffsetBand::new(Some(min), Some(max));
+    let strongest = strongest_named(min, max);
+    let satisfied_kinds: Vec<EventSpecKind> = EventSpecKind::ALL
+        .into_iter()
+        .filter(|k| k.family_shape().has_band_containing(band))
+        .collect();
+    let degenerate_at = Granularity::ALL
+        .into_iter()
+        .find(|g| stamps.iter().all(|s| g.same_granule(s.vt, s.tt)));
+    Some(EventBandInference {
+        n: stamps.len(),
+        band,
+        strongest,
+        satisfied_kinds,
+        degenerate_at,
+    })
+}
+
+/// Picks the most specific named instantiation containing `[min, max]`
+/// (offsets in µs). The mapping follows §3.1's definitions on the discrete
+/// microsecond time line.
+fn strongest_named(min: i64, max: i64) -> EventSpec {
+    let fixed = |micros: i64| Bound::Fixed(TimeDelta::from_micros(micros));
+    debug_assert!(min <= max);
+    if min == 0 && max == 0 {
+        return EventSpec::Degenerate;
+    }
+    if max <= 0 {
+        // Entirely retroactive side.
+        if max == 0 {
+            return EventSpec::StronglyRetroactivelyBounded { bound: fixed(-min) };
+        }
+        // max < 0: a delayed band; Δt₁ = −max, Δt₂ = −min, need Δt₁ < Δt₂.
+        let (d1, d2) = if min == max { (-max, -min + 1) } else { (-max, -min) };
+        return EventSpec::DelayedStronglyRetroactivelyBounded {
+            min_delay: fixed(d1),
+            max_delay: fixed(d2),
+        };
+    }
+    if min >= 0 {
+        if min == 0 {
+            return EventSpec::StronglyPredictivelyBounded { bound: fixed(max) };
+        }
+        let (d1, d2) = if min == max { (min, max + 1) } else { (min, max) };
+        return EventSpec::EarlyStronglyPredictivelyBounded {
+            min_lead: fixed(d1),
+            max_lead: fixed(d2),
+        };
+    }
+    // Straddles zero.
+    EventSpec::StronglyBounded {
+        past: fixed(-min),
+        future: fixed(max),
+    }
+}
+
+/// Result of inter-event inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterEventInference {
+    /// Orderings that hold (empty for a general relation).
+    pub orderings: Vec<OrderingSpec>,
+    /// Largest transaction-time regularity unit, if one exists (`None`
+    /// when fewer than two elements, or when differences have no common
+    /// divisor bigger than the resolution — unit 1 µs is reported as
+    /// `Some` only if it exceeds the resolution's trivial bound... see
+    /// docs).
+    pub tt_unit: Option<TimeDelta>,
+    /// Largest valid-time regularity unit; `None` if under-determined (all
+    /// valid times equal — every unit fits — or fewer than two elements).
+    pub vt_unit: Option<TimeDelta>,
+    /// Largest same-`k` temporal regularity unit, if the extension is
+    /// temporally regular.
+    pub temporal_unit: Option<TimeDelta>,
+    /// Whether the tt/vt/temporal regularities are *strict* at the
+    /// reported unit.
+    pub strict_tt: bool,
+    /// See [`Self::strict_tt`].
+    pub strict_vt: bool,
+    /// See [`Self::strict_tt`].
+    pub strict_temporal: bool,
+}
+
+/// Infers inter-event properties of an extension.
+#[must_use]
+pub fn infer_inter_event(stamps: &[EventStamp]) -> InterEventInference {
+    let mut sorted: Vec<EventStamp> = stamps.to_vec();
+    sorted.sort_by_key(|s| s.tt);
+
+    let orderings = OrderingSpec::ALL
+        .into_iter()
+        .filter(|o| o.holds_for(&sorted))
+        .collect();
+
+    let tt_unit = gcd_of_diffs(sorted.iter().map(|s| s.tt));
+    let vt_unit = gcd_of_diffs(sorted.iter().map(|s| s.vt));
+    // Same-k temporal regularity: offsets constant ∧ tt regular.
+    let offsets_constant = sorted
+        .windows(2)
+        .all(|w| w[0].vt - w[0].tt == w[1].vt - w[1].tt);
+    let temporal_unit = if sorted.len() >= 2 && offsets_constant {
+        tt_unit
+    } else {
+        None
+    };
+
+    let strict_at = |unit: Option<TimeDelta>, spec_dim: RegularDimension| match unit {
+        Some(u) => EventRegularitySpec::new(spec_dim, u).strict().holds_for(&sorted),
+        None => false,
+    };
+    InterEventInference {
+        orderings,
+        tt_unit,
+        vt_unit,
+        temporal_unit,
+        strict_tt: strict_at(tt_unit, RegularDimension::TransactionTime),
+        strict_vt: strict_at(vt_unit, RegularDimension::ValidTime),
+        strict_temporal: strict_at(temporal_unit, RegularDimension::Temporal),
+    }
+}
+
+/// The gcd of all pairwise differences of a timestamp sequence — the
+/// largest regularity unit. `None` if fewer than two values or all values
+/// equal (any unit fits; under-determined).
+fn gcd_of_diffs(values: impl Iterator<Item = Timestamp>) -> Option<TimeDelta> {
+    let v: Vec<Timestamp> = values.collect();
+    if v.len() < 2 {
+        return None;
+    }
+    let anchor = v[0];
+    let mut g = TimeDelta::ZERO;
+    for &t in &v[1..] {
+        g = g.gcd(t - anchor);
+    }
+    if g.is_positive() {
+        Some(g)
+    } else {
+        None
+    }
+}
+
+/// An ordering finding with the basis at which it holds: the paper's
+/// per-relation / per-partition distinction (§3), inferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasedOrdering {
+    /// The ordering that holds.
+    pub spec: OrderingSpec,
+    /// The strongest basis at which it holds: `PerRelation` when it holds
+    /// globally (which implies per partition for orderings), `PerObject`
+    /// when it holds within every life-line but not globally.
+    pub basis: crate::schema::Basis,
+}
+
+/// Infers orderings at both bases from an object-tagged extension.
+///
+/// For each ordering: if the whole extension satisfies it, report
+/// `PerRelation`; otherwise, if every per-surrogate partition satisfies
+/// it, report `PerObject`; otherwise omit it. (For orderings, global ⇒
+/// per-partition — restricting to a partition removes pairs — so
+/// `PerRelation` is the stronger report.)
+#[must_use]
+pub fn infer_orderings_with_basis(
+    stamps: &[(crate::element::ObjectId, EventStamp)],
+) -> Vec<BasedOrdering> {
+    use std::collections::BTreeMap;
+    let all: Vec<EventStamp> = stamps.iter().map(|(_, s)| *s).collect();
+    let mut partitions: BTreeMap<crate::element::ObjectId, Vec<EventStamp>> = BTreeMap::new();
+    for (object, stamp) in stamps {
+        partitions.entry(*object).or_default().push(*stamp);
+    }
+    let mut out = Vec::new();
+    for spec in OrderingSpec::ALL {
+        if spec.holds_for(&all) {
+            out.push(BasedOrdering {
+                spec,
+                basis: crate::schema::Basis::PerRelation,
+            });
+        } else if !partitions.is_empty() && partitions.values().all(|p| spec.holds_for(p)) {
+            out.push(BasedOrdering {
+                spec,
+                basis: crate::schema::Basis::PerObject,
+            });
+        }
+    }
+    out
+}
+
+/// Result of inter-interval inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterIntervalInference {
+    /// Succession/ordering specializations that hold.
+    pub successions: Vec<SuccessionSpec>,
+    /// The set of Allen relations observed between elements successive in
+    /// transaction time (a singleton set means `st-X` holds — reported in
+    /// [`Self::successions`] too).
+    pub allen_profile: BTreeSet<AllenRelation>,
+    /// Largest unit dividing every valid-interval duration.
+    pub vt_duration_unit: Option<TimeDelta>,
+    /// Whether all valid intervals have the same duration (strict interval
+    /// regularity).
+    pub strict_vt_duration: bool,
+    /// Tightest band on the begin offset `vt⁻ − tt`.
+    pub begin_band: Option<OffsetBand>,
+    /// Tightest band on the end offset `vt⁺ − tt`.
+    pub end_band: Option<OffsetBand>,
+}
+
+/// Infers inter-interval properties of an extension.
+#[must_use]
+pub fn infer_inter_interval(stamps: &[IntervalStamp]) -> InterIntervalInference {
+    let mut sorted: Vec<IntervalStamp> = stamps.to_vec();
+    sorted.sort_by_key(|s| s.tt);
+
+    let mut allen_profile = BTreeSet::new();
+    for w in sorted.windows(2) {
+        allen_profile.insert(AllenRelation::relate(w[0].valid, w[1].valid));
+    }
+
+    let mut successions: Vec<SuccessionSpec> = Vec::new();
+    for spec in [
+        SuccessionSpec::GloballySequential,
+        SuccessionSpec::GloballyNonDecreasing,
+        SuccessionSpec::GloballyNonIncreasing,
+    ] {
+        if spec.holds_for(&sorted) {
+            successions.push(spec);
+        }
+    }
+    if sorted.len() >= 2 && allen_profile.len() == 1 {
+        let x = *allen_profile.iter().next().expect("len checked");
+        successions.push(SuccessionSpec::SuccessiveTt(x));
+    }
+
+    let durations: Vec<TimeDelta> = sorted.iter().map(|s| s.valid.duration()).collect();
+    let vt_duration_unit = {
+        let mut g = TimeDelta::ZERO;
+        for &d in &durations {
+            g = g.gcd(d);
+        }
+        if g.is_positive() && !durations.is_empty() {
+            Some(g)
+        } else {
+            None
+        }
+    };
+    let strict_vt_duration =
+        !durations.is_empty() && durations.iter().all(|&d| d == durations[0]);
+
+    let band_of = |mut it: Box<dyn Iterator<Item = i64> + '_>| -> Option<OffsetBand> {
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for o in it {
+            lo = lo.min(o);
+            hi = hi.max(o);
+        }
+        Some(OffsetBand::new(Some(lo), Some(hi)))
+    };
+    let begin_band = band_of(Box::new(
+        sorted
+            .iter()
+            .map(|s| s.valid.begin().micros() - s.tt.micros()),
+    ));
+    let end_band = band_of(Box::new(
+        sorted
+            .iter()
+            .map(|s| s.valid.end().micros() - s.tt.micros()),
+    ));
+
+    InterIntervalInference {
+        successions,
+        allen_profile,
+        vt_duration_unit,
+        strict_vt_duration,
+        begin_band,
+        end_band,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_time::Interval;
+
+    fn st(vt: i64, tt: i64) -> EventStamp {
+        EventStamp::new(Timestamp::from_secs(vt), Timestamp::from_secs(tt))
+    }
+
+    fn ist(b: i64, e: i64, tt: i64) -> IntervalStamp {
+        IntervalStamp::new(
+            Interval::new(Timestamp::from_secs(b), Timestamp::from_secs(e)).unwrap(),
+            Timestamp::from_secs(tt),
+        )
+    }
+
+    #[test]
+    fn empty_extension_infers_nothing() {
+        assert!(infer_event_band(&[]).is_none());
+    }
+
+    #[test]
+    fn retroactive_monitoring_inferred() {
+        // Sensor readings stored 30–60 s after measurement.
+        let stamps: Vec<EventStamp> = (0..20)
+            .map(|i| st(i * 60, i * 60 + 30 + (i % 4) * 10))
+            .collect();
+        let inf = infer_event_band(&stamps).unwrap();
+        match inf.strongest {
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => {
+                assert_eq!(min_delay, Bound::secs(30));
+                assert_eq!(max_delay, Bound::secs(60));
+            }
+            other => panic!("expected delayed strongly retroactively bounded, got {other}"),
+        }
+        assert!(inf.satisfied_kinds.contains(&EventSpecKind::Retroactive));
+        assert!(inf
+            .satisfied_kinds
+            .contains(&EventSpecKind::DelayedRetroactive));
+        assert!(!inf.satisfied_kinds.contains(&EventSpecKind::Predictive));
+        // The 30–60 s delays rule out sub-minute degeneracy (the sample
+        // spans only ~20 minutes, so coarse granularities may still apply).
+        assert!(inf
+            .degenerate_at
+            .is_none_or(|g| g.coarsens(Granularity::Hour)));
+    }
+
+    #[test]
+    fn satisfied_kinds_closed_upward() {
+        // Whatever holds must include every ancestor in Figure 2.
+        let lattice = crate::lattice::event_lattice();
+        let stamps = vec![st(95, 100), st(190, 200), st(300, 300)];
+        let inf = infer_event_band(&stamps).unwrap();
+        for &k in &inf.satisfied_kinds {
+            for anc in lattice.ancestors(k) {
+                assert!(
+                    inf.satisfied_kinds.contains(&anc),
+                    "{k} satisfied but ancestor {anc} missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_detection_with_granularity() {
+        let a: Timestamp = "1992-02-12T09:30:45.100000".parse().unwrap();
+        let b: Timestamp = "1992-02-12T09:30:45.700000".parse().unwrap();
+        let stamps = vec![EventStamp::new(a, b)];
+        let inf = infer_event_band(&stamps).unwrap();
+        assert_eq!(inf.degenerate_at, Some(Granularity::Second));
+        let exact = vec![st(5, 5), st(9, 9)];
+        assert_eq!(
+            infer_event_band(&exact).unwrap().degenerate_at,
+            Some(Granularity::Microsecond)
+        );
+        assert_eq!(infer_event_band(&exact).unwrap().strongest, EventSpec::Degenerate);
+    }
+
+    #[test]
+    fn strongest_named_straddling_zero() {
+        let stamps = vec![st(95, 100), st(105, 100 + 1)];
+        // offsets −5 s and +4 s… wait: (95−100) = −5 s, (105−101) = +4 s.
+        let inf = infer_event_band(&stamps).unwrap();
+        match inf.strongest {
+            EventSpec::StronglyBounded { past, future } => {
+                assert_eq!(past, Bound::secs(5));
+                assert_eq!(future, Bound::secs(4));
+            }
+            other => panic!("expected strongly bounded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn strongest_named_predictive_side() {
+        let stamps = vec![st(110, 100), st(230, 200)];
+        let inf = infer_event_band(&stamps).unwrap();
+        match inf.strongest {
+            EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+                assert_eq!(min_lead, Bound::secs(10));
+                assert_eq!(max_lead, Bound::secs(30));
+            }
+            other => panic!("got {other}"),
+        }
+        // Constant positive offset: Δt₁ < Δt₂ forced by widening one
+        // resolution step.
+        let constant = vec![st(110, 100), st(210, 200)];
+        let inf2 = infer_event_band(&constant).unwrap();
+        match inf2.strongest {
+            EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+                assert_eq!(min_lead, Bound::secs(10));
+                assert!(max_lead.is_positive());
+                assert!(inf2.band.is_subset(inf2.strongest.exact_band().unwrap()));
+                let _ = max_lead;
+            }
+            other => panic!("got {other}"),
+        }
+    }
+
+    #[test]
+    fn strongest_always_contains_band_and_validates() {
+        // Fuzz a few dozen extensions; the chosen named spec must validate
+        // and its region must contain the observed band.
+        for seed in 0..50_i64 {
+            let stamps: Vec<EventStamp> = (0..6)
+                .map(|i| {
+                    let tt = i * 100 + seed * 7;
+                    let vt = tt + ((seed * 31 + i * 17) % 90) - 45;
+                    st(vt, tt)
+                })
+                .collect();
+            let inf = infer_event_band(&stamps).unwrap();
+            inf.strongest.validate().unwrap_or_else(|e| {
+                panic!("inferred spec invalid for seed {seed}: {e}");
+            });
+            let region = inf.strongest.exact_band().expect("fixed bounds inferred");
+            assert!(
+                inf.band.is_subset(region),
+                "seed {seed}: band {} ⊄ {}",
+                inf.band,
+                region
+            );
+        }
+    }
+
+    #[test]
+    fn inter_event_regularity_inference() {
+        // tt every 30 s (phase 5), vt every 10 s.
+        let stamps: Vec<EventStamp> = (0..10).map(|i| st(i * 10, i * 30 + 5)).collect();
+        let inf = infer_inter_event(&stamps);
+        assert_eq!(inf.tt_unit, Some(TimeDelta::from_secs(30)));
+        assert_eq!(inf.vt_unit, Some(TimeDelta::from_secs(10)));
+        assert!(inf.strict_tt);
+        assert!(inf.strict_vt);
+        // Offsets change ⇒ not temporal regular.
+        assert_eq!(inf.temporal_unit, None);
+        assert!(inf.orderings.contains(&OrderingSpec::GloballyNonDecreasing));
+    }
+
+    #[test]
+    fn temporal_regularity_inferred_for_constant_offset() {
+        let stamps: Vec<EventStamp> = (0..8).map(|i| st(i * 60 - 30, i * 60)).collect();
+        let inf = infer_inter_event(&stamps);
+        assert_eq!(inf.temporal_unit, Some(TimeDelta::from_secs(60)));
+        assert!(inf.strict_temporal);
+    }
+
+    #[test]
+    fn non_strict_regularity_detected() {
+        // Multiples of 10 but with gaps: regular, not strict.
+        let stamps = vec![st(0, 0), st(0, 10), st(0, 40)];
+        let inf = infer_inter_event(&stamps);
+        assert_eq!(inf.tt_unit, Some(TimeDelta::from_secs(10)));
+        assert!(!inf.strict_tt);
+    }
+
+    #[test]
+    fn vt_unit_none_when_all_equal() {
+        let stamps = vec![st(7, 0), st(7, 10), st(7, 20)];
+        let inf = infer_inter_event(&stamps);
+        assert_eq!(inf.vt_unit, None);
+    }
+
+    #[test]
+    fn per_object_orderings_inferred() {
+        use crate::element::ObjectId;
+        use crate::schema::Basis;
+        // Two sensors, each non-decreasing, interleaved so the union is
+        // not: the classic per-surrogate-only property.
+        let tagged: Vec<(ObjectId, EventStamp)> = vec![
+            (ObjectId::new(1), st(100, 1)),
+            (ObjectId::new(2), st(5, 2)),
+            (ObjectId::new(1), st(101, 3)),
+            (ObjectId::new(2), st(6, 4)),
+        ];
+        let found = infer_orderings_with_basis(&tagged);
+        assert!(found.contains(&BasedOrdering {
+            spec: OrderingSpec::GloballyNonDecreasing,
+            basis: Basis::PerObject
+        }));
+        assert!(!found
+            .iter()
+            .any(|b| b.spec == OrderingSpec::GloballyNonDecreasing
+                && b.basis == Basis::PerRelation));
+
+        // A globally ordered extension reports PerRelation (stronger).
+        let global: Vec<(ObjectId, EventStamp)> = vec![
+            (ObjectId::new(1), st(1, 1)),
+            (ObjectId::new(2), st(2, 2)),
+            (ObjectId::new(1), st(3, 3)),
+        ];
+        let found2 = infer_orderings_with_basis(&global);
+        assert!(found2.contains(&BasedOrdering {
+            spec: OrderingSpec::GloballyNonDecreasing,
+            basis: Basis::PerRelation
+        }));
+    }
+
+    #[test]
+    fn interval_succession_profile() {
+        let weeks = vec![ist(0, 7, 1), ist(7, 14, 2), ist(14, 21, 3)];
+        let inf = infer_inter_interval(&weeks);
+        assert_eq!(inf.allen_profile.len(), 1);
+        assert!(inf.allen_profile.contains(&AllenRelation::Meets));
+        assert!(inf
+            .successions
+            .contains(&SuccessionSpec::SuccessiveTt(AllenRelation::Meets)));
+        assert!(inf
+            .successions
+            .contains(&SuccessionSpec::GloballyNonDecreasing));
+        assert_eq!(inf.vt_duration_unit, Some(TimeDelta::from_secs(7)));
+        assert!(inf.strict_vt_duration);
+    }
+
+    #[test]
+    fn interval_mixed_profile_no_st() {
+        let mixed = vec![ist(0, 7, 1), ist(7, 14, 2), ist(20, 30, 3)];
+        let inf = infer_inter_interval(&mixed);
+        assert_eq!(inf.allen_profile.len(), 2);
+        assert!(!inf
+            .successions
+            .iter()
+            .any(|s| matches!(s, SuccessionSpec::SuccessiveTt(_))));
+        assert_eq!(inf.vt_duration_unit, Some(TimeDelta::from_secs(1)));
+        assert!(!inf.strict_vt_duration);
+    }
+
+    #[test]
+    fn interval_endpoint_bands() {
+        let stamps = vec![ist(10, 20, 5), ist(30, 45, 25)];
+        let inf = infer_inter_interval(&stamps);
+        // Begin offsets: +5 s, +5 s. End offsets: +15 s, +20 s.
+        assert_eq!(
+            inf.begin_band,
+            Some(OffsetBand::new(Some(5_000_000), Some(5_000_000)))
+        );
+        assert_eq!(
+            inf.end_band,
+            Some(OffsetBand::new(Some(15_000_000), Some(20_000_000)))
+        );
+    }
+
+    #[test]
+    fn empty_interval_inference() {
+        let inf = infer_inter_interval(&[]);
+        assert!(inf.successions.is_empty() || inf.successions.len() == 3);
+        assert!(inf.allen_profile.is_empty());
+        assert_eq!(inf.begin_band, None);
+    }
+}

@@ -1,0 +1,804 @@
+//! The generalization/specialization structures of the paper's Figures 2–5.
+//!
+//! "The specializations are organized in generalization/specialization
+//! hierarchies. … A relation type can be specialized into any of the
+//! successor relation types, and a relation type inherits all the
+//! properties of its predecessor relation types" (§3/§3.1).
+//!
+//! Each lattice is represented by a [`SpecLattice`]: a node set plus the
+//! full `≤` (is-a-specialization-of) relation, from which the Hasse diagram
+//! (the figure's edges) is *computed*. The event lattice's `≤` is decided by
+//! the region algebra ([`crate::region::FamilyShape::subsumes_into`]) — so
+//! Figure 2 is machine-derived, and [`paper_figure2_edges`] lets tests
+//! assert the derivation reproduces the published figure edge-for-edge. The
+//! other lattices' `≤` entries are established analytically (each entry is
+//! justified in comments) and cross-checked by implication tests.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tempora_time::AllenRelation;
+
+use crate::spec::event::EventSpecKind;
+
+/// A finite specialization lattice: nodes plus the full `≤` relation
+/// (`leq(a, b)` ⟺ a is a specialization of b ⟺ every extension satisfying
+/// a satisfies b).
+#[derive(Debug, Clone)]
+pub struct SpecLattice<T> {
+    nodes: Vec<T>,
+    leq: Vec<Vec<bool>>,
+}
+
+impl<T: Copy + Eq + fmt::Debug> SpecLattice<T> {
+    /// Builds a lattice from a node list and a `≤` predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicate is not reflexive, not antisymmetric, or not
+    /// transitive over the given nodes — a mis-specified lattice is a
+    /// programming error, not a runtime condition.
+    #[must_use]
+    pub fn from_leq(nodes: Vec<T>, leq: impl Fn(T, T) -> bool) -> Self {
+        let n = nodes.len();
+        let mut matrix = vec![vec![false; n]; n];
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                matrix[i][j] = leq(a, b);
+            }
+        }
+        for i in 0..n {
+            assert!(matrix[i][i], "≤ not reflexive at {:?}", nodes[i]);
+            for j in 0..n {
+                if i != j {
+                    assert!(
+                        !(matrix[i][j] && matrix[j][i]),
+                        "≤ not antisymmetric between {:?} and {:?}",
+                        nodes[i],
+                        nodes[j]
+                    );
+                }
+                for k in 0..n {
+                    if matrix[i][j] && matrix[j][k] {
+                        assert!(
+                            matrix[i][k],
+                            "≤ not transitive via {:?} ≤ {:?} ≤ {:?}",
+                            nodes[i], nodes[j], nodes[k]
+                        );
+                    }
+                }
+            }
+        }
+        SpecLattice {
+            nodes,
+            leq: matrix,
+        }
+    }
+
+    /// The node set.
+    #[must_use]
+    pub fn nodes(&self) -> &[T] {
+        &self.nodes
+    }
+
+    fn index(&self, node: T) -> usize {
+        self.nodes
+            .iter()
+            .position(|&n| n == node)
+            .unwrap_or_else(|| panic!("{node:?} is not a lattice node"))
+    }
+
+    /// Whether `a` is a specialization of `b` (reflexive).
+    #[must_use]
+    pub fn is_specialization_of(&self, a: T, b: T) -> bool {
+        self.leq[self.index(a)][self.index(b)]
+    }
+
+    /// The Hasse diagram: `(child, parent)` pairs where child < parent with
+    /// nothing strictly between. These are exactly the edges drawn in the
+    /// paper's figures.
+    #[must_use]
+    pub fn hasse_edges(&self) -> Vec<(T, T)> {
+        let n = self.nodes.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || !self.leq[i][j] {
+                    continue;
+                }
+                let covered = (0..n).any(|k| {
+                    k != i && k != j && self.leq[i][k] && self.leq[k][j]
+                });
+                if !covered {
+                    edges.push((self.nodes[i], self.nodes[j]));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Immediate generalizations of a node (its parents in the figure).
+    #[must_use]
+    pub fn parents(&self, node: T) -> Vec<T> {
+        self.hasse_edges()
+            .into_iter()
+            .filter(|(c, _)| *c == node)
+            .map(|(_, p)| p)
+            .collect()
+    }
+
+    /// Immediate specializations of a node (its children in the figure).
+    #[must_use]
+    pub fn children(&self, node: T) -> Vec<T> {
+        self.hasse_edges()
+            .into_iter()
+            .filter(|(_, p)| *p == node)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// All generalizations of a node, excluding itself ("a relation type
+    /// inherits all the properties of its predecessor relation types").
+    #[must_use]
+    pub fn ancestors(&self, node: T) -> Vec<T> {
+        let i = self.index(node);
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i && self.leq[i][*j])
+            .map(|(_, &n)| n)
+            .collect()
+    }
+
+    /// All specializations of a node, excluding itself.
+    #[must_use]
+    pub fn descendants(&self, node: T) -> Vec<T> {
+        let i = self.index(node);
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i && self.leq[*j][i])
+            .map(|(_, &n)| n)
+            .collect()
+    }
+
+    /// Maximal nodes (the figure tops; a single `general` node in each of
+    /// the paper's figures).
+    #[must_use]
+    pub fn tops(&self) -> Vec<T> {
+        let n = self.nodes.len();
+        (0..n)
+            .filter(|&i| (0..n).all(|j| i == j || !self.leq[i][j]))
+            .map(|i| self.nodes[i])
+            .collect()
+    }
+
+    /// Least common generalizations of two nodes: the minimal nodes above
+    /// both (the paper's hierarchies are not semilattices, so there can be
+    /// several).
+    #[must_use]
+    pub fn least_common_generalizations(&self, a: T, b: T) -> Vec<T> {
+        let (ia, ib) = (self.index(a), self.index(b));
+        let n = self.nodes.len();
+        let uppers: Vec<usize> = (0..n)
+            .filter(|&k| self.leq[ia][k] && self.leq[ib][k])
+            .collect();
+        uppers
+            .iter()
+            .copied()
+            .filter(|&k| {
+                !uppers
+                    .iter()
+                    .any(|&m| m != k && self.leq[m][k])
+            })
+            .map(|k| self.nodes[k])
+            .collect()
+    }
+}
+
+/// The isolated-event lattice of **Figure 2**, derived from the region
+/// algebra: `a ≤ b` ⟺ every band of a's family is contained in some band of
+/// b's family.
+///
+/// The figure's *undetermined* node is intentionally absent: it is not a
+/// region restriction (its band family equals *general*'s) but the negation
+/// of [`crate::spec::determined::DeterminedSpec`]; see EXPERIMENTS.md.
+#[must_use]
+pub fn event_lattice() -> SpecLattice<EventSpecKind> {
+    SpecLattice::from_leq(EventSpecKind::ALL.to_vec(), |a, b| {
+        a.family_shape().subsumes_into(b.family_shape())
+    })
+}
+
+/// The edges of the paper's printed Figure 2 (child, parent), for
+/// comparison against the derived [`event_lattice`].
+#[must_use]
+pub fn paper_figure2_edges() -> Vec<(EventSpecKind, EventSpecKind)> {
+    use EventSpecKind as K;
+    vec![
+        // Row 1 → 2 (the figure routes these through "undetermined", which
+        // is region-equivalent to general; see module docs).
+        (K::RetroactivelyBounded, K::General),
+        (K::PredictivelyBounded, K::General),
+        // Row 2 → 3.
+        (K::Predictive, K::RetroactivelyBounded),
+        (K::StronglyBounded, K::RetroactivelyBounded),
+        (K::StronglyBounded, K::PredictivelyBounded),
+        (K::Retroactive, K::PredictivelyBounded),
+        // Row 3 → 4.
+        (K::EarlyPredictive, K::Predictive),
+        (K::StronglyPredictivelyBounded, K::Predictive),
+        (K::StronglyPredictivelyBounded, K::StronglyBounded),
+        (K::StronglyRetroactivelyBounded, K::StronglyBounded),
+        (K::StronglyRetroactivelyBounded, K::Retroactive),
+        (K::DelayedRetroactive, K::Retroactive),
+        // Row 4 → 5.
+        (K::EarlyStronglyPredictivelyBounded, K::EarlyPredictive),
+        (
+            K::EarlyStronglyPredictivelyBounded,
+            K::StronglyPredictivelyBounded,
+        ),
+        (K::Degenerate, K::StronglyPredictivelyBounded),
+        (K::Degenerate, K::StronglyRetroactivelyBounded),
+        (
+            K::DelayedStronglyRetroactivelyBounded,
+            K::StronglyRetroactivelyBounded,
+        ),
+        (
+            K::DelayedStronglyRetroactivelyBounded,
+            K::DelayedRetroactive,
+        ),
+    ]
+}
+
+/// Nodes of the inter-event *ordering* lattice of **Figure 3**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OrderingNode {
+    /// No inter-event restriction.
+    General,
+    /// Globally non-decreasing.
+    NonDecreasing,
+    /// Globally non-increasing.
+    NonIncreasing,
+    /// Globally sequential.
+    Sequential,
+}
+
+impl OrderingNode {
+    /// All Figure 3 nodes.
+    pub const ALL: [OrderingNode; 4] = [
+        OrderingNode::General,
+        OrderingNode::NonDecreasing,
+        OrderingNode::NonIncreasing,
+        OrderingNode::Sequential,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            OrderingNode::General => "general",
+            OrderingNode::NonDecreasing => "globally non-decreasing",
+            OrderingNode::NonIncreasing => "globally non-increasing",
+            OrderingNode::Sequential => "globally sequential",
+        }
+    }
+}
+
+impl fmt::Display for OrderingNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The inter-event ordering lattice of **Figure 3**.
+///
+/// `≤` entries: sequential ⇒ non-decreasing because
+/// `tt_e < tt_e' ⇒ max(tt_e, vt_e) ≤ min(tt_e', vt_e') ⇒ vt_e ≤ vt_e'`
+/// ("Sequentiality is generally a stronger property than non-decreasing",
+/// §3.2); everything ⇒ general; non-decreasing and non-increasing are
+/// incomparable (witnesses in tests).
+#[must_use]
+pub fn ordering_lattice() -> SpecLattice<OrderingNode> {
+    use OrderingNode as N;
+    SpecLattice::from_leq(N::ALL.to_vec(), |a, b| {
+        a == b
+            || b == N::General
+            || (a == N::Sequential && b == N::NonDecreasing)
+    })
+}
+
+/// Nodes of the inter-event *regularity* lattice of **Figure 4**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegularityNode {
+    /// No regularity restriction.
+    General,
+    /// Transaction time event regular.
+    TtRegular,
+    /// Valid time event regular.
+    VtRegular,
+    /// Temporal event regular (same multiple in both dimensions).
+    TemporalRegular,
+    /// Strict transaction time event regular.
+    StrictTtRegular,
+    /// Strict valid time event regular.
+    StrictVtRegular,
+    /// Strict temporal event regular.
+    StrictTemporalRegular,
+}
+
+impl RegularityNode {
+    /// All Figure 4 nodes (plus the implicit `general` top).
+    pub const ALL: [RegularityNode; 7] = [
+        RegularityNode::General,
+        RegularityNode::TtRegular,
+        RegularityNode::VtRegular,
+        RegularityNode::TemporalRegular,
+        RegularityNode::StrictTtRegular,
+        RegularityNode::StrictVtRegular,
+        RegularityNode::StrictTemporalRegular,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            RegularityNode::General => "general",
+            RegularityNode::TtRegular => "transaction time event regular",
+            RegularityNode::VtRegular => "valid time event regular",
+            RegularityNode::TemporalRegular => "temporal event regular",
+            RegularityNode::StrictTtRegular => "strict transaction time event regular",
+            RegularityNode::StrictVtRegular => "strict valid time event regular",
+            RegularityNode::StrictTemporalRegular => "strict temporal event regular",
+        }
+    }
+}
+
+impl fmt::Display for RegularityNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The regularity lattice of **Figure 4** (at a common unit Δt).
+///
+/// `≤` entries, each for the *same* unit Δt:
+///
+/// * strict X regular ⇒ X regular (successive steps of exactly Δt make all
+///   pairwise differences multiples of Δt);
+/// * temporal regular ⇒ tt regular and vt regular (project the common `k`);
+/// * strict temporal ⇒ strict tt, strict vt, and temporal.
+///
+/// Non-entries (witnesses in tests and the Figure 4 binary): tt ∧ vt
+/// regular does **not** imply temporal regular (the paper's same-`k`
+/// definition; see the erratum in [`crate::spec::regularity`]), and strict
+/// tt ∧ strict vt does not imply strict temporal (the paper's own caveat).
+#[must_use]
+pub fn regularity_lattice() -> SpecLattice<RegularityNode> {
+    use RegularityNode as N;
+    SpecLattice::from_leq(N::ALL.to_vec(), |a, b| {
+        if a == b || b == N::General {
+            return true;
+        }
+        matches!(
+            (a, b),
+            (N::StrictTtRegular, N::TtRegular)
+                | (N::StrictVtRegular, N::VtRegular)
+                | (N::TemporalRegular, N::TtRegular | N::VtRegular)
+                | (
+                    N::StrictTemporalRegular,
+                    N::StrictTtRegular
+                        | N::StrictVtRegular
+                        | N::TemporalRegular
+                        | N::TtRegular
+                        | N::VtRegular
+                )
+        )
+    })
+}
+
+/// Nodes of the inter-interval lattice of **Figure 5**: the orderings,
+/// sequentiality, and *successive transaction time X* for every Allen
+/// relation (the printed figure draws a subset; the full node set is
+/// supported and the figure subset is selected by the regeneration binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InterIntervalNode {
+    /// No inter-interval restriction.
+    General,
+    /// Globally non-decreasing (interval begins).
+    NonDecreasing,
+    /// Globally non-increasing (interval begins).
+    NonIncreasing,
+    /// Globally sequential.
+    Sequential,
+    /// Successive transaction time X (`st-X`; `sti-X` is `St(X⁻¹)`).
+    St(AllenRelation),
+}
+
+impl InterIntervalNode {
+    /// All 17 nodes.
+    #[must_use]
+    pub fn all() -> Vec<InterIntervalNode> {
+        let mut v = vec![
+            InterIntervalNode::General,
+            InterIntervalNode::NonDecreasing,
+            InterIntervalNode::NonIncreasing,
+            InterIntervalNode::Sequential,
+        ];
+        v.extend(AllenRelation::ALL.into_iter().map(InterIntervalNode::St));
+        v
+    }
+
+    /// Display name (matching §3.4's abbreviations).
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            InterIntervalNode::General => "general".to_string(),
+            InterIntervalNode::NonDecreasing => "globally non-decreasing".to_string(),
+            InterIntervalNode::NonIncreasing => "globally non-increasing".to_string(),
+            InterIntervalNode::Sequential => "globally sequential".to_string(),
+            InterIntervalNode::St(AllenRelation::Meets) => {
+                "globally contiguous (st-meets)".to_string()
+            }
+            InterIntervalNode::St(r) if r.is_inverse() => format!("sti-{}", r.inverse().name()),
+            InterIntervalNode::St(r) => format!("st-{}", r.name()),
+        }
+    }
+
+    /// How successive (and hence, by transitivity, all) interval begins
+    /// compare under `st-X`: `Less`, `Equal`, or `Greater`.
+    fn begin_trend(r: AllenRelation) -> std::cmp::Ordering {
+        use std::cmp::Ordering::{Equal, Greater, Less};
+        use AllenRelation as R;
+        match r {
+            // A starts strictly before B.
+            R::Before | R::Meets | R::Overlaps | R::FinishedBy | R::Contains => Less,
+            R::Starts | R::Equals | R::StartedBy => Equal,
+            R::During | R::Finishes | R::OverlappedBy | R::MetBy | R::After => Greater,
+        }
+    }
+}
+
+impl fmt::Display for InterIntervalNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// The inter-interval lattice of **Figure 5**, with `≤` established
+/// analytically:
+///
+/// * `st-X ≤ non-decreasing` iff X forces `A.begin ≤ B.begin` (before,
+///   meets, overlaps, inverse-finishes, inverse-during, starts, equal,
+///   inverse-starts) — successive begins then chain transitively to all
+///   pairs;
+/// * `st-X ≤ non-increasing` dually (begin trend `≥`);
+/// * `sequential ≤ non-decreasing`: for `tt_e < tt_e'`,
+///   `vt⁻_e < vt⁺_e ≤ vt⁻_e'`;
+/// * distinct `st-X`, `st-Y` are incomparable (a two-element `st-X`
+///   extension violates `st-Y`), and `sequential` is incomparable with
+///   every `st-X` (sequential extensions may mix *before* and *meets*
+///   between successive pairs; `st-X` extensions may store predictively,
+///   breaking sequentiality).
+#[must_use]
+pub fn interinterval_lattice() -> SpecLattice<InterIntervalNode> {
+    use std::cmp::Ordering::{Equal, Greater, Less};
+    use InterIntervalNode as N;
+    SpecLattice::from_leq(N::all(), |a, b| {
+        if a == b || b == N::General {
+            return true;
+        }
+        match (a, b) {
+            (N::Sequential, N::NonDecreasing) => true,
+            (N::St(x), N::NonDecreasing) => {
+                matches!(N::begin_trend(x), Less | Equal)
+            }
+            (N::St(x), N::NonIncreasing) => {
+                matches!(N::begin_trend(x), Greater | Equal)
+            }
+            _ => false,
+        }
+    })
+}
+
+/// The Figure 5 node subset the paper actually draws, for the regeneration
+/// binary: general, the two orderings, sequential, st-/sti-before,
+/// st-meets (contiguous), sti-meets, st-/sti-starts.
+#[must_use]
+pub fn figure5_nodes() -> Vec<InterIntervalNode> {
+    use AllenRelation as R;
+    vec![
+        InterIntervalNode::General,
+        InterIntervalNode::St(R::Starts),
+        InterIntervalNode::St(R::StartedBy),
+        InterIntervalNode::NonDecreasing,
+        InterIntervalNode::NonIncreasing,
+        InterIntervalNode::St(R::Before),
+        InterIntervalNode::St(R::Meets),
+        InterIntervalNode::St(R::After),
+        InterIntervalNode::St(R::MetBy),
+        InterIntervalNode::Sequential,
+    ]
+}
+
+/// Renders a lattice's Hasse diagram in Graphviz DOT syntax (edges point
+/// from specialization to generalization; lay out with `rankdir=BT` to
+/// match the paper's figures top-down).
+#[must_use]
+pub fn render_dot<T: Copy + Eq + fmt::Debug + fmt::Display>(
+    lattice: &SpecLattice<T>,
+    title: &str,
+) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for node in lattice.nodes() {
+        let _ = writeln!(out, "  \"{node}\";");
+    }
+    for (child, parent) in lattice.hasse_edges() {
+        let _ = writeln!(out, "  \"{child}\" -> \"{parent}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a lattice's Hasse diagram as indented text (most general first),
+/// used by reports and the figure binaries.
+#[must_use]
+pub fn render_hasse<T: Copy + Eq + fmt::Debug + fmt::Display + Ord>(
+    lattice: &SpecLattice<T>,
+) -> String {
+    let mut out = String::new();
+    let edges = lattice.hasse_edges();
+    let tops = lattice.tops();
+    let mut printed: BTreeSet<T> = BTreeSet::new();
+    fn walk<T: Copy + Eq + fmt::Display + Ord>(
+        node: T,
+        depth: usize,
+        edges: &[(T, T)],
+        printed: &mut BTreeSet<T>,
+        out: &mut String,
+    ) {
+        use fmt::Write as _;
+        let _ = writeln!(out, "{}{}", "  ".repeat(depth), node);
+        if !printed.insert(node) {
+            return;
+        }
+        let mut children: Vec<T> = edges
+            .iter()
+            .filter(|(_, p)| *p == node)
+            .map(|(c, _)| *c)
+            .collect();
+        children.sort();
+        for c in children {
+            walk(c, depth + 1, edges, printed, out);
+        }
+    }
+    for top in tops {
+        walk(top, 0, &edges, &mut printed, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn derived_event_lattice_matches_paper_figure_2() {
+        let lattice = event_lattice();
+        let derived: BTreeSet<(EventSpecKind, EventSpecKind)> =
+            lattice.hasse_edges().into_iter().collect();
+        let paper: BTreeSet<(EventSpecKind, EventSpecKind)> =
+            paper_figure2_edges().into_iter().collect();
+        let missing: Vec<_> = paper.difference(&derived).collect();
+        let extra: Vec<_> = derived.difference(&paper).collect();
+        assert!(
+            missing.is_empty() && extra.is_empty(),
+            "figure 2 mismatch; missing from derivation: {missing:?}; not in paper: {extra:?}"
+        );
+    }
+
+    #[test]
+    fn event_lattice_top_is_general() {
+        let lattice = event_lattice();
+        assert_eq!(lattice.tops(), vec![EventSpecKind::General]);
+    }
+
+    #[test]
+    fn degenerate_inherits_all_bounded_properties() {
+        // "a relation type inherits all the properties of its predecessor
+        // relation types": degenerate is below both strong chains.
+        let lattice = event_lattice();
+        let ancestors: BTreeSet<_> = lattice
+            .ancestors(EventSpecKind::Degenerate)
+            .into_iter()
+            .collect();
+        for kind in [
+            EventSpecKind::StronglyRetroactivelyBounded,
+            EventSpecKind::StronglyPredictivelyBounded,
+            EventSpecKind::StronglyBounded,
+            EventSpecKind::Retroactive,
+            EventSpecKind::Predictive,
+            EventSpecKind::RetroactivelyBounded,
+            EventSpecKind::PredictivelyBounded,
+            EventSpecKind::General,
+        ] {
+            assert!(ancestors.contains(&kind), "degenerate should inherit {kind}");
+        }
+        // But not the delayed/early chains (degenerate admits offset 0).
+        assert!(!ancestors.contains(&EventSpecKind::DelayedRetroactive));
+        assert!(!ancestors.contains(&EventSpecKind::EarlyPredictive));
+    }
+
+    #[test]
+    fn least_common_generalizations_example() {
+        let lattice = event_lattice();
+        // Retroactive ∨ predictive: the minimal common ancestors.
+        let lcg = lattice.least_common_generalizations(
+            EventSpecKind::Retroactive,
+            EventSpecKind::Predictive,
+        );
+        // retroactive ≤ {predBounded, general}; predictive ≤
+        // {retroBounded, general}; the only common upper bound is general.
+        assert_eq!(lcg, vec![EventSpecKind::General]);
+        // Degenerate ∨ delayed retroactive: retroactive is the join.
+        let lcg2 = lattice.least_common_generalizations(
+            EventSpecKind::Degenerate,
+            EventSpecKind::DelayedRetroactive,
+        );
+        assert_eq!(lcg2, vec![EventSpecKind::Retroactive]);
+    }
+
+    #[test]
+    fn ordering_lattice_structure() {
+        let lattice = ordering_lattice();
+        let edges: BTreeSet<_> = lattice
+            .hasse_edges()
+            .into_iter()
+            .map(|(a, b)| (a.name(), b.name()))
+            .collect();
+        let expect: BTreeSet<_> = [
+            ("globally non-decreasing", "general"),
+            ("globally non-increasing", "general"),
+            ("globally sequential", "globally non-decreasing"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(edges, expect);
+    }
+
+    #[test]
+    fn regularity_lattice_structure() {
+        let lattice = regularity_lattice();
+        use RegularityNode as N;
+        // Figure 4's edges.
+        assert!(lattice.is_specialization_of(N::TemporalRegular, N::TtRegular));
+        assert!(lattice.is_specialization_of(N::TemporalRegular, N::VtRegular));
+        assert!(lattice.is_specialization_of(N::StrictTtRegular, N::TtRegular));
+        assert!(lattice.is_specialization_of(N::StrictTemporalRegular, N::StrictVtRegular));
+        assert!(lattice.is_specialization_of(N::StrictTemporalRegular, N::TemporalRegular));
+        // Non-edges.
+        assert!(!lattice.is_specialization_of(N::TtRegular, N::VtRegular));
+        assert!(!lattice.is_specialization_of(N::StrictTtRegular, N::StrictVtRegular));
+        assert!(!lattice.is_specialization_of(N::StrictTtRegular, N::TemporalRegular));
+        // Hasse parents of strict temporal: strict tt, strict vt, temporal.
+        let parents: BTreeSet<_> = lattice
+            .parents(N::StrictTemporalRegular)
+            .into_iter()
+            .map(|n| n.name())
+            .collect();
+        assert_eq!(parents.len(), 3);
+        assert!(parents.contains("temporal event regular"));
+    }
+
+    #[test]
+    fn interinterval_lattice_structure() {
+        use AllenRelation as R;
+        use InterIntervalNode as N;
+        let lattice = interinterval_lattice();
+        // st-before and contiguous (st-meets) specialize non-decreasing.
+        assert!(lattice.is_specialization_of(N::St(R::Before), N::NonDecreasing));
+        assert!(lattice.is_specialization_of(N::St(R::Meets), N::NonDecreasing));
+        // sti-before and sti-meets specialize non-increasing.
+        assert!(lattice.is_specialization_of(N::St(R::After), N::NonIncreasing));
+        assert!(lattice.is_specialization_of(N::St(R::MetBy), N::NonIncreasing));
+        // st-starts pins the begins: below both orderings.
+        assert!(lattice.is_specialization_of(N::St(R::Starts), N::NonDecreasing));
+        assert!(lattice.is_specialization_of(N::St(R::Starts), N::NonIncreasing));
+        // sequential is below non-decreasing only.
+        assert!(lattice.is_specialization_of(N::Sequential, N::NonDecreasing));
+        assert!(!lattice.is_specialization_of(N::Sequential, N::NonIncreasing));
+        // sequential incomparable with st-before (see doc comment).
+        assert!(!lattice.is_specialization_of(N::Sequential, N::St(R::Before)));
+        assert!(!lattice.is_specialization_of(N::St(R::Before), N::Sequential));
+        // distinct st-X incomparable.
+        assert!(!lattice.is_specialization_of(N::St(R::Before), N::St(R::Meets)));
+    }
+
+    #[test]
+    fn interinterval_begin_trend_matches_allen_semantics() {
+        use tempora_time::{Interval, Timestamp};
+        // For every Allen relation, construct a witness pair and confirm the
+        // begin comparison used by the lattice.
+        let b = Interval::new(Timestamp::from_secs(10), Timestamp::from_secs(20)).unwrap();
+        let witnesses: Vec<Interval> = vec![
+            Interval::new(Timestamp::from_secs(0), Timestamp::from_secs(5)).unwrap(),
+            Interval::new(Timestamp::from_secs(0), Timestamp::from_secs(10)).unwrap(),
+            Interval::new(Timestamp::from_secs(5), Timestamp::from_secs(15)).unwrap(),
+            Interval::new(Timestamp::from_secs(5), Timestamp::from_secs(20)).unwrap(),
+            Interval::new(Timestamp::from_secs(5), Timestamp::from_secs(25)).unwrap(),
+            Interval::new(Timestamp::from_secs(10), Timestamp::from_secs(15)).unwrap(),
+            Interval::new(Timestamp::from_secs(10), Timestamp::from_secs(20)).unwrap(),
+            Interval::new(Timestamp::from_secs(10), Timestamp::from_secs(25)).unwrap(),
+            Interval::new(Timestamp::from_secs(12), Timestamp::from_secs(18)).unwrap(),
+            Interval::new(Timestamp::from_secs(15), Timestamp::from_secs(20)).unwrap(),
+            Interval::new(Timestamp::from_secs(15), Timestamp::from_secs(25)).unwrap(),
+            Interval::new(Timestamp::from_secs(20), Timestamp::from_secs(30)).unwrap(),
+            Interval::new(Timestamp::from_secs(25), Timestamp::from_secs(30)).unwrap(),
+        ];
+        for a in witnesses {
+            let r = AllenRelation::relate(a, b);
+            assert_eq!(
+                InterIntervalNode::begin_trend(r),
+                a.begin().cmp(&b.begin()),
+                "begin trend of {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn hasse_edges_are_covers() {
+        // No Hasse edge may be implied by a two-step path.
+        let lattice = event_lattice();
+        let edges = lattice.hasse_edges();
+        for &(c, p) in &edges {
+            for &mid in lattice.nodes() {
+                if mid != c && mid != p {
+                    assert!(
+                        !(lattice.is_specialization_of(c, mid)
+                            && lattice.is_specialization_of(mid, p)),
+                        "edge {c} → {p} is not a cover (via {mid})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_hasse_mentions_every_node() {
+        let rendering = render_hasse(&event_lattice());
+        for kind in EventSpecKind::ALL {
+            assert!(rendering.contains(kind.name()), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn render_dot_emits_all_nodes_and_edges() {
+        let lattice = event_lattice();
+        let dot = render_dot(&lattice, "figure-2");
+        assert!(dot.starts_with("digraph \"figure-2\""));
+        for kind in EventSpecKind::ALL {
+            assert!(dot.contains(&format!("\"{}\"", kind.name())), "missing {kind}");
+        }
+        assert_eq!(
+            dot.matches(" -> ").count(),
+            lattice.hasse_edges().len(),
+            "one DOT edge per Hasse edge"
+        );
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a lattice node")]
+    fn unknown_node_panics() {
+        let lattice = ordering_lattice();
+        // Build a second lattice with fewer nodes and query a foreign node.
+        let small = SpecLattice::from_leq(vec![OrderingNode::General], |_, _| true);
+        let _ = lattice.is_specialization_of(OrderingNode::General, OrderingNode::Sequential);
+        let _ = small.is_specialization_of(OrderingNode::Sequential, OrderingNode::General);
+    }
+}

@@ -1,0 +1,60 @@
+//! # tempora-core — the temporal specialization taxonomy
+//!
+//! This crate is the primary contribution of the reproduced paper:
+//! *C. S. Jensen & R. T. Snodgrass, "Temporal Specialization", ICDE 1992.*
+//!
+//! A bitemporal relation associates each fact with a **valid time** (`vt`,
+//! when the fact is true in the modeled reality) and a **transaction time**
+//! (`tt`, when the fact is stored in the database). In general the two are
+//! independent; in many applications they interact in restricted ways, and
+//! declaring those restrictions — *temporal specializations* — captures
+//! semantics a DBMS can exploit.
+//!
+//! The crate is organized around the paper's four sub-taxonomies:
+//!
+//! * [`spec::event`] — restrictions on isolated, event-stamped elements
+//!   (§3.1): retroactive, predictive, bounded, degenerate, … Each denotes a
+//!   region of the `(tt, vt)` plane; the [`region`] module gives those
+//!   regions an exact algebra (membership, intersection, subsumption,
+//!   enumeration) from which the taxonomy's lattice and completeness theorem
+//!   are *derived*, not transcribed.
+//! * [`spec::interevent`] — restrictions across event-stamped elements
+//!   (§3.2): orderings (sequential / non-decreasing / non-increasing) and
+//!   regularity (transaction-time / valid-time / temporal event regular,
+//!   strict variants).
+//! * [`spec::interval`] — restrictions on isolated interval-stamped elements
+//!   (§3.3): event specializations applied to the interval endpoints, and
+//!   interval regularity.
+//! * [`spec::interinterval`] — restrictions across interval-stamped elements
+//!   (§3.4): *successive transaction time X* for each of Allen's thirteen
+//!   relations, contiguity, orderings, sequentiality.
+//!
+//! On top of the taxonomy sit:
+//!
+//! * [`schema`] — relation schemas declaring specializations (per relation
+//!   or per partition, §3's "per surrogate partitioning");
+//! * [`constraint`] — an incremental constraint engine that enforces
+//!   declared specializations on insert/delete/modify;
+//! * [`inference`] — the reverse direction: inferring the strongest
+//!   specializations an extension satisfies (used by the design advisor);
+//! * [`lattice`] — the generalization/specialization structures of the
+//!   paper's Figures 2, 3, 4 and 5, machine-checked against the region
+//!   algebra and against implication testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod element;
+mod error;
+pub mod inference;
+pub mod lattice;
+pub mod region;
+pub mod schema;
+pub mod spec;
+mod value;
+
+pub use element::{Element, ElementId, ObjectId, ValidTime};
+pub use error::{CoreError, Violation};
+pub use schema::{Basis, RelationSchema, SchemaBuilder, Stamping, TtReference};
+pub use value::{AttrName, Value};

@@ -1,0 +1,691 @@
+//! Relation schemas with declared temporal specializations.
+//!
+//! "All the definitions of relation types in this section are intensional
+//! definitions, i.e., for a relation schema to have a particular type, all
+//! its possible (non-empty) extensions must satisfy the definition of the
+//! type" (§3). A [`RelationSchema`] is that declaration: the designer picks
+//! the specializations during database design ("This taxonomy may be
+//! employed during database design to specify the particular time semantics
+//! of temporal relations", abstract), and the constraint engine
+//! ([`crate::constraint`]) enforces them on every update.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempora_time::Granularity;
+
+use crate::error::CoreError;
+use crate::region::OffsetBand;
+use crate::spec::determined::DeterminedSpec;
+use crate::spec::event::EventSpec;
+use crate::spec::interevent::OrderingSpec;
+use crate::spec::interinterval::SuccessionSpec;
+use crate::spec::interval::IntervalEndpointSpec;
+use crate::spec::interval::IntervalRegularitySpec;
+use crate::spec::regularity::EventRegularitySpec;
+use crate::value::AttrName;
+
+/// Whether a relation's elements are event- or interval-stamped in valid
+/// time (§2: a valid time-stamp is "interval or event").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stamping {
+    /// Single-instant valid times (§3.1/§3.2 taxonomies apply).
+    Event,
+    /// Interval valid times (§3.3/§3.4 taxonomies apply).
+    Interval,
+}
+
+impl fmt::Display for Stamping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stamping::Event => "event",
+            Stamping::Interval => "interval",
+        })
+    }
+}
+
+/// Which transaction time an isolated-element specialization references.
+///
+/// §3.1: "Each property … is relative to one of these two times. For
+/// example, it is possible for a relation to be deletion retroactive but
+/// not insertion retroactive." A property declared for both references is
+/// the paper's *modification* variant ("if a relation is, say, deletion
+/// retroactive and insertion retroactive, it can also be considered
+/// modification retroactive") — declare the spec twice, once per reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TtReference {
+    /// The property constrains `tt_b` (checked when the element is stored).
+    Insertion,
+    /// The property constrains `tt_d` (checked when the element is
+    /// logically deleted).
+    Deletion,
+}
+
+impl fmt::Display for TtReference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TtReference::Insertion => "insertion",
+            TtReference::Deletion => "deletion",
+        })
+    }
+}
+
+/// The basis on which an inter-element specialization applies (§3: "Just as
+/// the specializations may be applied to an entire relation, i.e., on a
+/// *per relation* basis, they may be applied in turn to each partition of a
+/// relation, i.e., on a *per partition* basis").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Basis {
+    /// The property holds across the whole relation ("global").
+    PerRelation,
+    /// The property holds within each object surrogate's partition — "the
+    /// most useful partitioning is the per surrogate partitioning" (§3).
+    PerObject,
+}
+
+impl fmt::Display for Basis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Basis::PerRelation => "per relation",
+            Basis::PerObject => "per surrogate",
+        })
+    }
+}
+
+/// An attribute declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name.
+    pub name: AttrName,
+    /// Whether the attribute is time-varying (§2 distinguishes
+    /// time-invariant values such as a social security number from
+    /// time-varying values such as a salary).
+    pub time_varying: bool,
+}
+
+/// A relation schema: stamping kind, granularity, attributes, and the
+/// declared temporal specializations.
+///
+/// Construct with [`SchemaBuilder`]; a built schema is immutable and cheap
+/// to share (wrap in [`Arc`]).
+#[derive(Debug, Clone)]
+pub struct RelationSchema {
+    name: String,
+    stamping: Stamping,
+    granularity: Granularity,
+    attrs: Vec<AttrDef>,
+    key: Vec<AttrName>,
+    event_specs: Vec<(EventSpec, TtReference)>,
+    endpoint_specs: Vec<(IntervalEndpointSpec, TtReference)>,
+    determined: Option<DeterminedSpec>,
+    orderings: Vec<(OrderingSpec, Basis)>,
+    event_regularities: Vec<(EventRegularitySpec, Basis)>,
+    interval_regularities: Vec<IntervalRegularitySpec>,
+    successions: Vec<(SuccessionSpec, Basis)>,
+    vt_pattern: Option<crate::spec::periodicity::PeriodicPattern>,
+}
+
+impl RelationSchema {
+    /// Starts building a schema.
+    #[must_use]
+    pub fn builder(name: &str, stamping: Stamping) -> SchemaBuilder {
+        SchemaBuilder::new(name, stamping)
+    }
+
+    /// The relation name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Event or interval stamping.
+    #[must_use]
+    pub fn stamping(&self) -> Stamping {
+        self.stamping
+    }
+
+    /// The valid time-stamp granularity.
+    #[must_use]
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Declared attributes.
+    #[must_use]
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// The time-invariant key attributes (§2: "the time-invariant key …
+    /// although it resembles the object surrogate, is still necessary").
+    #[must_use]
+    pub fn key(&self) -> &[AttrName] {
+        &self.key
+    }
+
+    /// Isolated-event specializations (event-stamped relations).
+    #[must_use]
+    pub fn event_specs(&self) -> &[(EventSpec, TtReference)] {
+        &self.event_specs
+    }
+
+    /// Endpoint specializations (interval-stamped relations).
+    #[must_use]
+    pub fn endpoint_specs(&self) -> &[(IntervalEndpointSpec, TtReference)] {
+        &self.endpoint_specs
+    }
+
+    /// The determined specialization, if declared.
+    #[must_use]
+    pub fn determined(&self) -> Option<&DeterminedSpec> {
+        self.determined.as_ref()
+    }
+
+    /// Inter-event orderings.
+    #[must_use]
+    pub fn orderings(&self) -> &[(OrderingSpec, Basis)] {
+        &self.orderings
+    }
+
+    /// Event regularities.
+    #[must_use]
+    pub fn event_regularities(&self) -> &[(EventRegularitySpec, Basis)] {
+        &self.event_regularities
+    }
+
+    /// Interval regularities (per-element, so no basis).
+    #[must_use]
+    pub fn interval_regularities(&self) -> &[IntervalRegularitySpec] {
+        &self.interval_regularities
+    }
+
+    /// Inter-interval successions.
+    #[must_use]
+    pub fn successions(&self) -> &[(SuccessionSpec, Basis)] {
+        &self.successions
+    }
+
+    /// The periodic valid-time pattern, if declared (§3.2's periodicity,
+    /// e.g. "true from 2 to 4 p.m. during weekdays").
+    #[must_use]
+    pub fn vt_pattern(&self) -> Option<&crate::spec::periodicity::PeriodicPattern> {
+        self.vt_pattern.as_ref()
+    }
+
+    /// The conservative offset band every *insertion-referenced* element-
+    /// level constraint guarantees: the intersection of the declared specs'
+    /// conservative bands. For interval relations the band constrains the
+    /// endpoint named by each endpoint spec; this method intersects the
+    /// `Both`-endpoint and begin-endpoint constraints, which is what the
+    /// tt-proxy query planner needs (it brackets `vt⁻ − tt`).
+    ///
+    /// Returns [`OffsetBand::FULL`] when nothing is declared — the general
+    /// relation.
+    #[must_use]
+    pub fn insertion_band(&self) -> OffsetBand {
+        let mut band = OffsetBand::FULL;
+        for (spec, tt_ref) in &self.event_specs {
+            if *tt_ref == TtReference::Insertion {
+                band = band.intersect(spec.conservative_band());
+            }
+        }
+        for (spec, tt_ref) in &self.endpoint_specs {
+            if *tt_ref == TtReference::Insertion
+                && matches!(
+                    spec.endpoint,
+                    crate::spec::interval::Endpoint::Begin | crate::spec::interval::Endpoint::Both
+                )
+            {
+                band = band.intersect(spec.spec.conservative_band());
+            }
+        }
+        band
+    }
+
+    /// Whether the relation is declared degenerate (at its granularity) —
+    /// the strongest storage hint: "a degenerate temporal relation can be
+    /// advantageously treated as a rollback relation" (§3.1).
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.event_specs
+            .iter()
+            .any(|(s, r)| *r == TtReference::Insertion && *s == EventSpec::Degenerate)
+    }
+
+    /// Whether the relation is declared globally sequential on insertion —
+    /// the append-only storage hint: "valid time can be approximated with
+    /// transaction time, yielding an append-only relation" (§3.2).
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.orderings
+            .iter()
+            .any(|(s, b)| *s == OrderingSpec::GloballySequential && *b == Basis::PerRelation)
+            || self
+                .successions
+                .iter()
+                .any(|(s, b)| *s == SuccessionSpec::GloballySequential && *b == Basis::PerRelation)
+    }
+
+    /// Whether elements arrive in non-decreasing valid-time order
+    /// (relation-wide) — enables binary search on insertion order for
+    /// valid-time queries.
+    #[must_use]
+    pub fn is_vt_ordered(&self) -> bool {
+        self.is_sequential()
+            || self
+                .orderings
+                .iter()
+                .any(|(s, b)| *s == OrderingSpec::GloballyNonDecreasing && *b == Basis::PerRelation)
+            || self.successions.iter().any(|(s, b)| {
+                *s == SuccessionSpec::GloballyNonDecreasing && *b == Basis::PerRelation
+            })
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "relation {} ({} stamped, {} granularity)",
+            self.name, self.stamping, self.granularity
+        )?;
+        for (s, r) in &self.event_specs {
+            writeln!(f, "  {s} [{r}]")?;
+        }
+        for (s, r) in &self.endpoint_specs {
+            writeln!(f, "  {s} [{r}]")?;
+        }
+        if let Some(d) = &self.determined {
+            writeln!(f, "  {d}")?;
+        }
+        for (s, b) in &self.orderings {
+            writeln!(f, "  {s} [{b}]")?;
+        }
+        for (s, b) in &self.event_regularities {
+            writeln!(f, "  {s} [{b}]")?;
+        }
+        for s in &self.interval_regularities {
+            writeln!(f, "  {s}")?;
+        }
+        for (s, b) in &self.successions {
+            writeln!(f, "  {s} [{b}]")?;
+        }
+        if let Some(p) = &self.vt_pattern {
+            writeln!(f, "  periodic pattern {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RelationSchema`]; [`SchemaBuilder::build`] validates the
+/// declarations' mutual consistency and parameter preconditions.
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    inner: RelationSchema,
+}
+
+impl SchemaBuilder {
+    /// Starts a builder for a relation of the given stamping kind at
+    /// microsecond granularity.
+    #[must_use]
+    pub fn new(name: &str, stamping: Stamping) -> Self {
+        SchemaBuilder {
+            inner: RelationSchema {
+                name: name.to_string(),
+                stamping,
+                granularity: Granularity::Microsecond,
+                attrs: Vec::new(),
+                key: Vec::new(),
+                event_specs: Vec::new(),
+                endpoint_specs: Vec::new(),
+                determined: None,
+                orderings: Vec::new(),
+                event_regularities: Vec::new(),
+                interval_regularities: Vec::new(),
+                successions: Vec::new(),
+                vt_pattern: None,
+            },
+        }
+    }
+
+    /// Sets the valid time-stamp granularity.
+    #[must_use]
+    pub fn granularity(mut self, g: Granularity) -> Self {
+        self.inner.granularity = g;
+        self
+    }
+
+    /// Declares an attribute.
+    #[must_use]
+    pub fn attr(mut self, name: &str, time_varying: bool) -> Self {
+        self.inner.attrs.push(AttrDef {
+            name: AttrName::new(name),
+            time_varying,
+        });
+        self
+    }
+
+    /// Declares a time-invariant key attribute (also added as an
+    /// attribute if not declared).
+    #[must_use]
+    pub fn key_attr(mut self, name: &str) -> Self {
+        let attr = AttrName::new(name);
+        if !self.inner.attrs.iter().any(|a| a.name == attr) {
+            self.inner.attrs.push(AttrDef {
+                name: attr.clone(),
+                time_varying: false,
+            });
+        }
+        self.inner.key.push(attr);
+        self
+    }
+
+    /// Declares an isolated-event specialization referencing `tt_b`.
+    #[must_use]
+    pub fn event_spec(self, spec: EventSpec) -> Self {
+        self.event_spec_for(spec, TtReference::Insertion)
+    }
+
+    /// Declares an isolated-event specialization for a chosen transaction-
+    /// time reference.
+    #[must_use]
+    pub fn event_spec_for(mut self, spec: EventSpec, tt_ref: TtReference) -> Self {
+        self.inner.event_specs.push((spec, tt_ref));
+        self
+    }
+
+    /// Declares an endpoint specialization (interval relations),
+    /// referencing `tt_b`.
+    #[must_use]
+    pub fn endpoint_spec(self, spec: IntervalEndpointSpec) -> Self {
+        self.endpoint_spec_for(spec, TtReference::Insertion)
+    }
+
+    /// Declares an endpoint specialization for a chosen transaction-time
+    /// reference.
+    #[must_use]
+    pub fn endpoint_spec_for(mut self, spec: IntervalEndpointSpec, tt_ref: TtReference) -> Self {
+        self.inner.endpoint_specs.push((spec, tt_ref));
+        self
+    }
+
+    /// Declares the relation determined with the given mapping function
+    /// specification.
+    #[must_use]
+    pub fn determined(mut self, spec: DeterminedSpec) -> Self {
+        self.inner.determined = Some(spec);
+        self
+    }
+
+    /// Declares an inter-event ordering.
+    #[must_use]
+    pub fn ordering(mut self, spec: OrderingSpec, basis: Basis) -> Self {
+        self.inner.orderings.push((spec, basis));
+        self
+    }
+
+    /// Declares an event regularity.
+    #[must_use]
+    pub fn event_regularity(mut self, spec: EventRegularitySpec, basis: Basis) -> Self {
+        self.inner.event_regularities.push((spec, basis));
+        self
+    }
+
+    /// Declares an interval regularity.
+    #[must_use]
+    pub fn interval_regularity(mut self, spec: IntervalRegularitySpec) -> Self {
+        self.inner.interval_regularities.push(spec);
+        self
+    }
+
+    /// Declares an inter-interval succession property.
+    #[must_use]
+    pub fn succession(mut self, spec: SuccessionSpec, basis: Basis) -> Self {
+        self.inner.successions.push((spec, basis));
+        self
+    }
+
+    /// Declares a periodic valid-time pattern (§3.2's periodicity):
+    /// events must fall inside it, intervals must be covered by it.
+    #[must_use]
+    pub fn vt_pattern(mut self, pattern: crate::spec::periodicity::PeriodicPattern) -> Self {
+        self.inner.vt_pattern = Some(pattern);
+        self
+    }
+
+    /// Validates and finishes the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchema`] when declarations contradict
+    /// the stamping kind, or [`CoreError::InvalidSpec`] when a
+    /// specialization's parameters violate its preconditions. Also rejects
+    /// combinations whose conjunction is unsatisfiable (empty region),
+    /// since the paper's definitions quantify over non-empty extensions.
+    pub fn build(self) -> Result<Arc<RelationSchema>, CoreError> {
+        let s = self.inner;
+        let schema_err = |reason: String| Err(CoreError::InvalidSchema { reason });
+        match s.stamping {
+            Stamping::Event => {
+                if !s.endpoint_specs.is_empty() {
+                    return schema_err(
+                        "endpoint specializations require an interval-stamped relation"
+                            .to_string(),
+                    );
+                }
+                if !s.interval_regularities.is_empty() {
+                    return schema_err(
+                        "interval regularity requires an interval-stamped relation".to_string(),
+                    );
+                }
+                if !s.successions.is_empty() {
+                    return schema_err(
+                        "inter-interval successions require an interval-stamped relation"
+                            .to_string(),
+                    );
+                }
+            }
+            Stamping::Interval => {
+                if !s.event_specs.is_empty() {
+                    return schema_err(
+                        "isolated-event specializations on an interval relation must name an endpoint (use endpoint_spec)"
+                            .to_string(),
+                    );
+                }
+                if !s.orderings.is_empty() {
+                    return schema_err(
+                        "event orderings apply to event relations (use succession for intervals)"
+                            .to_string(),
+                    );
+                }
+                if !s.event_regularities.is_empty() {
+                    return schema_err(
+                        "event regularity applies to event relations".to_string(),
+                    );
+                }
+                if s.determined.is_some() {
+                    return schema_err(
+                        "determined specializations are defined for event relations".to_string(),
+                    );
+                }
+            }
+        }
+        for (spec, _) in &s.event_specs {
+            spec.validate()?;
+        }
+        for (spec, _) in &s.endpoint_specs {
+            spec.validate()?;
+        }
+        for (spec, _) in &s.event_regularities {
+            spec.validate()?;
+        }
+        for spec in &s.interval_regularities {
+            spec.validate()?;
+        }
+        if let Some(d) = &s.determined {
+            d.constraint().validate()?;
+        }
+        // Unsatisfiable conjunctions (e.g. delayed retroactive ∧ predictive)
+        // admit no element at all; reject them at design time.
+        let band = s.insertion_band();
+        if band.is_empty() {
+            return schema_err(format!(
+                "declared insertion-referenced specializations are jointly unsatisfiable (empty region {band})"
+            ));
+        }
+        Ok(Arc::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::bound::Bound;
+    use crate::spec::interval::Endpoint;
+    use crate::spec::regularity::RegularDimension;
+    use tempora_time::TimeDelta;
+
+    #[test]
+    fn build_monitoring_schema() {
+        let schema = RelationSchema::builder("temperature", Stamping::Event)
+            .granularity(Granularity::Second)
+            .attr("temp", true)
+            .key_attr("sensor")
+            .event_spec(EventSpec::DelayedRetroactive {
+                delay: Bound::secs(30),
+            })
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+            .event_regularity(
+                EventRegularitySpec::new(RegularDimension::TransactionTime, TimeDelta::from_secs(60)),
+                Basis::PerObject,
+            )
+            .build()
+            .unwrap();
+        assert_eq!(schema.name(), "temperature");
+        assert_eq!(schema.stamping(), Stamping::Event);
+        assert_eq!(schema.granularity(), Granularity::Second);
+        assert_eq!(schema.key().len(), 1);
+        assert_eq!(schema.attrs().len(), 2);
+        assert!(!schema.is_degenerate());
+        assert!(!schema.is_sequential());
+    }
+
+    #[test]
+    fn stamping_mismatch_rejected() {
+        // Event specs on interval relation.
+        assert!(matches!(
+            RelationSchema::builder("r", Stamping::Interval)
+                .event_spec(EventSpec::Retroactive)
+                .build(),
+            Err(CoreError::InvalidSchema { .. })
+        ));
+        // Successions on event relation.
+        assert!(RelationSchema::builder("r", Stamping::Event)
+            .succession(SuccessionSpec::GLOBALLY_CONTIGUOUS, Basis::PerRelation)
+            .build()
+            .is_err());
+        // Endpoint specs on event relation.
+        assert!(RelationSchema::builder("r", Stamping::Event)
+            .endpoint_spec(IntervalEndpointSpec::new(
+                Endpoint::Begin,
+                EventSpec::Retroactive
+            ))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(matches!(
+            RelationSchema::builder("r", Stamping::Event)
+                .event_spec(EventSpec::DelayedRetroactive {
+                    delay: Bound::secs(-5)
+                })
+                .build(),
+            Err(CoreError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_rejected() {
+        // Delayed retroactive (vt ≤ tt − 10) ∧ predictive (vt ≥ tt) is
+        // empty.
+        let res = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive {
+                delay: Bound::secs(10),
+            })
+            .event_spec(EventSpec::Predictive)
+            .build();
+        assert!(matches!(res, Err(CoreError::InvalidSchema { .. })));
+    }
+
+    #[test]
+    fn insertion_band_intersects_specs() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .event_spec(EventSpec::RetroactivelyBounded {
+                bound: Bound::secs(60),
+            })
+            .build()
+            .unwrap();
+        let band = schema.insertion_band();
+        assert!(band.contains_offset(0));
+        assert!(band.contains_offset(-60_000_000));
+        assert!(!band.contains_offset(1));
+        assert!(!band.contains_offset(-60_000_001));
+    }
+
+    #[test]
+    fn deletion_reference_does_not_affect_insertion_band() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec_for(EventSpec::Retroactive, TtReference::Deletion)
+            .build()
+            .unwrap();
+        assert_eq!(schema.insertion_band(), OffsetBand::FULL);
+    }
+
+    #[test]
+    fn hints() {
+        let deg = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Degenerate)
+            .build()
+            .unwrap();
+        assert!(deg.is_degenerate());
+        let seq = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerRelation)
+            .build()
+            .unwrap();
+        assert!(seq.is_sequential());
+        assert!(seq.is_vt_ordered());
+        // Per-object sequential does not enable relation-wide ordering.
+        let seq_obj = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerObject)
+            .build()
+            .unwrap();
+        assert!(!seq_obj.is_sequential());
+        assert!(!seq_obj.is_vt_ordered());
+    }
+
+    #[test]
+    fn interval_schema_with_successions() {
+        let schema = RelationSchema::builder("assignments", Stamping::Interval)
+            .endpoint_spec(IntervalEndpointSpec::new(
+                Endpoint::Begin,
+                EventSpec::RetroactivelyBounded {
+                    bound: Bound::months(1),
+                },
+            ))
+            .succession(SuccessionSpec::GLOBALLY_CONTIGUOUS, Basis::PerObject)
+            .interval_regularity(IntervalRegularitySpec::new(
+                crate::spec::interval::IntervalRegularDimension::ValidTime,
+                TimeDelta::from_days(7),
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(schema.successions().len(), 1);
+        assert_eq!(schema.interval_regularities().len(), 1);
+        let shown = schema.to_string();
+        assert!(shown.contains("contiguous"));
+        assert!(shown.contains("vt⁻"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Specialization bounds: fixed or calendric durations.
+//!
+//! §3.1: "this time bound is a *duration* that may be fixed in length
+//! (e.g., 30 seconds, one day) or may be calendric-specific. An example of
+//! the latter is one month, where a month in the Gregorian calendar contains
+//! 28 to 31 days, depending on the date to which the duration is added or
+//! subtracted."
+//!
+//! Fixed bounds participate in the exact region algebra
+//! ([`crate::region::OffsetBand`]); calendric bounds are evaluated
+//! *operationally*, anchored at the element's transaction time, and
+//! contribute a conservative fixed envelope to region reasoning (a calendar
+//! month is always between 28 and 31 days).
+
+use std::fmt;
+
+use tempora_time::{CalendricDuration, TimeDelta, Timestamp};
+
+/// A specialization bound Δt: a fixed-length or calendric duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// A fixed-length duration.
+    Fixed(TimeDelta),
+    /// A calendar-aware duration, applied at the element's transaction
+    /// time.
+    Calendric(CalendricDuration),
+}
+
+impl Bound {
+    /// A fixed bound of whole seconds (convenience).
+    #[must_use]
+    pub const fn secs(s: i64) -> Bound {
+        Bound::Fixed(TimeDelta::from_secs(s))
+    }
+
+    /// A calendric bound of whole months (convenience).
+    #[must_use]
+    pub const fn months(m: i32) -> Bound {
+        Bound::Calendric(CalendricDuration::months(m))
+    }
+
+    /// Whether the bound is non-negative (Δt ≥ 0), the precondition of the
+    /// `*bounded` specializations.
+    #[must_use]
+    pub fn is_non_negative(self) -> bool {
+        match self {
+            Bound::Fixed(d) => !d.is_negative(),
+            Bound::Calendric(c) => c.is_non_negative(),
+        }
+    }
+
+    /// Whether the bound is strictly positive (Δt > 0), the precondition of
+    /// the `delayed`/`early` specializations.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        match self {
+            Bound::Fixed(d) => d.is_positive(),
+            Bound::Calendric(c) => c.is_positive(),
+        }
+    }
+
+    /// The timestamp `anchor + Δt`.
+    #[must_use]
+    pub fn add_to(self, anchor: Timestamp) -> Timestamp {
+        match self {
+            Bound::Fixed(d) => anchor.saturating_add(d),
+            Bound::Calendric(c) => c.add_to(anchor),
+        }
+    }
+
+    /// The timestamp `anchor − Δt`.
+    #[must_use]
+    pub fn sub_from(self, anchor: Timestamp) -> Timestamp {
+        match self {
+            Bound::Fixed(d) => anchor.saturating_sub(d),
+            Bound::Calendric(c) => c.sub_from(anchor),
+        }
+    }
+
+    /// The exact fixed length, if this is a fixed bound.
+    #[must_use]
+    pub fn as_fixed(self) -> Option<TimeDelta> {
+        match self {
+            Bound::Fixed(d) => Some(d),
+            Bound::Calendric(_) => None,
+        }
+    }
+
+    /// A fixed duration guaranteed to be ≥ this bound for every anchor
+    /// (months count 31 days). Used for conservative region envelopes.
+    #[must_use]
+    pub fn fixed_upper_envelope(self) -> TimeDelta {
+        match self {
+            Bound::Fixed(d) => d,
+            Bound::Calendric(c) => TimeDelta::from_days(31 * i64::from(c.months))
+                .saturating_add(TimeDelta::from_days(i64::from(c.days)))
+                .saturating_add(c.rest),
+        }
+    }
+
+    /// A fixed duration guaranteed to be ≤ this bound for every anchor
+    /// (months count 28 days).
+    #[must_use]
+    pub fn fixed_lower_envelope(self) -> TimeDelta {
+        match self {
+            Bound::Fixed(d) => d,
+            Bound::Calendric(c) => TimeDelta::from_days(28 * i64::from(c.months))
+                .saturating_add(TimeDelta::from_days(i64::from(c.days)))
+                .saturating_add(c.rest),
+        }
+    }
+
+    /// Whether another bound is certainly ≥ this one for every anchor.
+    ///
+    /// Exact for fixed/fixed; conservative (envelope-based) when a calendric
+    /// bound is involved.
+    #[must_use]
+    pub fn certainly_at_most(self, other: Bound) -> bool {
+        self.fixed_upper_envelope() <= other.fixed_lower_envelope()
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Fixed(d) => write!(f, "{d}"),
+            Bound::Calendric(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<TimeDelta> for Bound {
+    fn from(d: TimeDelta) -> Self {
+        Bound::Fixed(d)
+    }
+}
+
+impl From<CalendricDuration> for Bound {
+    fn from(c: CalendricDuration) -> Self {
+        Bound::Calendric(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_checks() {
+        assert!(Bound::secs(0).is_non_negative());
+        assert!(!Bound::secs(0).is_positive());
+        assert!(Bound::secs(30).is_positive());
+        assert!(!Bound::secs(-1).is_non_negative());
+        assert!(Bound::months(1).is_positive());
+        assert!(!Bound::months(-1).is_non_negative());
+    }
+
+    #[test]
+    fn arithmetic_fixed() {
+        let b = Bound::secs(30);
+        let t = Timestamp::from_secs(100);
+        assert_eq!(b.add_to(t), Timestamp::from_secs(130));
+        assert_eq!(b.sub_from(t), Timestamp::from_secs(70));
+    }
+
+    #[test]
+    fn arithmetic_calendric_month_lengths() {
+        let b = Bound::months(1);
+        let jan31 = Timestamp::from_date(1993, 1, 31).unwrap();
+        assert_eq!(b.add_to(jan31), Timestamp::from_date(1993, 2, 28).unwrap());
+        let mar31 = Timestamp::from_date(1993, 3, 31).unwrap();
+        assert_eq!(b.sub_from(mar31), Timestamp::from_date(1993, 2, 28).unwrap());
+    }
+
+    #[test]
+    fn envelopes_bracket_reality() {
+        let b = Bound::months(1);
+        let lo = b.fixed_lower_envelope();
+        let hi = b.fixed_upper_envelope();
+        assert_eq!(lo, TimeDelta::from_days(28));
+        assert_eq!(hi, TimeDelta::from_days(31));
+        // Every actual month length is inside the envelope.
+        for m in 1..=12u8 {
+            let anchor = Timestamp::from_date(1993, m, 1).unwrap();
+            let actual = b.add_to(anchor) - anchor;
+            assert!(lo <= actual && actual <= hi, "month {m}");
+        }
+    }
+
+    #[test]
+    fn certainly_at_most() {
+        assert!(Bound::secs(10).certainly_at_most(Bound::secs(10)));
+        assert!(Bound::secs(10).certainly_at_most(Bound::secs(11)));
+        assert!(!Bound::secs(11).certainly_at_most(Bound::secs(10)));
+        // 1 month (≤ 31 d) vs 32 days: certain.
+        assert!(Bound::months(1).certainly_at_most(Bound::Fixed(TimeDelta::from_days(32))));
+        // 1 month vs 30 days: not certain (January is longer).
+        assert!(!Bound::months(1).certainly_at_most(Bound::Fixed(TimeDelta::from_days(30))));
+        // 27 days vs 1 month: certain (every month ≥ 28 d).
+        assert!(Bound::Fixed(TimeDelta::from_days(27)).certainly_at_most(Bound::months(1)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bound::secs(30).to_string(), "30s");
+        assert_eq!(Bound::months(2).to_string(), "2mo");
+    }
+}

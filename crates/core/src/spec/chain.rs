@@ -1,0 +1,220 @@
+//! Transaction-time chains: specializations between interconnected
+//! relations.
+//!
+//! §1 of the paper identifies a third shortcoming of the earlier taxonomy:
+//! "in application systems with multiple, interconnected temporal
+//! relations, multiple time dimensions may be associated with facts as
+//! they flow from one temporal relation to another" — and defers the
+//! treatment to "a later paper". This module is the forward-compatible
+//! hook: the isolated-event region machinery applies *verbatim* to the
+//! pair (upstream transaction time, downstream transaction time), because
+//! the upstream stamp plays exactly the role valid time plays within one
+//! relation — it records when the fact existed in the downstream
+//! relation's "reality" (the upstream database).
+//!
+//! Examples:
+//!
+//! * a data-warehouse relation fed by an operational store is
+//!   *chain-retroactive* (facts are copied after they were stored
+//!   upstream), typically *chain-delayed-retroactive* with the batch
+//!   period as Δt;
+//! * a replica with a freshness SLA is *chain-strongly-retroactively
+//!   bounded* — upstream storage precedes downstream storage by at most
+//!   the SLA.
+
+use std::fmt;
+
+use tempora_time::{Granularity, Timestamp};
+
+use crate::error::CoreError;
+use crate::spec::event::EventSpec;
+
+/// A specialization between an upstream relation's transaction time and a
+/// downstream relation's transaction time for the same flowing fact.
+///
+/// The wrapped [`EventSpec`] is interpreted with the upstream stamp in the
+/// `vt` role and the downstream stamp in the `tt` role, so e.g.
+/// [`EventSpec::Retroactive`] means "stored upstream no later than stored
+/// downstream" — the natural direction of flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChainSpec {
+    /// The interrelationship, in the §3.1 vocabulary.
+    pub spec: EventSpec,
+}
+
+impl ChainSpec {
+    /// Creates a chain specialization.
+    #[must_use]
+    pub const fn new(spec: EventSpec) -> Self {
+        ChainSpec { spec }
+    }
+
+    /// The common warehouse pattern: facts propagate downstream after at
+    /// least `min_lag` and at most `max_lag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] for invalid lag parameters.
+    pub fn propagation(
+        min_lag: crate::spec::bound::Bound,
+        max_lag: crate::spec::bound::Bound,
+    ) -> Result<Self, CoreError> {
+        let spec = if min_lag.is_positive() {
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay: min_lag,
+                max_delay: max_lag,
+            }
+        } else {
+            EventSpec::StronglyRetroactivelyBounded { bound: max_lag }
+        };
+        spec.validate()?;
+        Ok(ChainSpec { spec })
+    }
+
+    /// Validates the wrapped specialization's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] as for [`EventSpec::validate`].
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.spec.validate()
+    }
+
+    /// Checks one flow step: the fact was stored upstream at
+    /// `upstream_tt` and downstream at `downstream_tt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of how the lag violates the chain.
+    pub fn check(
+        &self,
+        upstream_tt: Timestamp,
+        downstream_tt: Timestamp,
+        granularity: Granularity,
+    ) -> Result<(), String> {
+        self.spec
+            .check(upstream_tt, downstream_tt, granularity)
+            .map_err(|d| format!("chain violation (upstream↦downstream): {d}"))
+    }
+
+    /// Boolean form of [`Self::check`].
+    #[must_use]
+    pub fn holds(
+        &self,
+        upstream_tt: Timestamp,
+        downstream_tt: Timestamp,
+        granularity: Granularity,
+    ) -> bool {
+        self.check(upstream_tt, downstream_tt, granularity).is_ok()
+    }
+
+    /// Composes two chain links into the conservative end-to-end chain:
+    /// if A↦B satisfies `self` and B↦C satisfies `next`, the returned
+    /// band contains every possible A↦C lag (band addition, which is
+    /// exact for fixed bounds).
+    #[must_use]
+    pub fn compose_band(&self, next: &ChainSpec) -> crate::region::OffsetBand {
+        let a = self.spec.conservative_band();
+        let b = next.spec.conservative_band();
+        // offsets add: (tt_A − tt_B) + (tt_B − tt_C) = tt_A − tt_C.
+        let lo = match (a.lo, b.lo) {
+            (Some(x), Some(y)) => Some(x.saturating_add(y)),
+            _ => None,
+        };
+        let hi = match (a.hi, b.hi) {
+            (Some(x), Some(y)) => Some(x.saturating_add(y)),
+            _ => None,
+        };
+        crate::region::OffsetBand::new(lo, hi)
+    }
+}
+
+impl fmt::Display for ChainSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chain-{}", self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::bound::Bound;
+    use tempora_time::TimeDelta;
+
+    const G: Granularity = Granularity::Microsecond;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn warehouse_propagation() {
+        // Nightly batch: facts land downstream 1–25 hours after upstream.
+        let chain = ChainSpec::propagation(
+            Bound::Fixed(TimeDelta::from_hours(1)),
+            Bound::Fixed(TimeDelta::from_hours(25)),
+        )
+        .unwrap();
+        let upstream = ts(0);
+        assert!(chain.holds(upstream, ts(3_600), G)); // exactly 1 h later
+        assert!(chain.holds(upstream, ts(24 * 3_600), G));
+        assert!(!chain.holds(upstream, ts(60), G)); // too fast
+        assert!(!chain.holds(upstream, ts(26 * 3_600), G)); // too stale
+        // Flow direction: downstream before upstream is impossible.
+        assert!(!chain.holds(ts(100), ts(50), G));
+    }
+
+    #[test]
+    fn zero_min_lag_uses_bounded_form() {
+        let chain = ChainSpec::propagation(
+            Bound::secs(0),
+            Bound::Fixed(TimeDelta::from_hours(1)),
+        )
+        .unwrap();
+        assert!(matches!(
+            chain.spec,
+            EventSpec::StronglyRetroactivelyBounded { .. }
+        ));
+        assert!(chain.holds(ts(100), ts(100), G)); // synchronous copy OK
+    }
+
+    #[test]
+    fn invalid_lags_rejected() {
+        assert!(ChainSpec::propagation(Bound::secs(10), Bound::secs(5)).is_err());
+        assert!(ChainSpec::new(EventSpec::DelayedRetroactive {
+            delay: Bound::secs(-1)
+        })
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn composition_adds_lags() {
+        // A↦B within [1h, 2h]; B↦C within [30m, 1h] ⇒ A↦C within
+        // [1.5h, 3h] (as offsets: upstream − downstream ∈ [−3h, −1.5h]).
+        let ab = ChainSpec::propagation(
+            Bound::Fixed(TimeDelta::from_hours(1)),
+            Bound::Fixed(TimeDelta::from_hours(2)),
+        )
+        .unwrap();
+        let bc = ChainSpec::propagation(
+            Bound::Fixed(TimeDelta::from_mins(30)),
+            Bound::Fixed(TimeDelta::from_hours(1)),
+        )
+        .unwrap();
+        let band = ab.compose_band(&bc);
+        assert_eq!(band.lo, Some(-(3 * 3_600_000_000_i64)));
+        assert_eq!(band.hi, Some(-(90 * 60_000_000_i64)));
+        // Soundness on a concrete flow.
+        let (a, b, c) = (ts(0), ts(5_400), ts(7_200 + 1_800));
+        assert!(ab.holds(a, b, G));
+        assert!(bc.holds(b, c, G));
+        assert!(band.contains(a, c));
+    }
+
+    #[test]
+    fn display_names_the_pattern() {
+        let chain = ChainSpec::new(EventSpec::Retroactive);
+        assert_eq!(chain.to_string(), "chain-retroactive");
+    }
+}

@@ -1,0 +1,386 @@
+//! Determined temporal relations (§3.1 of the paper).
+//!
+//! "A *mapping function* m for a relation R takes as argument an element e
+//! of a relation and returns a valid time-stamp, computed using any of the
+//! attributes of e, excluding vt_e, but including the surrogate and
+//! transaction time-stamp attributes. A temporal relation R is *determined*
+//! if it has a mapping function that correctly computes the valid
+//! time-stamps of its elements."
+//!
+//! The paper's three sample functions are provided:
+//!
+//! * `m1(e) = tt_b + Δt` — "valid after a fixed delay" ([`FixedDelay`]);
+//! * `m2(e) = ⌊tt_b − Δt⌋_hrs` — "valid from the most recent hour"
+//!   (generalized to any granularity by [`RecentGranule`]);
+//! * `m3(e) = ⌈tt_b⌉_day + 8 hrs` — "valid from the next closest 8:00 a.m."
+//!   ([`NextGranuleOffset`]).
+//!
+//! Plus [`NextBusinessDay`] for the paper's banking example ("deposits that
+//! are not effective until the start of the next business day").
+//!
+//! A determined relation *has a given type if its mapping function obeys
+//! the requirement of the type*: [`DeterminedSpec`] pairs a mapping
+//! function with an [`EventSpec`] and checks both `vt = m(e)` and the
+//! region constraint on `m(e)`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempora_time::{Granularity, TimeDelta, Timestamp};
+
+use crate::element::{Element, ElementId, ObjectId};
+use crate::spec::event::EventSpec;
+use crate::value::Value;
+
+/// The element attributes a mapping function may consult: everything except
+/// the valid time-stamp (§3.1 excludes `vt_e` explicitly).
+#[derive(Debug, Clone, Copy)]
+pub struct MappingInput<'a> {
+    /// The element surrogate.
+    pub id: ElementId,
+    /// The object surrogate.
+    pub object: ObjectId,
+    /// The insertion transaction time `tt_b`.
+    pub tt_begin: Timestamp,
+    /// The attribute values.
+    pub attrs: &'a [(crate::value::AttrName, Value)],
+}
+
+impl<'a> MappingInput<'a> {
+    /// Builds the mapping input view of an element (hiding its valid time).
+    #[must_use]
+    pub fn of(element: &'a Element) -> Self {
+        MappingInput {
+            id: element.id,
+            object: element.object,
+            tt_begin: element.tt_begin,
+            attrs: &element.attrs,
+        }
+    }
+}
+
+/// A valid-time mapping function `m(e)`.
+pub trait MappingFunction: fmt::Debug + Send + Sync {
+    /// Computes the valid time-stamp for an element.
+    fn map(&self, input: MappingInput<'_>) -> Timestamp;
+
+    /// A short human-readable name, used in diagnostics and reports.
+    fn name(&self) -> String;
+}
+
+/// `m1(e) = tt_b + Δt`: valid after a fixed delay (negative Δt gives
+/// "valid a fixed delay *ago*").
+#[derive(Debug, Clone, Copy)]
+pub struct FixedDelay(
+    /// The fixed offset from the insertion transaction time.
+    pub TimeDelta,
+);
+
+impl MappingFunction for FixedDelay {
+    fn map(&self, input: MappingInput<'_>) -> Timestamp {
+        input.tt_begin.saturating_add(self.0)
+    }
+
+    fn name(&self) -> String {
+        format!("tt_b + {}", self.0)
+    }
+}
+
+/// `m2(e) = ⌊tt_b − Δt⌋_g`: valid from the start of the granule containing
+/// `tt_b − Δt`. With `Δt = 0` and `g = Hour` this is the paper's "valid
+/// from the most recent hour".
+#[derive(Debug, Clone, Copy)]
+pub struct RecentGranule {
+    /// Look-back before truncation.
+    pub back: TimeDelta,
+    /// Truncation granularity.
+    pub granularity: Granularity,
+}
+
+impl MappingFunction for RecentGranule {
+    fn map(&self, input: MappingInput<'_>) -> Timestamp {
+        self.granularity
+            .truncate(input.tt_begin.saturating_sub(self.back))
+    }
+
+    fn name(&self) -> String {
+        format!("⌊tt_b − {}⌋_{}", self.back, self.granularity)
+    }
+}
+
+/// `m3(e) = ⌈tt_b⌉_g + offset`: valid from the next granule boundary plus a
+/// fixed offset. With `g = Day` and `offset = 8h` this is the paper's
+/// "valid from the next closest 8:00 a.m.".
+///
+/// "Next closest" is interpreted as the earliest boundary-plus-offset
+/// instant strictly after `tt_b`.
+#[derive(Debug, Clone, Copy)]
+pub struct NextGranuleOffset {
+    /// Boundary granularity.
+    pub granularity: Granularity,
+    /// Offset past the boundary.
+    pub offset: TimeDelta,
+}
+
+impl MappingFunction for NextGranuleOffset {
+    fn map(&self, input: MappingInput<'_>) -> Timestamp {
+        let tt = input.tt_begin;
+        // Candidate in the current granule.
+        let current = self.granularity.truncate(tt).saturating_add(self.offset);
+        if current > tt {
+            return current;
+        }
+        // Otherwise the next granule's instant. Step past the current
+        // granule end; fixed-unit granularities step by the unit, calendric
+        // ones via truncation of a bumped timestamp.
+        let next_granule_start = match self.granularity.fixed_unit() {
+            Some(unit) => self.granularity.truncate(tt).saturating_add(unit),
+            None => {
+                // Months/years: jump to the first microsecond after this
+                // granule by adding just past the maximum granule length.
+                let mut probe = self.granularity.truncate(tt);
+                let bump = TimeDelta::from_days(1);
+                loop {
+                    probe = probe.saturating_add(bump);
+                    let t = self.granularity.truncate(probe);
+                    if t > self.granularity.truncate(tt) {
+                        break t;
+                    }
+                }
+            }
+        };
+        next_granule_start.saturating_add(self.offset)
+    }
+
+    fn name(&self) -> String {
+        format!("next {} + {}", self.granularity, self.offset)
+    }
+}
+
+/// Valid from the start (midnight) of the next business day after `tt_b`
+/// (§3.1's banking-deposit example).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextBusinessDay;
+
+impl MappingFunction for NextBusinessDay {
+    fn map(&self, input: MappingInput<'_>) -> Timestamp {
+        let next = input.tt_begin.date().next_business_day();
+        Timestamp::from_micros(next.days_since_epoch() * 86_400 * 1_000_000)
+    }
+
+    fn name(&self) -> String {
+        "start of next business day".to_string()
+    }
+}
+
+/// A determined specialization: `vt = m(e)`, with `m(e)` additionally
+/// required to satisfy an isolated-event specialization.
+///
+/// §3.1 defines *retroactively determined* (`vt = m(e) ∧ m(e) ≤ tt`),
+/// *predictively determined* (`vt = m(e) ∧ m(e) ≥ tt`), and bounded
+/// variants; here any [`EventSpec`] may be attached (use
+/// [`EventSpec::General`] for plain *determined*).
+#[derive(Clone)]
+pub struct DeterminedSpec {
+    mapping: Arc<dyn MappingFunction>,
+    constraint: EventSpec,
+}
+
+impl DeterminedSpec {
+    /// A determined specialization with no additional region constraint.
+    #[must_use]
+    pub fn new(mapping: Arc<dyn MappingFunction>) -> Self {
+        DeterminedSpec {
+            mapping,
+            constraint: EventSpec::General,
+        }
+    }
+
+    /// Attaches a region constraint that `m(e)` must satisfy (builder
+    /// style), e.g. [`EventSpec::Retroactive`] for *retroactively
+    /// determined*.
+    #[must_use]
+    pub fn with_constraint(mut self, constraint: EventSpec) -> Self {
+        self.constraint = constraint;
+        self
+    }
+
+    /// The attached region constraint.
+    #[must_use]
+    pub fn constraint(&self) -> &EventSpec {
+        &self.constraint
+    }
+
+    /// The mapping function.
+    #[must_use]
+    pub fn mapping(&self) -> &Arc<dyn MappingFunction> {
+        &self.mapping
+    }
+
+    /// Checks `vt = m(e)` and the region constraint on `m(e)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure.
+    pub fn check(
+        &self,
+        element: &Element,
+        vt: Timestamp,
+        granularity: Granularity,
+    ) -> Result<(), String> {
+        let mapped = self.mapping.map(MappingInput::of(element));
+        if vt != mapped {
+            return Err(format!(
+                "vt {} differs from m(e) = {} (m = {})",
+                vt,
+                mapped,
+                self.mapping.name()
+            ));
+        }
+        self.constraint
+            .check(mapped, element.tt_begin, granularity)
+            .map_err(|detail| format!("m(e) violates {}: {detail}", self.constraint))
+    }
+}
+
+impl fmt::Debug for DeterminedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeterminedSpec")
+            .field("mapping", &self.mapping.name())
+            .field("constraint", &self.constraint)
+            .finish()
+    }
+}
+
+impl fmt::Display for DeterminedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "determined (m = {})", self.mapping.name())?;
+        if self.constraint != EventSpec::General {
+            write!(f, " with {}", self.constraint)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn element_at(tt: Timestamp, vt: Timestamp) -> Element {
+        Element::new(ElementId::new(1), ObjectId::new(1), vt, tt)
+    }
+
+    #[test]
+    fn fixed_delay_maps() {
+        let m = FixedDelay(TimeDelta::from_secs(30));
+        let tt = Timestamp::from_secs(100);
+        let e = element_at(tt, tt);
+        assert_eq!(m.map(MappingInput::of(&e)), Timestamp::from_secs(130));
+        assert!(m.name().contains("30s"));
+    }
+
+    #[test]
+    fn recent_granule_maps() {
+        // "valid from the most recent hour"
+        let m = RecentGranule {
+            back: TimeDelta::ZERO,
+            granularity: Granularity::Hour,
+        };
+        let tt: Timestamp = "1992-02-12T09:42:10".parse().unwrap();
+        let e = element_at(tt, tt);
+        assert_eq!(
+            m.map(MappingInput::of(&e)),
+            "1992-02-12T09:00:00".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn next_granule_offset_eight_am() {
+        // "valid from the next closest 8:00 a.m."
+        let m = NextGranuleOffset {
+            granularity: Granularity::Day,
+            offset: TimeDelta::from_hours(8),
+        };
+        // Before 8 a.m.: today's 8 a.m.
+        let early: Timestamp = "1992-02-12T06:00:00".parse().unwrap();
+        let e1 = element_at(early, early);
+        assert_eq!(
+            m.map(MappingInput::of(&e1)),
+            "1992-02-12T08:00:00".parse().unwrap()
+        );
+        // After 8 a.m.: tomorrow's 8 a.m.
+        let late: Timestamp = "1992-02-12T14:00:00".parse().unwrap();
+        let e2 = element_at(late, late);
+        assert_eq!(
+            m.map(MappingInput::of(&e2)),
+            "1992-02-13T08:00:00".parse().unwrap()
+        );
+        // Exactly 8 a.m.: strictly after ⇒ tomorrow.
+        let exact: Timestamp = "1992-02-12T08:00:00".parse().unwrap();
+        let e3 = element_at(exact, exact);
+        assert_eq!(
+            m.map(MappingInput::of(&e3)),
+            "1992-02-13T08:00:00".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn next_business_day_skips_weekend() {
+        let m = NextBusinessDay;
+        // 1992-02-14 was a Friday.
+        let fri: Timestamp = "1992-02-14T15:00:00".parse().unwrap();
+        let e = element_at(fri, fri);
+        assert_eq!(m.map(MappingInput::of(&e)), "1992-02-17".parse().unwrap());
+    }
+
+    #[test]
+    fn determined_check_requires_equality() {
+        let spec = DeterminedSpec::new(Arc::new(FixedDelay(TimeDelta::from_secs(10))));
+        let tt = Timestamp::from_secs(100);
+        let good = element_at(tt, Timestamp::from_secs(110));
+        assert!(spec
+            .check(&good, Timestamp::from_secs(110), Granularity::Microsecond)
+            .is_ok());
+        assert!(spec
+            .check(&good, Timestamp::from_secs(111), Granularity::Microsecond)
+            .is_err());
+    }
+
+    #[test]
+    fn retroactively_determined() {
+        // §3.1: "a relation is retroactively determined if each element is
+        // valid from the beginning of the most recent hour during which it
+        // was stored."
+        let spec = DeterminedSpec::new(Arc::new(RecentGranule {
+            back: TimeDelta::ZERO,
+            granularity: Granularity::Hour,
+        }))
+        .with_constraint(EventSpec::Retroactive);
+        let tt: Timestamp = "1992-02-12T09:42:10".parse().unwrap();
+        let vt: Timestamp = "1992-02-12T09:00:00".parse().unwrap();
+        let e = element_at(tt, vt);
+        assert!(spec.check(&e, vt, Granularity::Microsecond).is_ok());
+    }
+
+    #[test]
+    fn predictively_determined_violation_detected() {
+        // A retroactive constraint on a future-mapping function must fail.
+        let spec = DeterminedSpec::new(Arc::new(FixedDelay(TimeDelta::from_secs(10))))
+            .with_constraint(EventSpec::Retroactive);
+        let tt = Timestamp::from_secs(100);
+        let vt = Timestamp::from_secs(110);
+        let e = element_at(tt, vt);
+        let err = spec.check(&e, vt, Granularity::Microsecond).unwrap_err();
+        assert!(err.contains("retroactive"), "{err}");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let spec = DeterminedSpec::new(Arc::new(NextBusinessDay))
+            .with_constraint(EventSpec::Predictive);
+        let s = spec.to_string();
+        assert!(s.contains("business day"));
+        assert!(s.contains("predictive"));
+        assert!(format!("{spec:?}").contains("DeterminedSpec"));
+    }
+}

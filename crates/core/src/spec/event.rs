@@ -1,0 +1,992 @@
+//! Isolated-event specializations (§3.1 of the paper).
+//!
+//! Each specialization restricts the relationship between the valid
+//! time-stamp `vt` and the transaction time-stamp `tt` of every element in
+//! isolation. The paper defines eleven bounded/one-sided types plus the
+//! *degenerate* relation (`vt = tt` within granularity) and proves the set
+//! complete under its five assumptions (re-derived in
+//! [`crate::region::enumerate_region_families`]).
+//!
+//! Every specialization denotes an offset band `lo ≤ vt − tt ≤ hi` (see
+//! [`crate::region`]); with fixed bounds the band is exact, with calendric
+//! bounds the membership test is evaluated against the calendar at the
+//! element's transaction time.
+
+use std::fmt;
+
+use tempora_time::{Granularity, Timestamp};
+
+use crate::error::CoreError;
+use crate::region::{BoundShape, FamilyShape, OffsetBand};
+use crate::spec::bound::Bound;
+
+/// An isolated-event specialization with its parameters.
+///
+/// ```
+/// use tempora_core::spec::event::EventSpec;
+/// use tempora_core::spec::bound::Bound;
+/// use tempora_time::{Granularity, Timestamp};
+///
+/// // §3.1's chemical-plant example: readings arrive at least 30 s late.
+/// let spec = EventSpec::DelayedRetroactive { delay: Bound::secs(30) };
+/// spec.validate().unwrap();
+///
+/// let tt = Timestamp::from_secs(1_000);
+/// let on_time = Timestamp::from_secs(960);   // 40 s before storage
+/// let too_fresh = Timestamp::from_secs(990); // only 10 s before
+/// assert!(spec.holds(on_time, tt, Granularity::Microsecond));
+/// assert!(!spec.holds(too_fresh, tt, Granularity::Microsecond));
+///
+/// // Every delayed-retroactive relation is retroactive (Figure 2).
+/// assert!(spec.implies(&EventSpec::Retroactive));
+/// ```
+///
+/// Invariants on the Δt parameters follow the paper exactly and are checked
+/// by [`EventSpec::validate`]:
+///
+/// | type | constraint | parameters |
+/// |---|---|---|
+/// | `General` | — | |
+/// | `Retroactive` | `vt ≤ tt` | |
+/// | `DelayedRetroactive` | `vt ≤ tt − Δt` | Δt > 0 |
+/// | `Predictive` | `vt ≥ tt` | |
+/// | `EarlyPredictive` | `vt ≥ tt + Δt` | Δt > 0 |
+/// | `RetroactivelyBounded` | `vt ≥ tt − Δt` | Δt ≥ 0 |
+/// | `StronglyRetroactivelyBounded` | `tt − Δt ≤ vt ≤ tt` | Δt ≥ 0 |
+/// | `DelayedStronglyRetroactivelyBounded` | `tt − Δt₂ ≤ vt ≤ tt − Δt₁` | 0 ≤ Δt₁ < Δt₂ |
+/// | `PredictivelyBounded` | `vt ≤ tt + Δt` | Δt > 0 |
+/// | `StronglyPredictivelyBounded` | `tt ≤ vt ≤ tt + Δt` | Δt > 0 |
+/// | `EarlyStronglyPredictivelyBounded` | `tt + Δt₁ ≤ vt ≤ tt + Δt₂` | 0 < Δt₁ < Δt₂ |
+/// | `StronglyBounded` | `tt − Δt₁ ≤ vt ≤ tt + Δt₂` | Δt₁ ≥ 0, Δt₂ > 0 |
+/// | `Degenerate` | `vt = tt` (within granularity) | |
+///
+/// (In the delayed-strongly case the paper's prose makes Δt₁ the *minimum*
+/// delay and Δt₂ the larger bound: "assignments are recorded at most one
+/// month after they were effective \[Δt₂\] and … at least two days
+/// \[Δt₁\].")
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventSpec {
+    /// No restriction.
+    General,
+    /// Facts are valid no later than they are stored (monitoring).
+    Retroactive,
+    /// Facts are valid at least `delay` before they are stored
+    /// (transmission delays with a known minimum).
+    DelayedRetroactive {
+        /// Minimum storage delay Δt > 0.
+        delay: Bound,
+    },
+    /// Facts are valid no earlier than they are stored (payroll tapes).
+    Predictive,
+    /// Facts are valid at least `lead` after they are stored (early-warning
+    /// systems).
+    EarlyPredictive {
+        /// Minimum lead Δt > 0.
+        lead: Bound,
+    },
+    /// The valid time never trails the transaction time by more than
+    /// `bound` (but may run ahead arbitrarily).
+    RetroactivelyBounded {
+        /// Maximum lateness Δt ≥ 0.
+        bound: Bound,
+    },
+    /// Retroactive *and* retroactively bounded: `tt − Δt ≤ vt ≤ tt`.
+    StronglyRetroactivelyBounded {
+        /// Maximum lateness Δt ≥ 0.
+        bound: Bound,
+    },
+    /// Strongly retroactively bounded with an additional minimum delay:
+    /// `tt − Δt₂ ≤ vt ≤ tt − Δt₁`.
+    DelayedStronglyRetroactivelyBounded {
+        /// Minimum delay Δt₁ ≥ 0.
+        min_delay: Bound,
+        /// Maximum delay Δt₂ > Δt₁.
+        max_delay: Bound,
+    },
+    /// The valid time never leads the transaction time by more than
+    /// `bound` (but may trail arbitrarily) — e.g. pending orders at most 30
+    /// days out.
+    PredictivelyBounded {
+        /// Maximum lead Δt > 0.
+        bound: Bound,
+    },
+    /// Predictive *and* predictively bounded: `tt ≤ vt ≤ tt + Δt`.
+    StronglyPredictivelyBounded {
+        /// Maximum lead Δt > 0.
+        bound: Bound,
+    },
+    /// Strongly predictively bounded with an additional minimum lead:
+    /// `tt + Δt₁ ≤ vt ≤ tt + Δt₂`.
+    EarlyStronglyPredictivelyBounded {
+        /// Minimum lead Δt₁ > 0.
+        min_lead: Bound,
+        /// Maximum lead Δt₂ > Δt₁.
+        max_lead: Bound,
+    },
+    /// The valid time deviates from the transaction time within both a past
+    /// and a future bound — e.g. the current month's accounting relation.
+    StronglyBounded {
+        /// Maximum lateness Δt₁ ≥ 0.
+        past: Bound,
+        /// Maximum lead Δt₂ > 0.
+        future: Bound,
+    },
+    /// Valid and transaction time coincide within the relation's
+    /// granularity (no-delay monitoring; treatable as a rollback relation).
+    Degenerate,
+}
+
+/// The thirteen isolated-event specialization *kinds* (parameters erased),
+/// used as lattice nodes and inference labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventSpecKind {
+    /// See [`EventSpec::General`].
+    General,
+    /// See [`EventSpec::Retroactive`].
+    Retroactive,
+    /// See [`EventSpec::DelayedRetroactive`].
+    DelayedRetroactive,
+    /// See [`EventSpec::Predictive`].
+    Predictive,
+    /// See [`EventSpec::EarlyPredictive`].
+    EarlyPredictive,
+    /// See [`EventSpec::RetroactivelyBounded`].
+    RetroactivelyBounded,
+    /// See [`EventSpec::StronglyRetroactivelyBounded`].
+    StronglyRetroactivelyBounded,
+    /// See [`EventSpec::DelayedStronglyRetroactivelyBounded`].
+    DelayedStronglyRetroactivelyBounded,
+    /// See [`EventSpec::PredictivelyBounded`].
+    PredictivelyBounded,
+    /// See [`EventSpec::StronglyPredictivelyBounded`].
+    StronglyPredictivelyBounded,
+    /// See [`EventSpec::EarlyStronglyPredictivelyBounded`].
+    EarlyStronglyPredictivelyBounded,
+    /// See [`EventSpec::StronglyBounded`].
+    StronglyBounded,
+    /// See [`EventSpec::Degenerate`].
+    Degenerate,
+}
+
+impl EventSpecKind {
+    /// All thirteen kinds, in the paper's presentation order.
+    pub const ALL: [EventSpecKind; 13] = [
+        EventSpecKind::General,
+        EventSpecKind::Retroactive,
+        EventSpecKind::DelayedRetroactive,
+        EventSpecKind::Predictive,
+        EventSpecKind::EarlyPredictive,
+        EventSpecKind::RetroactivelyBounded,
+        EventSpecKind::StronglyRetroactivelyBounded,
+        EventSpecKind::DelayedStronglyRetroactivelyBounded,
+        EventSpecKind::PredictivelyBounded,
+        EventSpecKind::StronglyPredictivelyBounded,
+        EventSpecKind::EarlyStronglyPredictivelyBounded,
+        EventSpecKind::StronglyBounded,
+        EventSpecKind::Degenerate,
+    ];
+
+    /// The band-family shape of this kind (the set of offset bands its
+    /// legal parameter instantiations denote). This drives the derived
+    /// Figure 2 lattice.
+    #[must_use]
+    pub const fn family_shape(self) -> FamilyShape {
+        use BoundShape::{Negative, NonPositive, Positive, Unbounded, Zero};
+        match self {
+            EventSpecKind::General => FamilyShape::new(Unbounded, Unbounded),
+            EventSpecKind::Retroactive => FamilyShape::new(Unbounded, Zero),
+            EventSpecKind::DelayedRetroactive => FamilyShape::new(Unbounded, Negative),
+            EventSpecKind::Predictive => FamilyShape::new(Zero, Unbounded),
+            EventSpecKind::EarlyPredictive => FamilyShape::new(Positive, Unbounded),
+            EventSpecKind::RetroactivelyBounded => FamilyShape::new(NonPositive, Unbounded),
+            EventSpecKind::StronglyRetroactivelyBounded => FamilyShape::new(NonPositive, Zero),
+            EventSpecKind::DelayedStronglyRetroactivelyBounded => {
+                FamilyShape::new(Negative, Negative)
+            }
+            EventSpecKind::PredictivelyBounded => FamilyShape::new(Unbounded, Positive),
+            EventSpecKind::StronglyPredictivelyBounded => FamilyShape::new(Zero, Positive),
+            EventSpecKind::EarlyStronglyPredictivelyBounded => FamilyShape::new(Positive, Positive),
+            EventSpecKind::StronglyBounded => FamilyShape::new(NonPositive, Positive),
+            EventSpecKind::Degenerate => FamilyShape::new(Zero, Zero),
+        }
+    }
+
+    /// The paper's name for this kind.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventSpecKind::General => "general",
+            EventSpecKind::Retroactive => "retroactive",
+            EventSpecKind::DelayedRetroactive => "delayed retroactive",
+            EventSpecKind::Predictive => "predictive",
+            EventSpecKind::EarlyPredictive => "early predictive",
+            EventSpecKind::RetroactivelyBounded => "retroactively bounded",
+            EventSpecKind::StronglyRetroactivelyBounded => "strongly retroactively bounded",
+            EventSpecKind::DelayedStronglyRetroactivelyBounded => {
+                "delayed strongly retroactively bounded"
+            }
+            EventSpecKind::PredictivelyBounded => "predictively bounded",
+            EventSpecKind::StronglyPredictivelyBounded => "strongly predictively bounded",
+            EventSpecKind::EarlyStronglyPredictivelyBounded => {
+                "early strongly predictively bounded"
+            }
+            EventSpecKind::StronglyBounded => "strongly bounded",
+            EventSpecKind::Degenerate => "degenerate",
+        }
+    }
+
+    /// A canonical instantiation with `unit`-sized bounds (two-parameter
+    /// kinds use `unit` and `2·unit`), used by figures and benches.
+    #[must_use]
+    pub fn canonical(self, unit: Bound) -> EventSpec {
+        let double = match unit {
+            Bound::Fixed(d) => Bound::Fixed(d.saturating_mul(2)),
+            Bound::Calendric(c) => Bound::Calendric(tempora_time::CalendricDuration {
+                months: c.months * 2,
+                days: c.days * 2,
+                rest: c.rest.saturating_mul(2),
+            }),
+        };
+        match self {
+            EventSpecKind::General => EventSpec::General,
+            EventSpecKind::Retroactive => EventSpec::Retroactive,
+            EventSpecKind::DelayedRetroactive => EventSpec::DelayedRetroactive { delay: unit },
+            EventSpecKind::Predictive => EventSpec::Predictive,
+            EventSpecKind::EarlyPredictive => EventSpec::EarlyPredictive { lead: unit },
+            EventSpecKind::RetroactivelyBounded => EventSpec::RetroactivelyBounded { bound: unit },
+            EventSpecKind::StronglyRetroactivelyBounded => {
+                EventSpec::StronglyRetroactivelyBounded { bound: unit }
+            }
+            EventSpecKind::DelayedStronglyRetroactivelyBounded => {
+                EventSpec::DelayedStronglyRetroactivelyBounded {
+                    min_delay: unit,
+                    max_delay: double,
+                }
+            }
+            EventSpecKind::PredictivelyBounded => EventSpec::PredictivelyBounded { bound: unit },
+            EventSpecKind::StronglyPredictivelyBounded => {
+                EventSpec::StronglyPredictivelyBounded { bound: unit }
+            }
+            EventSpecKind::EarlyStronglyPredictivelyBounded => {
+                EventSpec::EarlyStronglyPredictivelyBounded {
+                    min_lead: unit,
+                    max_lead: double,
+                }
+            }
+            EventSpecKind::StronglyBounded => EventSpec::StronglyBounded {
+                past: unit,
+                future: double,
+            },
+            EventSpecKind::Degenerate => EventSpec::Degenerate,
+        }
+    }
+}
+
+impl fmt::Display for EventSpecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl EventSpec {
+    /// The parameter-erased kind.
+    #[must_use]
+    pub const fn kind(&self) -> EventSpecKind {
+        match self {
+            EventSpec::General => EventSpecKind::General,
+            EventSpec::Retroactive => EventSpecKind::Retroactive,
+            EventSpec::DelayedRetroactive { .. } => EventSpecKind::DelayedRetroactive,
+            EventSpec::Predictive => EventSpecKind::Predictive,
+            EventSpec::EarlyPredictive { .. } => EventSpecKind::EarlyPredictive,
+            EventSpec::RetroactivelyBounded { .. } => EventSpecKind::RetroactivelyBounded,
+            EventSpec::StronglyRetroactivelyBounded { .. } => {
+                EventSpecKind::StronglyRetroactivelyBounded
+            }
+            EventSpec::DelayedStronglyRetroactivelyBounded { .. } => {
+                EventSpecKind::DelayedStronglyRetroactivelyBounded
+            }
+            EventSpec::PredictivelyBounded { .. } => EventSpecKind::PredictivelyBounded,
+            EventSpec::StronglyPredictivelyBounded { .. } => {
+                EventSpecKind::StronglyPredictivelyBounded
+            }
+            EventSpec::EarlyStronglyPredictivelyBounded { .. } => {
+                EventSpecKind::EarlyStronglyPredictivelyBounded
+            }
+            EventSpec::StronglyBounded { .. } => EventSpecKind::StronglyBounded,
+            EventSpec::Degenerate => EventSpecKind::Degenerate,
+        }
+    }
+
+    /// Validates the parameter preconditions stated in the paper's
+    /// definitions (Δt ≥ 0 or Δt > 0, Δt₁ < Δt₂).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] describing the violated
+    /// precondition.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let invalid = |reason: &str| {
+            Err(CoreError::InvalidSpec {
+                spec: self.to_string(),
+                reason: reason.to_string(),
+            })
+        };
+        match self {
+            EventSpec::General | EventSpec::Retroactive | EventSpec::Predictive
+            | EventSpec::Degenerate => Ok(()),
+            EventSpec::DelayedRetroactive { delay: b }
+            | EventSpec::EarlyPredictive { lead: b }
+            | EventSpec::PredictivelyBounded { bound: b }
+            | EventSpec::StronglyPredictivelyBounded { bound: b } => {
+                if b.is_positive() {
+                    Ok(())
+                } else {
+                    invalid("Δt must be > 0")
+                }
+            }
+            EventSpec::RetroactivelyBounded { bound: b }
+            | EventSpec::StronglyRetroactivelyBounded { bound: b } => {
+                if b.is_non_negative() {
+                    Ok(())
+                } else {
+                    invalid("Δt must be ≥ 0")
+                }
+            }
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => {
+                if !min_delay.is_non_negative() {
+                    invalid("Δt₁ must be ≥ 0")
+                } else if !max_delay.is_positive() {
+                    invalid("Δt₂ must be > 0")
+                } else if !strictly_less(*min_delay, *max_delay) {
+                    invalid("Δt₁ must be < Δt₂ (for every anchor, if calendric)")
+                } else {
+                    Ok(())
+                }
+            }
+            EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+                if !min_lead.is_positive() {
+                    invalid("Δt₁ must be > 0")
+                } else if !strictly_less(*min_lead, *max_lead) {
+                    invalid("Δt₁ must be < Δt₂ (for every anchor, if calendric)")
+                } else {
+                    Ok(())
+                }
+            }
+            EventSpec::StronglyBounded { past, future } => {
+                if !past.is_non_negative() {
+                    invalid("Δt₁ must be ≥ 0")
+                } else if !future.is_positive() {
+                    invalid("Δt₂ must be > 0")
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Checks an isolated stamp pair against this specialization.
+    ///
+    /// `granularity` is the relation's time-stamp granularity; it only
+    /// affects [`EventSpec::Degenerate`], which the paper defines as
+    /// identity "within the selected granularity".
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the failure.
+    pub fn check(
+        &self,
+        vt: Timestamp,
+        tt: Timestamp,
+        granularity: Granularity,
+    ) -> Result<(), String> {
+        match self {
+            EventSpec::General => Ok(()),
+            EventSpec::Retroactive => {
+                if vt <= tt {
+                    Ok(())
+                } else {
+                    Err(format!("vt {vt} exceeds tt {tt}"))
+                }
+            }
+            EventSpec::DelayedRetroactive { delay } => {
+                let limit = delay.sub_from(tt);
+                if vt <= limit {
+                    Ok(())
+                } else {
+                    Err(format!("vt {vt} exceeds tt − Δt = {limit}"))
+                }
+            }
+            EventSpec::Predictive => {
+                if vt >= tt {
+                    Ok(())
+                } else {
+                    Err(format!("vt {vt} precedes tt {tt}"))
+                }
+            }
+            EventSpec::EarlyPredictive { lead } => {
+                let limit = lead.add_to(tt);
+                if vt >= limit {
+                    Ok(())
+                } else {
+                    Err(format!("vt {vt} precedes tt + Δt = {limit}"))
+                }
+            }
+            EventSpec::RetroactivelyBounded { bound } => {
+                let limit = bound.sub_from(tt);
+                if vt >= limit {
+                    Ok(())
+                } else {
+                    Err(format!("vt {vt} precedes tt − Δt = {limit}"))
+                }
+            }
+            EventSpec::StronglyRetroactivelyBounded { bound } => {
+                let lo = bound.sub_from(tt);
+                if vt < lo {
+                    Err(format!("vt {vt} precedes tt − Δt = {lo}"))
+                } else if vt > tt {
+                    Err(format!("vt {vt} exceeds tt {tt}"))
+                } else {
+                    Ok(())
+                }
+            }
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => {
+                let lo = max_delay.sub_from(tt);
+                let hi = min_delay.sub_from(tt);
+                if vt < lo {
+                    Err(format!("vt {vt} precedes tt − Δt₂ = {lo}"))
+                } else if vt > hi {
+                    Err(format!("vt {vt} exceeds tt − Δt₁ = {hi}"))
+                } else {
+                    Ok(())
+                }
+            }
+            EventSpec::PredictivelyBounded { bound } => {
+                let limit = bound.add_to(tt);
+                if vt <= limit {
+                    Ok(())
+                } else {
+                    Err(format!("vt {vt} exceeds tt + Δt = {limit}"))
+                }
+            }
+            EventSpec::StronglyPredictivelyBounded { bound } => {
+                let hi = bound.add_to(tt);
+                if vt < tt {
+                    Err(format!("vt {vt} precedes tt {tt}"))
+                } else if vt > hi {
+                    Err(format!("vt {vt} exceeds tt + Δt = {hi}"))
+                } else {
+                    Ok(())
+                }
+            }
+            EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+                let lo = min_lead.add_to(tt);
+                let hi = max_lead.add_to(tt);
+                if vt < lo {
+                    Err(format!("vt {vt} precedes tt + Δt₁ = {lo}"))
+                } else if vt > hi {
+                    Err(format!("vt {vt} exceeds tt + Δt₂ = {hi}"))
+                } else {
+                    Ok(())
+                }
+            }
+            EventSpec::StronglyBounded { past, future } => {
+                let lo = past.sub_from(tt);
+                let hi = future.add_to(tt);
+                if vt < lo {
+                    Err(format!("vt {vt} precedes tt − Δt₁ = {lo}"))
+                } else if vt > hi {
+                    Err(format!("vt {vt} exceeds tt + Δt₂ = {hi}"))
+                } else {
+                    Ok(())
+                }
+            }
+            EventSpec::Degenerate => {
+                if granularity.same_granule(vt, tt) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "vt {vt} and tt {tt} differ at {granularity} granularity"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Convenience boolean form of [`Self::check`].
+    #[must_use]
+    pub fn holds(&self, vt: Timestamp, tt: Timestamp, granularity: Granularity) -> bool {
+        self.check(vt, tt, granularity).is_ok()
+    }
+
+    /// The exact offset band this instantiation denotes, if all bounds are
+    /// fixed-length. Calendric bounds return `None` (their band depends on
+    /// the anchor date); use [`Self::conservative_band`] for an envelope.
+    ///
+    /// [`EventSpec::Degenerate`]'s band is exact only at microsecond
+    /// granularity; at coarser granularities the degenerate region is not
+    /// an offset band (membership depends on granule alignment), so this
+    /// returns the µs-granularity band `[0, 0]`.
+    #[must_use]
+    pub fn exact_band(&self) -> Option<OffsetBand> {
+        let f = |b: Bound| b.as_fixed().map(|d| d.micros());
+        Some(match self {
+            EventSpec::General => OffsetBand::FULL,
+            EventSpec::Retroactive => OffsetBand::at_most(0),
+            EventSpec::DelayedRetroactive { delay } => OffsetBand::at_most(-f(*delay)?),
+            EventSpec::Predictive => OffsetBand::at_least(0),
+            EventSpec::EarlyPredictive { lead } => OffsetBand::at_least(f(*lead)?),
+            EventSpec::RetroactivelyBounded { bound } => OffsetBand::at_least(-f(*bound)?),
+            EventSpec::StronglyRetroactivelyBounded { bound } => {
+                OffsetBand::new(Some(-f(*bound)?), Some(0))
+            }
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => OffsetBand::new(Some(-f(*max_delay)?), Some(-f(*min_delay)?)),
+            EventSpec::PredictivelyBounded { bound } => OffsetBand::at_most(f(*bound)?),
+            EventSpec::StronglyPredictivelyBounded { bound } => {
+                OffsetBand::new(Some(0), Some(f(*bound)?))
+            }
+            EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+                OffsetBand::new(Some(f(*min_lead)?), Some(f(*max_lead)?))
+            }
+            EventSpec::StronglyBounded { past, future } => {
+                OffsetBand::new(Some(-f(*past)?), Some(f(*future)?))
+            }
+            EventSpec::Degenerate => OffsetBand::ZERO,
+        })
+    }
+
+    /// A band guaranteed to contain every stamp pair this specialization
+    /// admits, regardless of calendric anchoring. Exact when all bounds are
+    /// fixed. Used by the query optimizer for tt-proxy planning.
+    #[must_use]
+    pub fn conservative_band(&self) -> OffsetBand {
+        let up = |b: Bound| b.fixed_upper_envelope().micros();
+        let low = |b: Bound| b.fixed_lower_envelope().micros();
+        match self {
+            EventSpec::General => OffsetBand::FULL,
+            EventSpec::Retroactive => OffsetBand::at_most(0),
+            // vt ≤ tt − Δt; the admitted offsets are at most −min(Δt).
+            EventSpec::DelayedRetroactive { delay } => OffsetBand::at_most(-low(*delay)),
+            EventSpec::Predictive => OffsetBand::at_least(0),
+            EventSpec::EarlyPredictive { lead } => OffsetBand::at_least(low(*lead)),
+            EventSpec::RetroactivelyBounded { bound } => OffsetBand::at_least(-up(*bound)),
+            EventSpec::StronglyRetroactivelyBounded { bound } => {
+                OffsetBand::new(Some(-up(*bound)), Some(0))
+            }
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => OffsetBand::new(Some(-up(*max_delay)), Some(-low(*min_delay))),
+            EventSpec::PredictivelyBounded { bound } => OffsetBand::at_most(up(*bound)),
+            EventSpec::StronglyPredictivelyBounded { bound } => {
+                OffsetBand::new(Some(0), Some(up(*bound)))
+            }
+            EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+                OffsetBand::new(Some(low(*min_lead)), Some(up(*max_lead)))
+            }
+            EventSpec::StronglyBounded { past, future } => {
+                OffsetBand::new(Some(-up(*past)), Some(up(*future)))
+            }
+            EventSpec::Degenerate => OffsetBand::ZERO,
+        }
+    }
+
+    /// Whether every stamp pair admitted by `self` is admitted by `other`
+    /// — instance-level subsumption, decided on exact bands when available
+    /// and conservatively otherwise.
+    ///
+    /// A `true` answer is always sound. With calendric bounds a `false`
+    /// answer may be conservative.
+    #[must_use]
+    pub fn implies(&self, other: &EventSpec) -> bool {
+        match (self.exact_band(), other.exact_band()) {
+            (Some(a), Some(b)) => a.is_subset(b),
+            // Conservative: self's envelope must fit other's *guaranteed*
+            // acceptance region, which for calendric `other` we approximate
+            // by the tightest anchoring.
+            _ => self.conservative_band().is_subset(tightest_band(other)),
+        }
+    }
+}
+
+/// The band `other` is guaranteed to accept regardless of anchoring
+/// (tightest calendric instantiation).
+fn tightest_band(spec: &EventSpec) -> OffsetBand {
+    let up = |b: Bound| b.fixed_upper_envelope().micros();
+    let low = |b: Bound| b.fixed_lower_envelope().micros();
+    match spec {
+        EventSpec::General => OffsetBand::FULL,
+        EventSpec::Retroactive => OffsetBand::at_most(0),
+        EventSpec::DelayedRetroactive { delay } => OffsetBand::at_most(-up(*delay)),
+        EventSpec::Predictive => OffsetBand::at_least(0),
+        EventSpec::EarlyPredictive { lead } => OffsetBand::at_least(up(*lead)),
+        EventSpec::RetroactivelyBounded { bound } => OffsetBand::at_least(-low(*bound)),
+        EventSpec::StronglyRetroactivelyBounded { bound } => {
+            OffsetBand::new(Some(-low(*bound)), Some(0))
+        }
+        EventSpec::DelayedStronglyRetroactivelyBounded {
+            min_delay,
+            max_delay,
+        } => OffsetBand::new(Some(-low(*max_delay)), Some(-up(*min_delay))),
+        EventSpec::PredictivelyBounded { bound } => OffsetBand::at_most(low(*bound)),
+        EventSpec::StronglyPredictivelyBounded { bound } => {
+            OffsetBand::new(Some(0), Some(low(*bound)))
+        }
+        EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+            OffsetBand::new(Some(up(*min_lead)), Some(low(*max_lead)))
+        }
+        EventSpec::StronglyBounded { past, future } => {
+            OffsetBand::new(Some(-low(*past)), Some(low(*future)))
+        }
+        EventSpec::Degenerate => OffsetBand::ZERO,
+    }
+}
+
+/// Whether `a < b` holds for every anchor (exact for fixed bounds,
+/// envelope-based otherwise).
+fn strictly_less(a: Bound, b: Bound) -> bool {
+    match (a, b) {
+        (Bound::Fixed(x), Bound::Fixed(y)) => x < y,
+        _ => a.fixed_upper_envelope() < b.fixed_lower_envelope(),
+    }
+}
+
+impl fmt::Display for EventSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventSpec::DelayedRetroactive { delay } => {
+                write!(f, "delayed retroactive (Δt = {delay})")
+            }
+            EventSpec::EarlyPredictive { lead } => write!(f, "early predictive (Δt = {lead})"),
+            EventSpec::RetroactivelyBounded { bound } => {
+                write!(f, "retroactively bounded (Δt = {bound})")
+            }
+            EventSpec::StronglyRetroactivelyBounded { bound } => {
+                write!(f, "strongly retroactively bounded (Δt = {bound})")
+            }
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => write!(
+                f,
+                "delayed strongly retroactively bounded (Δt₁ = {min_delay}, Δt₂ = {max_delay})"
+            ),
+            EventSpec::PredictivelyBounded { bound } => {
+                write!(f, "predictively bounded (Δt = {bound})")
+            }
+            EventSpec::StronglyPredictivelyBounded { bound } => {
+                write!(f, "strongly predictively bounded (Δt = {bound})")
+            }
+            EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => write!(
+                f,
+                "early strongly predictively bounded (Δt₁ = {min_lead}, Δt₂ = {max_lead})"
+            ),
+            EventSpec::StronglyBounded { past, future } => {
+                write!(f, "strongly bounded (Δt₁ = {past}, Δt₂ = {future})")
+            }
+            other => f.write_str(other.kind().name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_time::TimeDelta;
+
+    const G: Granularity = Granularity::Microsecond;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn retroactive_semantics() {
+        let s = EventSpec::Retroactive;
+        assert!(s.holds(ts(90), ts(100), G));
+        assert!(s.holds(ts(100), ts(100), G));
+        assert!(!s.holds(ts(101), ts(100), G));
+    }
+
+    #[test]
+    fn delayed_retroactive_semantics() {
+        // §3.1 example: sampling delays always exceed 30 seconds.
+        let s = EventSpec::DelayedRetroactive {
+            delay: Bound::secs(30),
+        };
+        assert!(s.holds(ts(70), ts(100), G));
+        assert!(s.holds(ts(69), ts(100), G));
+        assert!(!s.holds(ts(71), ts(100), G));
+        assert!(!s.holds(ts(100), ts(100), G));
+    }
+
+    #[test]
+    fn predictive_semantics() {
+        let s = EventSpec::Predictive;
+        assert!(s.holds(ts(110), ts(100), G));
+        assert!(s.holds(ts(100), ts(100), G));
+        assert!(!s.holds(ts(99), ts(100), G));
+    }
+
+    #[test]
+    fn early_predictive_semantics() {
+        // §3.1 example: the bank needs the tape at least three days ahead.
+        let s = EventSpec::EarlyPredictive {
+            lead: Bound::Fixed(TimeDelta::from_days(3)),
+        };
+        let tt = Timestamp::from_date(1992, 2, 1).unwrap();
+        assert!(s.holds(Timestamp::from_date(1992, 2, 4).unwrap(), tt, G));
+        assert!(s.holds(Timestamp::from_date(1992, 2, 10).unwrap(), tt, G));
+        assert!(!s.holds(Timestamp::from_date(1992, 2, 3).unwrap(), tt, G));
+    }
+
+    #[test]
+    fn retroactively_bounded_allows_future() {
+        // §3.1: "While assignments may be recorded arbitrarily into the
+        // future, an assignment is required to be recorded … no later than
+        // one month after it is effective."
+        let s = EventSpec::RetroactivelyBounded {
+            bound: Bound::months(1),
+        };
+        let tt = Timestamp::from_date(1992, 3, 15).unwrap();
+        assert!(s.holds(Timestamp::from_date(1999, 1, 1).unwrap(), tt, G)); // far future OK
+        assert!(s.holds(Timestamp::from_date(1992, 2, 15).unwrap(), tt, G)); // exactly 1 month late
+        assert!(!s.holds(Timestamp::from_date(1992, 2, 14).unwrap(), tt, G)); // too late
+    }
+
+    #[test]
+    fn strongly_retroactively_bounded() {
+        let s = EventSpec::StronglyRetroactivelyBounded {
+            bound: Bound::secs(10),
+        };
+        assert!(s.holds(ts(95), ts(100), G));
+        assert!(s.holds(ts(100), ts(100), G));
+        assert!(s.holds(ts(90), ts(100), G));
+        assert!(!s.holds(ts(89), ts(100), G));
+        assert!(!s.holds(ts(101), ts(100), G));
+    }
+
+    #[test]
+    fn delayed_strongly_retroactively_bounded() {
+        // §3.1 example: recorded at most one month after effective (Δt₂)
+        // and at least two days after finished (Δt₁).
+        let s = EventSpec::DelayedStronglyRetroactivelyBounded {
+            min_delay: Bound::Fixed(TimeDelta::from_days(2)),
+            max_delay: Bound::months(1),
+        };
+        let tt = Timestamp::from_date(1992, 3, 15).unwrap();
+        assert!(s.holds(Timestamp::from_date(1992, 3, 13).unwrap(), tt, G));
+        assert!(s.holds(Timestamp::from_date(1992, 2, 15).unwrap(), tt, G));
+        assert!(!s.holds(Timestamp::from_date(1992, 3, 14).unwrap(), tt, G)); // < 2 days
+        assert!(!s.holds(Timestamp::from_date(1992, 2, 14).unwrap(), tt, G)); // > 1 month
+    }
+
+    #[test]
+    fn predictively_bounded_allows_past() {
+        // §3.1: pending orders at most 30 days out, past orders unrestricted.
+        let s = EventSpec::PredictivelyBounded {
+            bound: Bound::Fixed(TimeDelta::from_days(30)),
+        };
+        assert!(s.holds(ts(0), ts(1_000_000), G)); // deep past OK
+        let tt = Timestamp::from_date(1992, 1, 1).unwrap();
+        assert!(s.holds(Timestamp::from_date(1992, 1, 31).unwrap(), tt, G));
+        assert!(!s.holds(Timestamp::from_date(1992, 2, 1).unwrap(), tt, G));
+    }
+
+    #[test]
+    fn strongly_bounded() {
+        let s = EventSpec::StronglyBounded {
+            past: Bound::secs(5),
+            future: Bound::secs(10),
+        };
+        assert!(s.holds(ts(95), ts(100), G));
+        assert!(s.holds(ts(110), ts(100), G));
+        assert!(!s.holds(ts(94), ts(100), G));
+        assert!(!s.holds(ts(111), ts(100), G));
+    }
+
+    #[test]
+    fn early_strongly_predictively_bounded() {
+        // §3.1: tape sent at most one week (Δt₂) and at least three days
+        // (Δt₁) before the deposits are effective.
+        let s = EventSpec::EarlyStronglyPredictivelyBounded {
+            min_lead: Bound::Fixed(TimeDelta::from_days(3)),
+            max_lead: Bound::Fixed(TimeDelta::from_days(7)),
+        };
+        let tt = Timestamp::from_date(1992, 1, 25).unwrap();
+        assert!(s.holds(Timestamp::from_date(1992, 1, 28).unwrap(), tt, G));
+        assert!(s.holds(Timestamp::from_date(1992, 2, 1).unwrap(), tt, G));
+        assert!(!s.holds(Timestamp::from_date(1992, 1, 27).unwrap(), tt, G));
+        assert!(!s.holds(Timestamp::from_date(1992, 2, 2).unwrap(), tt, G));
+    }
+
+    #[test]
+    fn degenerate_uses_granularity() {
+        let s = EventSpec::Degenerate;
+        let a = "1992-02-12T09:30:45.000100".parse().unwrap();
+        let b = "1992-02-12T09:30:45.000200".parse().unwrap();
+        assert!(!s.holds(a, b, Granularity::Microsecond));
+        assert!(s.holds(a, b, Granularity::Second));
+        let c = "1992-02-12T09:30:46".parse().unwrap();
+        assert!(!s.holds(a, c, Granularity::Second));
+        assert!(s.holds(a, c, Granularity::Minute));
+    }
+
+    #[test]
+    fn validate_preconditions() {
+        assert!(EventSpec::DelayedRetroactive {
+            delay: Bound::secs(0)
+        }
+        .validate()
+        .is_err());
+        assert!(EventSpec::RetroactivelyBounded {
+            bound: Bound::secs(0)
+        }
+        .validate()
+        .is_ok());
+        assert!(EventSpec::RetroactivelyBounded {
+            bound: Bound::secs(-1)
+        }
+        .validate()
+        .is_err());
+        assert!(EventSpec::DelayedStronglyRetroactivelyBounded {
+            min_delay: Bound::secs(10),
+            max_delay: Bound::secs(10),
+        }
+        .validate()
+        .is_err());
+        assert!(EventSpec::DelayedStronglyRetroactivelyBounded {
+            min_delay: Bound::secs(2),
+            max_delay: Bound::secs(10),
+        }
+        .validate()
+        .is_ok());
+        assert!(EventSpec::EarlyStronglyPredictivelyBounded {
+            min_lead: Bound::secs(0),
+            max_lead: Bound::secs(10),
+        }
+        .validate()
+        .is_err());
+        assert!(EventSpec::StronglyBounded {
+            past: Bound::secs(0),
+            future: Bound::secs(0),
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn exact_band_matches_check_for_fixed_bounds() {
+        // For every kind at a canonical fixed instantiation, band membership
+        // and the operational check must agree on a grid of offsets.
+        for kind in EventSpecKind::ALL {
+            let spec = kind.canonical(Bound::secs(10));
+            spec.validate().unwrap();
+            let band = spec.exact_band().expect("fixed bounds");
+            let tt = ts(1_000);
+            for off_s in -40..=40_i64 {
+                let vt = ts(1_000 + off_s);
+                assert_eq!(
+                    band.contains(vt, tt),
+                    spec.holds(vt, tt, G),
+                    "{spec} at offset {off_s}s"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_band_contains_all_admitted_pairs() {
+        // With calendric bounds, every admitted pair must fall inside the
+        // conservative band.
+        let spec = EventSpec::RetroactivelyBounded {
+            bound: Bound::months(1),
+        };
+        let band = spec.conservative_band();
+        for month in 1..=12u8 {
+            let tt = Timestamp::from_date(1992, month, 15).unwrap();
+            for off_days in -45..=45_i64 {
+                let vt = tt + TimeDelta::from_days(off_days);
+                if spec.holds(vt, tt, G) {
+                    assert!(band.contains(vt, tt), "month {month} off {off_days}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implies_examples() {
+        let deg = EventSpec::Degenerate;
+        let retro = EventSpec::Retroactive;
+        let pred = EventSpec::Predictive;
+        let sb = EventSpec::StronglyBounded {
+            past: Bound::secs(5),
+            future: Bound::secs(5),
+        };
+        assert!(deg.implies(&retro));
+        assert!(deg.implies(&pred));
+        assert!(deg.implies(&sb));
+        assert!(!retro.implies(&pred));
+        assert!(!sb.implies(&retro));
+        assert!(sb.implies(&EventSpec::StronglyBounded {
+            past: Bound::secs(6),
+            future: Bound::secs(5),
+        }));
+        assert!(!sb.implies(&EventSpec::StronglyBounded {
+            past: Bound::secs(4),
+            future: Bound::secs(5),
+        }));
+        // Everything implies general.
+        for kind in EventSpecKind::ALL {
+            assert!(kind.canonical(Bound::secs(3)).implies(&EventSpec::General));
+        }
+    }
+
+    #[test]
+    fn implies_with_calendric_is_sound() {
+        // 27 days fixed implies 1-month bound (every month ≥ 28 days).
+        let tight = EventSpec::StronglyRetroactivelyBounded {
+            bound: Bound::Fixed(TimeDelta::from_days(27)),
+        };
+        let loose = EventSpec::StronglyRetroactivelyBounded {
+            bound: Bound::months(1),
+        };
+        assert!(tight.implies(&loose));
+        // 30 days does NOT certainly imply 1 month (February).
+        let thirty = EventSpec::StronglyRetroactivelyBounded {
+            bound: Bound::Fixed(TimeDelta::from_days(30)),
+        };
+        assert!(!thirty.implies(&loose));
+    }
+
+    #[test]
+    fn kind_round_trips_and_names() {
+        for kind in EventSpecKind::ALL {
+            let spec = kind.canonical(Bound::secs(1));
+            assert_eq!(spec.kind(), kind);
+            assert!(!kind.name().is_empty());
+            assert!(spec.to_string().contains(kind.name().split(' ').next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn family_shapes_match_canonical_bands() {
+        // Each kind's canonical fixed band must be containable by its own
+        // family shape.
+        for kind in EventSpecKind::ALL {
+            let band = kind.canonical(Bound::secs(10)).exact_band().unwrap();
+            assert!(
+                kind.family_shape().has_band_containing(band),
+                "{kind} band {band} outside own family"
+            );
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Inter-event ordering specializations (§3.2, Part I of the paper's
+//! inter-event taxonomy — Figure 3).
+//!
+//! These restrict the *interrelationships* of the time-stamps of distinct
+//! event-stamped elements:
+//!
+//! * **globally sequential** — "each event must occur and be stored before
+//!   the next event occurs or is (predictively) stored":
+//!   `tt_e < tt_e' ⇒ max(tt_e, vt_e) ≤ min(tt_e', vt_e')`;
+//! * **globally non-decreasing** — elements are entered in valid-time order:
+//!   `tt_e < tt_e' ⇒ vt_e ≤ vt_e'`;
+//! * **globally non-increasing** — the archeology relation: as transaction
+//!   time proceeds, recorded facts are valid further and further into the
+//!   past: `tt_e < tt_e' ⇒ vt_e ≥ vt_e'`.
+//!
+//! Each may be applied per relation or per partition (see
+//! [`crate::schema::Basis`]); per-partition ordering does **not** imply the
+//! global ordering (tested).
+
+use std::fmt;
+use std::str::FromStr;
+
+use tempora_time::Timestamp;
+
+/// A `(vt, tt)` stamp pair of an event element, the input to inter-element
+/// checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventStamp {
+    /// Valid time.
+    pub vt: Timestamp,
+    /// Transaction time (the reference chosen by the schema, `tt_b` unless
+    /// stated otherwise — the paper's running assumption).
+    pub tt: Timestamp,
+}
+
+impl EventStamp {
+    /// Creates a stamp pair.
+    #[must_use]
+    pub const fn new(vt: Timestamp, tt: Timestamp) -> Self {
+        EventStamp { vt, tt }
+    }
+}
+
+/// An inter-event ordering specialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderingSpec {
+    /// Events occur and are stored strictly between one another.
+    GloballySequential,
+    /// Elements are entered in non-decreasing valid-time order.
+    GloballyNonDecreasing,
+    /// Elements are entered in non-increasing valid-time order.
+    GloballyNonIncreasing,
+}
+
+impl OrderingSpec {
+    /// All ordering specializations.
+    pub const ALL: [OrderingSpec; 3] = [
+        OrderingSpec::GloballySequential,
+        OrderingSpec::GloballyNonDecreasing,
+        OrderingSpec::GloballyNonIncreasing,
+    ];
+
+    /// The paper's name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            OrderingSpec::GloballySequential => "globally sequential",
+            OrderingSpec::GloballyNonDecreasing => "globally non-decreasing",
+            OrderingSpec::GloballyNonIncreasing => "globally non-increasing",
+        }
+    }
+
+    /// Validates a whole extension (stamps in any order; transaction times
+    /// need not be distinct across partitions, but the definition only
+    /// constrains pairs with `tt_e < tt_e'`).
+    ///
+    /// Runs in `O(n log n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violating pair found, described.
+    pub fn validate_extension(self, stamps: &[EventStamp]) -> Result<(), String> {
+        let mut sorted: Vec<EventStamp> = stamps.to_vec();
+        sorted.sort_by_key(|s| s.tt);
+        let mut checker = OrderingChecker::new(self);
+        for s in &sorted {
+            checker.admit_unchecked_order(*s)?;
+        }
+        Ok(())
+    }
+
+    /// Whether the extension satisfies this ordering.
+    #[must_use]
+    pub fn holds_for(self, stamps: &[EventStamp]) -> bool {
+        self.validate_extension(stamps).is_ok()
+    }
+}
+
+impl fmt::Display for OrderingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for OrderingSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        for spec in OrderingSpec::ALL {
+            if norm == spec.name() || Some(norm.as_str()) == spec.name().strip_prefix("globally ")
+            {
+                return Ok(spec);
+            }
+        }
+        Err(format!("unknown ordering specialization {s:?}"))
+    }
+}
+
+/// Incremental checker for an ordering specialization.
+///
+/// Elements must be admitted in transaction-time order (how a real relation
+/// grows — transaction times are generated monotonically, §2). State is
+/// `O(1)`.
+#[derive(Debug, Clone)]
+pub struct OrderingChecker {
+    spec: OrderingSpec,
+    /// Greatest `max(tt, vt)` over admitted elements (sequential).
+    prefix_max: Option<Timestamp>,
+    /// Valid time of the last admitted element (monotone checks).
+    last_vt: Option<Timestamp>,
+    /// Transaction time of the last admitted element.
+    last_tt: Option<Timestamp>,
+}
+
+impl OrderingChecker {
+    /// A fresh checker.
+    #[must_use]
+    pub fn new(spec: OrderingSpec) -> Self {
+        OrderingChecker {
+            spec,
+            prefix_max: None,
+            last_vt: None,
+            last_tt: None,
+        }
+    }
+
+    /// The specialization being enforced.
+    #[must_use]
+    pub fn spec(&self) -> OrderingSpec {
+        self.spec
+    }
+
+    /// Admits the next element. Elements must arrive in strictly
+    /// increasing transaction-time order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the element violates the ordering (or
+    /// arrives out of transaction-time order).
+    pub fn admit(&mut self, stamp: EventStamp) -> Result<(), String> {
+        if let Some(last) = self.last_tt {
+            if stamp.tt <= last {
+                return Err(format!(
+                    "elements must be admitted in transaction-time order (tt {} after {})",
+                    stamp.tt, last
+                ));
+            }
+        }
+        self.admit_unchecked_order(stamp)
+    }
+
+    /// Admits assuming `tt` order was established by the caller (ties in tt
+    /// allowed — the definitions only constrain strictly ordered pairs, and
+    /// tied elements are skipped for the monotone checks but still update
+    /// state).
+    fn admit_unchecked_order(&mut self, stamp: EventStamp) -> Result<(), String> {
+        let strictly_after = self.last_tt.is_none_or(|last| stamp.tt > last);
+        match self.spec {
+            OrderingSpec::GloballySequential => {
+                if strictly_after {
+                    if let Some(pm) = self.prefix_max {
+                        let lower = stamp.tt.min(stamp.vt);
+                        if pm > lower {
+                            return Err(format!(
+                                "sequentiality broken: an earlier element reaches {pm}, but this element begins at min(tt, vt) = {lower}"
+                            ));
+                        }
+                    }
+                }
+            }
+            OrderingSpec::GloballyNonDecreasing => {
+                if strictly_after {
+                    if let Some(lv) = self.last_vt {
+                        if stamp.vt < lv {
+                            return Err(format!(
+                                "valid times must be non-decreasing: vt {} after vt {}",
+                                stamp.vt, lv
+                            ));
+                        }
+                    }
+                }
+            }
+            OrderingSpec::GloballyNonIncreasing => {
+                if strictly_after {
+                    if let Some(lv) = self.last_vt {
+                        if stamp.vt > lv {
+                            return Err(format!(
+                                "valid times must be non-increasing: vt {} after vt {}",
+                                stamp.vt, lv
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let reach = stamp.tt.max(stamp.vt);
+        self.prefix_max = Some(match self.prefix_max {
+            Some(pm) => pm.max(reach),
+            None => reach,
+        });
+        self.last_vt = Some(stamp.vt);
+        self.last_tt = Some(stamp.tt);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(vt: i64, tt: i64) -> EventStamp {
+        EventStamp::new(Timestamp::from_secs(vt), Timestamp::from_secs(tt))
+    }
+
+    #[test]
+    fn sequential_accepts_interleaved_occur_store() {
+        // occur(5) store(6) occur(7) store(8): each event occurs and is
+        // stored before the next occurs or is stored.
+        let ext = [st(5, 6), st(7, 8)];
+        assert!(OrderingSpec::GloballySequential.holds_for(&ext));
+    }
+
+    #[test]
+    fn sequential_rejects_overlap() {
+        // Second event occurs (vt 5) before the first is stored (tt 6).
+        let ext = [st(5, 6), st(5, 8)];
+        assert!(!OrderingSpec::GloballySequential.holds_for(&ext));
+        // Predictive storage overlapping the next event.
+        let ext2 = [st(10, 2), st(5, 3)];
+        assert!(!OrderingSpec::GloballySequential.holds_for(&ext2));
+    }
+
+    #[test]
+    fn sequential_pairwise_not_just_adjacent() {
+        // Adjacent pairs fine, but element 0 reaches past element 2.
+        let ext = [st(100, 1), st(101, 2), st(3, 4)];
+        assert!(!OrderingSpec::GloballySequential.holds_for(&ext));
+    }
+
+    #[test]
+    fn sequential_equality_boundary() {
+        // max(tt,vt) ≤ min(tt',vt') permits equality.
+        let ext = [st(5, 5), st(5, 6)];
+        assert!(OrderingSpec::GloballySequential.holds_for(&ext));
+    }
+
+    #[test]
+    fn non_decreasing() {
+        assert!(OrderingSpec::GloballyNonDecreasing.holds_for(&[st(1, 1), st(1, 2), st(3, 3)]));
+        assert!(!OrderingSpec::GloballyNonDecreasing.holds_for(&[st(2, 1), st(1, 2)]));
+    }
+
+    #[test]
+    fn non_increasing_archeology() {
+        // §3.2: "an archeological relation that records information about
+        // progressively earlier periods uncovered as excavation proceeds."
+        let dig = [st(-1000, 1), st(-2500, 2), st(-2500, 3), st(-4000, 4)];
+        assert!(OrderingSpec::GloballyNonIncreasing.holds_for(&dig));
+        assert!(!OrderingSpec::GloballyNonIncreasing.holds_for(&[st(-1000, 1), st(-500, 2)]));
+    }
+
+    #[test]
+    fn sequential_stronger_than_non_decreasing() {
+        // §3.2: "Sequentiality is generally a stronger property than
+        // non-decreasing." Random-ish extensions satisfying sequential must
+        // satisfy non-decreasing.
+        let exts = [
+            vec![st(1, 2), st(3, 4), st(5, 6)],
+            vec![st(2, 1), st(4, 3)],
+            vec![st(0, 0), st(0, 1)],
+        ];
+        for ext in exts {
+            if OrderingSpec::GloballySequential.holds_for(&ext) {
+                assert!(OrderingSpec::GloballyNonDecreasing.holds_for(&ext), "{ext:?}");
+            }
+        }
+        // And the converse fails: non-decreasing but not sequential.
+        let nd = [st(5, 1), st(6, 2)];
+        assert!(OrderingSpec::GloballyNonDecreasing.holds_for(&nd));
+        assert!(!OrderingSpec::GloballySequential.holds_for(&nd));
+    }
+
+    #[test]
+    fn validate_extension_order_independent() {
+        let ext = [st(7, 8), st(5, 6)]; // unsorted input
+        assert!(OrderingSpec::GloballySequential.holds_for(&ext));
+    }
+
+    #[test]
+    fn incremental_matches_extension_check() {
+        let ext = [st(1, 1), st(2, 3), st(2, 4), st(9, 10)];
+        for spec in OrderingSpec::ALL {
+            let mut checker = OrderingChecker::new(spec);
+            let mut ok = true;
+            for s in &ext {
+                if checker.admit(*s).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            assert_eq!(ok, spec.holds_for(&ext), "{spec}");
+        }
+    }
+
+    #[test]
+    fn incremental_rejects_out_of_order_tt() {
+        let mut checker = OrderingChecker::new(OrderingSpec::GloballyNonDecreasing);
+        checker.admit(st(1, 10)).unwrap();
+        assert!(checker.admit(st(2, 10)).is_err());
+        assert!(checker.admit(st(2, 9)).is_err());
+    }
+
+    #[test]
+    fn empty_and_singleton_trivially_hold() {
+        for spec in OrderingSpec::ALL {
+            assert!(spec.holds_for(&[]));
+            assert!(spec.holds_for(&[st(42, 7)]));
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(
+            "globally sequential".parse::<OrderingSpec>().unwrap(),
+            OrderingSpec::GloballySequential
+        );
+        assert_eq!(
+            "non-decreasing".parse::<OrderingSpec>().unwrap(),
+            OrderingSpec::GloballyNonDecreasing
+        );
+        assert!("sideways".parse::<OrderingSpec>().is_err());
+    }
+}

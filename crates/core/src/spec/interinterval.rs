@@ -1,0 +1,366 @@
+//! Inter-interval specializations (§3.4 of the paper — Figure 5).
+//!
+//! Restrictions on the interrelationship of multiple interval-stamped
+//! elements:
+//!
+//! * **globally sequential** — "each interval must occur and be stored
+//!   before the next interval commences":
+//!   `tt_e < tt_e' ⇒ max(tt_e, vt⁺_e) ≤ min(tt_e', vt⁻_e')`;
+//! * **globally non-decreasing / non-increasing** — elements entered in
+//!   (reverse) valid-time order (interpreted on the interval begins `vt⁻`,
+//!   matching the paper's weekly-assignment example);
+//! * **successive transaction time X** ([`SuccessionSpec::SuccessiveTt`])
+//!   for each of Allen's thirteen relations X: elements *successive in
+//!   transaction time* have valid intervals related by X. The paper's
+//!   `sti-X` is `st-X⁻¹`. **Globally contiguous** — "the end of one event
+//!   coincides with the start of the next" — is `st-meets`.
+
+use std::fmt;
+
+use tempora_time::{AllenRelation, Interval, Timestamp};
+
+/// A `(valid interval, tt)` stamp of an interval element, the input to
+/// inter-interval checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntervalStamp {
+    /// Valid-time interval `[vt⁻, vt⁺)`.
+    pub valid: Interval,
+    /// Transaction time (the schema's chosen reference, `tt_b` by default).
+    pub tt: Timestamp,
+}
+
+impl IntervalStamp {
+    /// Creates an interval stamp.
+    #[must_use]
+    pub const fn new(valid: Interval, tt: Timestamp) -> Self {
+        IntervalStamp { valid, tt }
+    }
+}
+
+/// An inter-interval specialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuccessionSpec {
+    /// Each interval occurs and is stored before the next commences.
+    GloballySequential,
+    /// Interval begins are non-decreasing in transaction-time order.
+    GloballyNonDecreasing,
+    /// Interval begins are non-increasing in transaction-time order.
+    GloballyNonIncreasing,
+    /// Elements successive in transaction time have valid intervals related
+    /// by the given Allen relation (`st-X`; use `X.inverse()` for the
+    /// paper's `sti-X`).
+    SuccessiveTt(AllenRelation),
+}
+
+impl SuccessionSpec {
+    /// The paper's *globally contiguous* relation: `st-meets`.
+    pub const GLOBALLY_CONTIGUOUS: SuccessionSpec =
+        SuccessionSpec::SuccessiveTt(AllenRelation::Meets);
+
+    /// The paper's name for this specialization.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            SuccessionSpec::GloballySequential => "globally sequential".to_string(),
+            SuccessionSpec::GloballyNonDecreasing => "globally non-decreasing".to_string(),
+            SuccessionSpec::GloballyNonIncreasing => "globally non-increasing".to_string(),
+            SuccessionSpec::SuccessiveTt(AllenRelation::Meets) => {
+                "globally contiguous (st-meets)".to_string()
+            }
+            SuccessionSpec::SuccessiveTt(r) if r.is_inverse() => {
+                format!("sti-{}", r.inverse().name())
+            }
+            SuccessionSpec::SuccessiveTt(r) => format!("st-{}", r.name()),
+        }
+    }
+
+    /// Validates a whole extension (any order; transaction times must be
+    /// distinct, as §2 guarantees within a relation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_extension(self, stamps: &[IntervalStamp]) -> Result<(), String> {
+        let mut sorted: Vec<IntervalStamp> = stamps.to_vec();
+        sorted.sort_by_key(|s| s.tt);
+        for w in sorted.windows(2) {
+            if w[0].tt == w[1].tt {
+                return Err(format!(
+                    "transaction times must be distinct (duplicate {})",
+                    w[0].tt
+                ));
+            }
+        }
+        let mut checker = SuccessionChecker::new(self);
+        for s in &sorted {
+            checker.admit(*s)?;
+        }
+        Ok(())
+    }
+
+    /// Whether the extension satisfies this specialization.
+    #[must_use]
+    pub fn holds_for(self, stamps: &[IntervalStamp]) -> bool {
+        self.validate_extension(stamps).is_ok()
+    }
+}
+
+impl fmt::Display for SuccessionSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Incremental checker for an inter-interval specialization; elements are
+/// admitted in strictly increasing transaction-time order, state is `O(1)`.
+#[derive(Debug, Clone)]
+pub struct SuccessionChecker {
+    spec: SuccessionSpec,
+    last: Option<IntervalStamp>,
+    /// For sequentiality: greatest `max(tt, vt⁺)` over admitted elements.
+    prefix_max: Option<Timestamp>,
+}
+
+impl SuccessionChecker {
+    /// A fresh checker.
+    #[must_use]
+    pub fn new(spec: SuccessionSpec) -> Self {
+        SuccessionChecker {
+            spec,
+            last: None,
+            prefix_max: None,
+        }
+    }
+
+    /// The specialization being enforced.
+    #[must_use]
+    pub fn spec(&self) -> SuccessionSpec {
+        self.spec
+    }
+
+    /// Admits the next element.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the element violates the specialization or
+    /// arrives out of transaction-time order.
+    pub fn admit(&mut self, stamp: IntervalStamp) -> Result<(), String> {
+        if let Some(last) = self.last {
+            if stamp.tt <= last.tt {
+                return Err(format!(
+                    "elements must be admitted in transaction-time order (tt {} after {})",
+                    stamp.tt, last.tt
+                ));
+            }
+            match self.spec {
+                SuccessionSpec::GloballySequential => {
+                    let pm = self.prefix_max.expect("set with last");
+                    let lower = stamp.tt.min(stamp.valid.begin());
+                    if pm > lower {
+                        return Err(format!(
+                            "sequentiality broken: an earlier element reaches {pm}, but this element begins at min(tt, vt⁻) = {lower}"
+                        ));
+                    }
+                }
+                SuccessionSpec::GloballyNonDecreasing => {
+                    if stamp.valid.begin() < last.valid.begin() {
+                        return Err(format!(
+                            "interval begins must be non-decreasing: vt⁻ {} after vt⁻ {}",
+                            stamp.valid.begin(),
+                            last.valid.begin()
+                        ));
+                    }
+                }
+                SuccessionSpec::GloballyNonIncreasing => {
+                    if stamp.valid.begin() > last.valid.begin() {
+                        return Err(format!(
+                            "interval begins must be non-increasing: vt⁻ {} after vt⁻ {}",
+                            stamp.valid.begin(),
+                            last.valid.begin()
+                        ));
+                    }
+                }
+                SuccessionSpec::SuccessiveTt(expect) => {
+                    let actual = AllenRelation::relate(last.valid, stamp.valid);
+                    if actual != expect {
+                        return Err(format!(
+                            "successive intervals {} and {} are related by {actual}, expected {expect}",
+                            last.valid, stamp.valid
+                        ));
+                    }
+                }
+            }
+        }
+        let reach = stamp.tt.max(stamp.valid.end());
+        self.prefix_max = Some(match self.prefix_max {
+            Some(pm) => pm.max(reach),
+            None => reach,
+        });
+        self.last = Some(stamp);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(Timestamp::from_secs(b), Timestamp::from_secs(e)).unwrap()
+    }
+
+    fn st(b: i64, e: i64, tt: i64) -> IntervalStamp {
+        IntervalStamp::new(iv(b, e), Timestamp::from_secs(tt))
+    }
+
+    #[test]
+    fn contiguous_is_st_meets() {
+        // Weekly assignments, each new week meeting the previous.
+        let weeks = [st(0, 7, 1), st(7, 14, 8), st(14, 21, 15)];
+        assert!(SuccessionSpec::GLOBALLY_CONTIGUOUS.holds_for(&weeks));
+        assert!(SuccessionSpec::SuccessiveTt(AllenRelation::Meets).holds_for(&weeks));
+        // A gap breaks contiguity.
+        let gap = [st(0, 7, 1), st(8, 14, 8)];
+        assert!(!SuccessionSpec::GLOBALLY_CONTIGUOUS.holds_for(&gap));
+    }
+
+    #[test]
+    fn sequential_requires_storage_before_next_interval() {
+        // Assignment for next week recorded during the weekend (after the
+        // current interval ends, before the next begins): per the paper,
+        // sequential.
+        let seq = [st(0, 7, 7), st(8, 15, 8)]; // wait — tt 8 = vt⁻ 8 boundary
+        assert!(SuccessionSpec::GloballySequential.holds_for(&seq));
+        // Recording next week on Thursday (inside the current week):
+        // NOT sequential (tt 4 < vt⁺ 7 of the first interval is fine, but
+        // the first element reaches to 7 while the second begins at
+        // min(tt=4, vt⁻=7) = 4).
+        let thursday = [st(0, 7, 4), st(7, 14, 5)];
+        assert!(!SuccessionSpec::GloballySequential.holds_for(&thursday));
+    }
+
+    #[test]
+    fn thursday_recording_is_non_decreasing() {
+        // The paper: recording each Thursday the *next* week's assignment
+        // makes the relation (per surrogate) non-decreasing but not
+        // sequential — the recording falls inside the current week's valid
+        // interval.
+        let thursday = [st(7, 14, 4), st(14, 21, 11), st(21, 28, 18)];
+        assert!(SuccessionSpec::GloballyNonDecreasing.holds_for(&thursday));
+        assert!(!SuccessionSpec::GloballySequential.holds_for(&thursday));
+    }
+
+    #[test]
+    fn non_increasing_reverse_entry() {
+        let digs = [st(100, 200, 1), st(50, 150, 2), st(0, 60, 3)];
+        assert!(SuccessionSpec::GloballyNonIncreasing.holds_for(&digs));
+        assert!(!SuccessionSpec::GloballyNonDecreasing.holds_for(&digs));
+    }
+
+    #[test]
+    fn successive_tt_overlaps() {
+        // "the property successive transaction time overlaps requires that
+        // intervals that are adjacent in transaction time overlap in valid
+        // time, ensuring that the next element began before the previous
+        // one completed."
+        let shifts = [st(0, 10, 1), st(5, 15, 2), st(12, 22, 3)];
+        assert!(SuccessionSpec::SuccessiveTt(AllenRelation::Overlaps).holds_for(&shifts));
+        let disjoint = [st(0, 10, 1), st(20, 30, 2)];
+        assert!(!SuccessionSpec::SuccessiveTt(AllenRelation::Overlaps).holds_for(&disjoint));
+    }
+
+    #[test]
+    fn sti_is_inverse_relation() {
+        // sti-before: each successive interval lies strictly *before* its
+        // predecessor in valid time.
+        let spec = SuccessionSpec::SuccessiveTt(AllenRelation::Before.inverse());
+        assert_eq!(spec.name(), "sti-before");
+        let rev = [st(100, 110, 1), st(50, 60, 2), st(0, 10, 3)];
+        assert!(spec.holds_for(&rev));
+        assert!(!spec.holds_for(&[st(0, 10, 1), st(50, 60, 2)]));
+    }
+
+    #[test]
+    fn st_before_implies_non_decreasing_and_sequential_is_stronger() {
+        let runs = [st(0, 5, 6), st(10, 15, 16), st(20, 25, 26)];
+        assert!(SuccessionSpec::SuccessiveTt(AllenRelation::Before).holds_for(&runs));
+        assert!(SuccessionSpec::GloballyNonDecreasing.holds_for(&runs));
+        assert!(SuccessionSpec::GloballySequential.holds_for(&runs));
+        // st-before with predictive storage of the *next* interval before
+        // the previous completes is NOT sequential.
+        let predictive = [st(0, 5, 1), st(10, 15, 2)];
+        assert!(SuccessionSpec::SuccessiveTt(AllenRelation::Before).holds_for(&predictive));
+        assert!(!SuccessionSpec::GloballySequential.holds_for(&predictive));
+    }
+
+    #[test]
+    fn sequential_pairwise_not_just_adjacent() {
+        // Adjacent pairs OK but the first reaches past the third.
+        let ext = [st(0, 100, 1), st(100, 101, 2), st(101, 102, 3)];
+        // Pairwise: element 0 reaches max(1, 100) = 100; element 2 begins at
+        // min(3, 101) = 3 < 100 ⇒ not sequential.
+        assert!(!SuccessionSpec::GloballySequential.holds_for(&ext));
+    }
+
+    #[test]
+    fn duplicate_tt_rejected() {
+        let dup = [st(0, 5, 1), st(5, 10, 1)];
+        assert!(SuccessionSpec::GloballyNonDecreasing
+            .validate_extension(&dup)
+            .is_err());
+    }
+
+    #[test]
+    fn incremental_matches_extension() {
+        let ext = [st(0, 7, 1), st(7, 14, 8), st(3, 9, 15)];
+        for spec in [
+            SuccessionSpec::GloballySequential,
+            SuccessionSpec::GloballyNonDecreasing,
+            SuccessionSpec::GloballyNonIncreasing,
+            SuccessionSpec::GLOBALLY_CONTIGUOUS,
+            SuccessionSpec::SuccessiveTt(AllenRelation::Overlaps),
+        ] {
+            let mut checker = SuccessionChecker::new(spec);
+            let mut ok = true;
+            for s in &ext {
+                if checker.admit(*s).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            assert_eq!(ok, spec.holds_for(&ext), "{spec}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_hold() {
+        for spec in [
+            SuccessionSpec::GloballySequential,
+            SuccessionSpec::GLOBALLY_CONTIGUOUS,
+            SuccessionSpec::SuccessiveTt(AllenRelation::During),
+        ] {
+            assert!(spec.holds_for(&[]));
+            assert!(spec.holds_for(&[st(0, 5, 1)]));
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(
+            SuccessionSpec::SuccessiveTt(AllenRelation::Before).name(),
+            "st-before"
+        );
+        assert_eq!(
+            SuccessionSpec::SuccessiveTt(AllenRelation::After).name(),
+            "sti-before"
+        );
+        assert_eq!(
+            SuccessionSpec::SuccessiveTt(AllenRelation::Meets).name(),
+            "globally contiguous (st-meets)"
+        );
+        assert_eq!(
+            SuccessionSpec::SuccessiveTt(AllenRelation::Equals).name(),
+            "st-equal"
+        );
+    }
+}

@@ -1,0 +1,404 @@
+//! Isolated-interval specializations (§3.3 of the paper).
+//!
+//! For interval-stamped relations the valid time is `[vt⁻, vt⁺)` and the
+//! element's transaction times are `tt_b` (insertion) and `tt_d` (deletion).
+//!
+//! * "The previous characterizations of events may also be applied to
+//!   either vt⁻ or vt⁺" — [`IntervalEndpointSpec`] attaches any
+//!   [`EventSpec`] to an endpoint (or both; a relation that is, say,
+//!   vt⁻-retroactive *and* vt⁺-retroactive "may simply be termed
+//!   retroactive").
+//! * Interval regularity ([`IntervalRegularitySpec`]): the *durations* of
+//!   transaction-time intervals, valid-time intervals, or both are integral
+//!   multiples of a unit; the strict variants fix the multiple at one
+//!   (all intervals the same length).
+
+use std::fmt;
+
+use tempora_time::{Granularity, Interval, TimeDelta, Timestamp};
+
+use crate::error::CoreError;
+use crate::spec::event::EventSpec;
+
+/// Which valid-time endpoint an event specialization applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The interval begin `vt⁻`.
+    Begin,
+    /// The interval end `vt⁺`.
+    End,
+    /// Both endpoints (the paper's shorthand: "vt⁻-retroactive and
+    /// vt⁺-retroactive … may simply be termed retroactive").
+    Both,
+}
+
+impl Endpoint {
+    /// All endpoint selectors.
+    pub const ALL: [Endpoint; 3] = [Endpoint::Begin, Endpoint::End, Endpoint::Both];
+
+    /// Name with the paper's superscript notation.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Endpoint::Begin => "vt⁻",
+            Endpoint::End => "vt⁺",
+            Endpoint::Both => "vt⁻∧vt⁺",
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An event specialization applied to interval endpoints, e.g. the paper's
+/// "vt⁻-retroactive and vt⁺-degenerate" relation for intervals stored as
+/// soon as they terminate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntervalEndpointSpec {
+    /// Which endpoint(s) are constrained.
+    pub endpoint: Endpoint,
+    /// The event specialization applied to the endpoint value(s).
+    pub spec: EventSpec,
+}
+
+impl IntervalEndpointSpec {
+    /// Creates an endpoint specialization.
+    #[must_use]
+    pub const fn new(endpoint: Endpoint, spec: EventSpec) -> Self {
+        IntervalEndpointSpec { endpoint, spec }
+    }
+
+    /// Validates parameters (delegates to the event spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] on bad Δt parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.spec.validate()
+    }
+
+    /// Checks an interval's endpoint(s) against the event specialization at
+    /// transaction time `tt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the failing endpoint.
+    pub fn check(
+        &self,
+        valid: Interval,
+        tt: Timestamp,
+        granularity: Granularity,
+    ) -> Result<(), String> {
+        let check_one = |value: Timestamp, which: &str| {
+            self.spec
+                .check(value, tt, granularity)
+                .map_err(|d| format!("{which}: {d}"))
+        };
+        match self.endpoint {
+            Endpoint::Begin => check_one(valid.begin(), "vt⁻"),
+            Endpoint::End => check_one(valid.end(), "vt⁺"),
+            Endpoint::Both => {
+                check_one(valid.begin(), "vt⁻")?;
+                check_one(valid.end(), "vt⁺")
+            }
+        }
+    }
+
+    /// Boolean form of [`Self::check`].
+    #[must_use]
+    pub fn holds(&self, valid: Interval, tt: Timestamp, granularity: Granularity) -> bool {
+        self.check(valid, tt, granularity).is_ok()
+    }
+}
+
+impl fmt::Display for IntervalEndpointSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.endpoint, self.spec)
+    }
+}
+
+/// Which durations an interval regularity specialization constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntervalRegularDimension {
+    /// Existence-interval durations `tt_d − tt_b`.
+    TransactionTime,
+    /// Valid-interval durations `vt⁺ − vt⁻`.
+    ValidTime,
+    /// Both, with the *same unit* ("the time unit must be identical for
+    /// both transaction and valid time" — the multiples k₁, k₂ may differ).
+    Temporal,
+}
+
+impl IntervalRegularDimension {
+    /// All three dimensions.
+    pub const ALL: [IntervalRegularDimension; 3] = [
+        IntervalRegularDimension::TransactionTime,
+        IntervalRegularDimension::ValidTime,
+        IntervalRegularDimension::Temporal,
+    ];
+}
+
+/// An interval regularity specialization (§3.3).
+///
+/// Example from the paper: "a relation recording new hires and terminations
+/// that observes a company policy that all such hires and terminations be
+/// effective on either the first or the fifteenth of each month" is (close
+/// to) valid time interval regular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntervalRegularitySpec {
+    /// Constrained duration dimension(s).
+    pub dimension: IntervalRegularDimension,
+    /// The time unit Δt > 0.
+    pub unit: TimeDelta,
+    /// Strict variant: every constrained duration is exactly Δt (k = 1).
+    pub strict: bool,
+}
+
+impl IntervalRegularitySpec {
+    /// A non-strict interval regularity spec.
+    #[must_use]
+    pub const fn new(dimension: IntervalRegularDimension, unit: TimeDelta) -> Self {
+        IntervalRegularitySpec {
+            dimension,
+            unit,
+            strict: false,
+        }
+    }
+
+    /// The strict variant.
+    #[must_use]
+    pub const fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Validates the unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if the unit is not positive.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.unit.is_positive() {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidSpec {
+                spec: self.to_string(),
+                reason: "regularity unit must be positive".to_string(),
+            })
+        }
+    }
+
+    /// Checks one element's durations.
+    ///
+    /// `existence` is `Some` once the element has been logically deleted;
+    /// transaction-duration constraints on still-current elements are
+    /// vacuous (they are enforced at deletion time by the constraint
+    /// engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated duration constraint.
+    pub fn check(&self, valid: Interval, existence: Option<Interval>) -> Result<(), String> {
+        let check_duration = |d: TimeDelta, dim: &str| {
+            if self.strict {
+                if d == self.unit {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{dim} interval duration {d} must be exactly Δt = {}",
+                        self.unit
+                    ))
+                }
+            } else if d.rem_euclid(self.unit).is_zero() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{dim} interval duration {d} is not a multiple of Δt = {}",
+                    self.unit
+                ))
+            }
+        };
+        match self.dimension {
+            IntervalRegularDimension::ValidTime => check_duration(valid.duration(), "valid"),
+            IntervalRegularDimension::TransactionTime => match existence {
+                Some(ex) => check_duration(ex.duration(), "transaction"),
+                None => Ok(()),
+            },
+            IntervalRegularDimension::Temporal => {
+                check_duration(valid.duration(), "valid")?;
+                match existence {
+                    Some(ex) => check_duration(ex.duration(), "transaction"),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Boolean form of [`Self::check`].
+    #[must_use]
+    pub fn holds(&self, valid: Interval, existence: Option<Interval>) -> bool {
+        self.check(valid, existence).is_ok()
+    }
+
+    /// The paper's name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let dim = match self.dimension {
+            IntervalRegularDimension::TransactionTime => "transaction time interval regular",
+            IntervalRegularDimension::ValidTime => "valid time interval regular",
+            IntervalRegularDimension::Temporal => "temporal interval regular",
+        };
+        if self.strict {
+            format!("strict {dim}")
+        } else {
+            dim.to_string()
+        }
+    }
+}
+
+impl fmt::Display for IntervalRegularitySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (Δt = {})", self.name(), self.unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::bound::Bound;
+
+    const G: Granularity = Granularity::Microsecond;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(Timestamp::from_secs(b), Timestamp::from_secs(e)).unwrap()
+    }
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn endpoint_retroactive_on_end_means_stored_after_termination() {
+        // "if an interval is stored as soon as it terminates, a designer may
+        // state that the interval relation is vt⁻-retroactive and
+        // vt⁺-degenerate."
+        let begin_retro = IntervalEndpointSpec::new(Endpoint::Begin, EventSpec::Retroactive);
+        let end_degen = IntervalEndpointSpec::new(Endpoint::End, EventSpec::Degenerate);
+        let valid = iv(10, 20);
+        let tt = ts(20); // stored exactly at termination
+        assert!(begin_retro.holds(valid, tt, G));
+        assert!(end_degen.holds(valid, tt, G));
+        let tt_late = ts(25);
+        assert!(begin_retro.holds(valid, tt_late, G));
+        assert!(!end_degen.holds(valid, tt_late, G));
+    }
+
+    #[test]
+    fn both_endpoints_is_plain_retroactive() {
+        let retro = IntervalEndpointSpec::new(Endpoint::Both, EventSpec::Retroactive);
+        assert!(retro.holds(iv(0, 10), ts(10), G));
+        assert!(retro.holds(iv(0, 10), ts(15), G));
+        // End in the future of tt ⇒ not (fully) retroactive.
+        assert!(!retro.holds(iv(0, 10), ts(5), G));
+        let err = retro.check(iv(0, 10), ts(5), G).unwrap_err();
+        assert!(err.contains("vt⁺"), "{err}");
+    }
+
+    #[test]
+    fn predictive_begin_allows_future_assignments() {
+        // Weekly assignments recorded before the week starts.
+        let s = IntervalEndpointSpec::new(Endpoint::Begin, EventSpec::Predictive);
+        assert!(s.holds(iv(100, 200), ts(50), G));
+        assert!(!s.holds(iv(100, 200), ts(150), G));
+    }
+
+    #[test]
+    fn endpoint_validate_delegates() {
+        let bad = IntervalEndpointSpec::new(
+            Endpoint::Begin,
+            EventSpec::DelayedRetroactive {
+                delay: Bound::secs(0),
+            },
+        );
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn vt_interval_regular_multiples() {
+        let spec = IntervalRegularitySpec::new(
+            IntervalRegularDimension::ValidTime,
+            TimeDelta::from_secs(10),
+        );
+        assert!(spec.holds(iv(0, 10), None));
+        assert!(spec.holds(iv(5, 35), None)); // 30 s = 3 × 10 s
+        assert!(!spec.holds(iv(0, 15), None));
+    }
+
+    #[test]
+    fn strict_means_exactly_one_unit() {
+        let spec = IntervalRegularitySpec::new(
+            IntervalRegularDimension::ValidTime,
+            TimeDelta::from_secs(10),
+        )
+        .strict();
+        assert!(spec.holds(iv(0, 10), None));
+        assert!(!spec.holds(iv(0, 20), None)); // k = 2 not allowed
+    }
+
+    #[test]
+    fn tt_interval_regular_deferred_while_current() {
+        let spec = IntervalRegularitySpec::new(
+            IntervalRegularDimension::TransactionTime,
+            TimeDelta::from_secs(10),
+        );
+        // Current element: vacuous.
+        assert!(spec.holds(iv(0, 7), None));
+        // Deleted element: existence duration must be a multiple.
+        assert!(spec.holds(iv(0, 7), Some(iv(100, 120))));
+        assert!(!spec.holds(iv(0, 7), Some(iv(100, 115))));
+    }
+
+    #[test]
+    fn temporal_interval_regular_same_unit_different_multiples() {
+        // "∃k₁ ∃k₂ … the time unit must be identical for both" — the
+        // multiples may differ.
+        let spec = IntervalRegularitySpec::new(
+            IntervalRegularDimension::Temporal,
+            TimeDelta::from_secs(10),
+        );
+        assert!(spec.holds(iv(0, 20), Some(iv(100, 130)))); // k₁ = 3, k₂ = 2
+        assert!(!spec.holds(iv(0, 25), Some(iv(100, 130))));
+        assert!(!spec.holds(iv(0, 20), Some(iv(100, 133))));
+    }
+
+    #[test]
+    fn validate_units() {
+        assert!(IntervalRegularitySpec::new(
+            IntervalRegularDimension::ValidTime,
+            TimeDelta::ZERO
+        )
+        .validate()
+        .is_err());
+        assert!(IntervalRegularitySpec::new(
+            IntervalRegularDimension::ValidTime,
+            TimeDelta::from_secs(1)
+        )
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn names_and_display() {
+        let s = IntervalRegularitySpec::new(
+            IntervalRegularDimension::Temporal,
+            TimeDelta::from_days(7),
+        )
+        .strict();
+        assert_eq!(s.name(), "strict temporal interval regular");
+        let e = IntervalEndpointSpec::new(Endpoint::Begin, EventSpec::Predictive);
+        assert_eq!(e.to_string(), "vt⁻-predictive");
+    }
+}

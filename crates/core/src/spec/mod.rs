@@ -1,0 +1,30 @@
+//! The four sub-taxonomies of temporal specialization (§3 of the paper).
+//!
+//! * [`event`] — isolated, event-stamped elements (§3.1);
+//! * [`determined`] — determined relations and mapping functions (§3.1);
+//! * [`interevent`] — inter-element orderings on event relations (§3.2);
+//! * [`regularity`] — event and interval regularity (§3.2/§3.3);
+//! * [`interval`] — isolated interval-stamped elements (§3.3);
+//! * [`interinterval`] — inter-element restrictions on interval relations
+//!   (§3.4), including *successive transaction time X* for Allen's thirteen
+//!   relations.
+
+pub mod bound;
+pub mod chain;
+pub mod determined;
+pub mod event;
+pub mod interevent;
+pub mod interinterval;
+pub mod interval;
+pub mod periodicity;
+pub mod regularity;
+
+pub use bound::Bound;
+pub use chain::ChainSpec;
+pub use periodicity::PeriodicPattern;
+pub use determined::{DeterminedSpec, MappingFunction};
+pub use event::EventSpec;
+pub use interevent::OrderingSpec;
+pub use interinterval::SuccessionSpec;
+pub use interval::{Endpoint, IntervalEndpointSpec, IntervalRegularitySpec};
+pub use regularity::{EventRegularitySpec, RegularDimension};

@@ -1,0 +1,350 @@
+//! Periodic valid-time patterns.
+//!
+//! §3.2 of the paper distinguishes regularity from *periodicity*, "which
+//! encodes facts such as something is true from 2 to 4 p.m. during
+//! weekdays \[LJ88\]". Regularity constrains pairwise differences;
+//! periodicity constrains each stamp's *calendar position*. This module
+//! supplies the periodicity side so a schema can declare, e.g., that a
+//! trading relation's valid times always fall within exchange hours.
+//!
+//! A [`PeriodicPattern`] is a weekly calendar mask: a set of weekdays plus
+//! a time-of-day window `[from, to)` (possibly wrapping midnight). An
+//! event satisfies the pattern iff its instant lies inside; an interval
+//! iff the pattern fully covers it.
+
+use std::fmt;
+
+use tempora_time::{Granularity, Interval, TimeDelta, Timestamp, Weekday};
+
+use crate::error::CoreError;
+
+/// A weekly periodic pattern: allowed weekdays × a time-of-day window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicPattern {
+    /// Allowed weekdays (Monday-first bitmask, bit 0 = Monday).
+    days: u8,
+    /// Window start, microseconds since midnight.
+    from: i64,
+    /// Window end, microseconds since midnight (exclusive); may be ≤
+    /// `from`, meaning the window wraps past midnight into the *next*
+    /// allowed-day check.
+    to: i64,
+}
+
+const DAY: i64 = 86_400_000_000;
+
+impl PeriodicPattern {
+    /// A pattern allowing the given weekdays between `from` and `to`
+    /// (times of day; `to` exclusive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] for out-of-range times or an
+    /// empty day set / empty window.
+    pub fn new(days: &[Weekday], from: TimeDelta, to: TimeDelta) -> Result<Self, CoreError> {
+        let invalid = |reason: &str| CoreError::InvalidSpec {
+            spec: "periodic pattern".to_string(),
+            reason: reason.to_string(),
+        };
+        if days.is_empty() {
+            return Err(invalid("at least one weekday required"));
+        }
+        let (f, t) = (from.micros(), to.micros());
+        if !(0..DAY).contains(&f) || !(0..=DAY).contains(&t) {
+            return Err(invalid("window bounds must lie within one day"));
+        }
+        if f == t {
+            return Err(invalid("window must be non-empty"));
+        }
+        let mut mask = 0u8;
+        for d in days {
+            mask |= 1
+                << Weekday::ALL
+                    .iter()
+                    .position(|w| w == d)
+                    .expect("weekday enumerable");
+        }
+        Ok(PeriodicPattern {
+            days: mask,
+            from: f,
+            to: t,
+        })
+    }
+
+    /// The classic business-hours pattern: weekdays, 9:00–17:00.
+    ///
+    /// # Panics
+    ///
+    /// Never — the static parameters are valid.
+    #[must_use]
+    pub fn business_hours() -> Self {
+        PeriodicPattern::new(
+            &[
+                Weekday::Monday,
+                Weekday::Tuesday,
+                Weekday::Wednesday,
+                Weekday::Thursday,
+                Weekday::Friday,
+            ],
+            TimeDelta::from_hours(9),
+            TimeDelta::from_hours(17),
+        )
+        .expect("static pattern is valid")
+    }
+
+    /// The paper's §3.2 example: "true from 2 to 4 p.m. during weekdays".
+    ///
+    /// # Panics
+    ///
+    /// Never — the static parameters are valid.
+    #[must_use]
+    pub fn weekday_afternoons() -> Self {
+        PeriodicPattern::new(
+            &[
+                Weekday::Monday,
+                Weekday::Tuesday,
+                Weekday::Wednesday,
+                Weekday::Thursday,
+                Weekday::Friday,
+            ],
+            TimeDelta::from_hours(14),
+            TimeDelta::from_hours(16),
+        )
+        .expect("static pattern is valid")
+    }
+
+    /// The allowed weekdays, Monday-first.
+    #[must_use]
+    pub fn weekdays(&self) -> Vec<Weekday> {
+        Weekday::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.days & (1 << i) != 0)
+            .map(|(_, w)| *w)
+            .collect()
+    }
+
+    /// The time-of-day window `(from, to)` (microsecond offsets from
+    /// midnight; `to ≤ from` means the window wraps midnight).
+    #[must_use]
+    pub fn window(&self) -> (TimeDelta, TimeDelta) {
+        (
+            TimeDelta::from_micros(self.from),
+            TimeDelta::from_micros(self.to),
+        )
+    }
+
+    /// Whether an instant lies inside the pattern.
+    #[must_use]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        let weekday_idx = Weekday::ALL
+            .iter()
+            .position(|w| *w == t.date().weekday())
+            .expect("weekday enumerable");
+        let of_day = t.micros_of_day();
+        if self.from < self.to {
+            self.days & (1 << weekday_idx) != 0 && (self.from..self.to).contains(&of_day)
+        } else {
+            // Wrapping window: tonight's tail belongs to today's mask,
+            // this morning's head to yesterday's mask.
+            let today = self.days & (1 << weekday_idx) != 0 && of_day >= self.from;
+            let yesterday_idx = (weekday_idx + 6) % 7;
+            let yesterday = self.days & (1 << yesterday_idx) != 0 && of_day < self.to;
+            today || yesterday
+        }
+    }
+
+    /// Whether the pattern fully covers an interval (every instant inside).
+    ///
+    /// Decided by scanning day boundaries — intervals longer than the
+    /// window are rejected immediately.
+    #[must_use]
+    pub fn covers(&self, interval: Interval) -> bool {
+        let window_len = if self.from < self.to {
+            self.to - self.from
+        } else {
+            DAY - self.from + self.to
+        };
+        if interval.duration().micros() > window_len {
+            return false;
+        }
+        // Both endpoints (end inclusive-shifted) inside, and no window
+        // boundary strictly between them.
+        let last = interval.end().micros() - 1;
+        if !self.contains(interval.begin()) || !self.contains(Timestamp::from_micros(last)) {
+            return false;
+        }
+        // Same window occurrence: the begin's window must extend past the
+        // interval end.
+        let begin_of_day = interval.begin().micros_of_day();
+        let room = if self.from < self.to {
+            self.to - begin_of_day
+        } else if begin_of_day >= self.from {
+            DAY - begin_of_day + self.to
+        } else {
+            self.to - begin_of_day
+        };
+        interval.duration().micros() <= room
+    }
+
+    /// Checks an instant, with diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the instant is outside the pattern.
+    pub fn check(&self, t: Timestamp, _granularity: Granularity) -> Result<(), String> {
+        if self.contains(t) {
+            Ok(())
+        } else {
+            Err(format!(
+                "{t} ({}) is outside the periodic pattern {self}",
+                t.date().weekday()
+            ))
+        }
+    }
+}
+
+impl fmt::Display for PeriodicPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut days = String::new();
+        for (i, w) in Weekday::ALL.iter().enumerate() {
+            if self.days & (1 << i) != 0 {
+                if !days.is_empty() {
+                    days.push('|');
+                }
+                days.push_str(&w.to_string()[..3]);
+            }
+        }
+        let hm = |micros: i64| {
+            let mins = micros / 60_000_000;
+            format!("{:02}:{:02}", mins / 60, mins % 60)
+        };
+        write!(f, "{days} {}–{}", hm(self.from), hm(self.to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(date: &str, h: i64, m: i64) -> Timestamp {
+        let base: Timestamp = date.parse().unwrap();
+        base + TimeDelta::from_hours(h) + TimeDelta::from_mins(m)
+    }
+
+    #[test]
+    fn weekday_afternoons_matches_paper_example() {
+        let p = PeriodicPattern::weekday_afternoons();
+        // 1992-02-12 was a Wednesday.
+        assert!(p.contains(at("1992-02-12", 14, 0)));
+        assert!(p.contains(at("1992-02-12", 15, 59)));
+        assert!(!p.contains(at("1992-02-12", 16, 0))); // exclusive end
+        assert!(!p.contains(at("1992-02-12", 13, 59)));
+        // 1992-02-15 was a Saturday.
+        assert!(!p.contains(at("1992-02-15", 15, 0)));
+    }
+
+    #[test]
+    fn business_hours_cover_short_meetings() {
+        let p = PeriodicPattern::business_hours();
+        let meeting = Interval::from_len(at("1992-02-12", 10, 0), TimeDelta::from_hours(2)).unwrap();
+        assert!(p.covers(meeting));
+        // Runs past 17:00 → not covered.
+        let late = Interval::from_len(at("1992-02-12", 16, 0), TimeDelta::from_hours(2)).unwrap();
+        assert!(!p.covers(late));
+        // Longer than the whole window.
+        let allday = Interval::from_len(at("1992-02-12", 9, 0), TimeDelta::from_hours(9)).unwrap();
+        assert!(!p.covers(allday));
+    }
+
+    #[test]
+    fn wrapping_window() {
+        // Night shift: 22:00–06:00 on Monday (the tail spills into Tuesday
+        // morning).
+        let p = PeriodicPattern::new(
+            &[Weekday::Monday],
+            TimeDelta::from_hours(22),
+            TimeDelta::from_hours(6),
+        )
+        .unwrap();
+        // 1992-02-10 was a Monday.
+        assert!(p.contains(at("1992-02-10", 23, 0)));
+        assert!(p.contains(at("1992-02-11", 5, 0))); // Tuesday early morning
+        assert!(!p.contains(at("1992-02-11", 7, 0)));
+        assert!(!p.contains(at("1992-02-10", 12, 0)));
+        // Sunday night does not belong to the Monday shift.
+        assert!(!p.contains(at("1992-02-10", 5, 0)));
+    }
+
+    #[test]
+    fn wrapping_cover() {
+        let p = PeriodicPattern::new(
+            &[Weekday::Monday],
+            TimeDelta::from_hours(22),
+            TimeDelta::from_hours(6),
+        )
+        .unwrap();
+        let across_midnight =
+            Interval::from_len(at("1992-02-10", 23, 0), TimeDelta::from_hours(4)).unwrap();
+        assert!(p.covers(across_midnight));
+        let too_early =
+            Interval::from_len(at("1992-02-10", 21, 0), TimeDelta::from_hours(2)).unwrap();
+        assert!(!p.covers(too_early));
+    }
+
+    #[test]
+    fn invalid_patterns_rejected() {
+        assert!(PeriodicPattern::new(&[], TimeDelta::ZERO, TimeDelta::from_hours(1)).is_err());
+        assert!(PeriodicPattern::new(
+            &[Weekday::Monday],
+            TimeDelta::from_hours(25),
+            TimeDelta::from_hours(26)
+        )
+        .is_err());
+        assert!(PeriodicPattern::new(
+            &[Weekday::Monday],
+            TimeDelta::from_hours(9),
+            TimeDelta::from_hours(9)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn check_reports_weekday() {
+        let p = PeriodicPattern::business_hours();
+        let err = p
+            .check(at("1992-02-15", 10, 0), Granularity::Microsecond)
+            .unwrap_err();
+        assert!(err.contains("Saturday"), "{err}");
+    }
+
+    #[test]
+    fn display_compact() {
+        let p = PeriodicPattern::weekday_afternoons();
+        let s = p.to_string();
+        assert!(s.contains("Mon"));
+        assert!(s.contains("14:00"));
+        assert!(s.contains("16:00"));
+    }
+
+    #[test]
+    fn contains_cover_consistency() {
+        // covers(i) implies contains for sampled instants inside i.
+        let p = PeriodicPattern::business_hours();
+        for start_h in 8..18_i64 {
+            for len_h in 1..4_i64 {
+                let iv = Interval::from_len(
+                    at("1992-02-12", start_h, 0),
+                    TimeDelta::from_hours(len_h),
+                )
+                .unwrap();
+                if p.covers(iv) {
+                    for m in (0..len_h * 60).step_by(15) {
+                        let inst = iv.begin() + TimeDelta::from_mins(m);
+                        assert!(p.contains(inst), "{iv} covered but {inst} outside");
+                    }
+                }
+            }
+        }
+    }
+}

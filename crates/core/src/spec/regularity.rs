@@ -1,0 +1,669 @@
+//! Event regularity specializations (§3.2, Part II of the inter-event
+//! taxonomy — Figure 4).
+//!
+//! "Regularity — where transaction time, valid time, or both times occur in
+//! regular intervals — is often encountered in temporal relations."
+//!
+//! * **transaction time event regular** (unit Δt): all pairwise transaction-
+//!   time differences are integral multiples of Δt — the paper's
+//!   *synchronous method* of recording (periodic sampling);
+//! * **valid time event regular**: same for valid times — this also
+//!   expresses valid-time granularity ("if the valid time-stamp granularity
+//!   is one second then, equivalently, the relation is valid time event
+//!   regular with time unit one second");
+//! * **temporal event regular**: *the same multiple* `k` relates each pair
+//!   in both dimensions ("Note that the same values of k must satisfy both
+//!   transaction and valid time");
+//! * **strict** variants: the next element is exactly one unit away.
+//!
+//! ## Reproduction notes (errata discovered while formalizing)
+//!
+//! 1. The paper asserts both that (a) "temporal event regular is more
+//!    restrictive than both valid and transaction time event regular
+//!    together" and that (b) tt-regularity with Δt₁ plus vt-regularity with
+//!    Δt₂ implies temporal event regularity with unit gcd(Δt₁, Δt₂). Under
+//!    the paper's own same-`k` definition, (b) is false — the paper's own
+//!    example (Δt₁ = 28 s, Δt₂ = 6 s) is a counterexample, because a pair
+//!    with tt-difference 28 s and vt-difference 6 s admits no common `k`.
+//!    What *is* true (and presumably meant): such a relation is both
+//!    tt-regular and vt-regular with unit gcd(Δt₁, Δt₂). See
+//!    [`gcd_combined_unit`] and the Figure 4 regeneration binary.
+//! 2. The paper claims the non-strict per-partition variants imply the
+//!    global variants. This fails for relations whose partitions are
+//!    mutually phase-shifted (e.g. Δt = 10 s with one partition sampling at
+//!    :00 and another at :05); the integration tests exhibit the
+//!    counterexample.
+
+use std::fmt;
+
+use tempora_time::{TimeDelta, Timestamp};
+
+use crate::error::CoreError;
+use crate::spec::interevent::EventStamp;
+
+/// Which time dimension(s) a regularity specialization constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegularDimension {
+    /// Transaction times occur at multiples of the unit apart.
+    TransactionTime,
+    /// Valid times occur at multiples of the unit apart.
+    ValidTime,
+    /// Both, with the *same* multiple per pair (the paper's formal
+    /// definition of temporal event regular).
+    Temporal,
+}
+
+impl RegularDimension {
+    /// All three dimensions.
+    pub const ALL: [RegularDimension; 3] = [
+        RegularDimension::TransactionTime,
+        RegularDimension::ValidTime,
+        RegularDimension::Temporal,
+    ];
+}
+
+/// An event regularity specialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventRegularitySpec {
+    /// Constrained dimension(s).
+    pub dimension: RegularDimension,
+    /// The time unit Δt.
+    ///
+    /// The paper states Δt ≥ 0, but a zero unit would force all stamps in
+    /// the constrained dimension to coincide — impossible for transaction
+    /// times, which are unique (§2) — so [`Self::validate`] requires
+    /// Δt > 0.
+    pub unit: TimeDelta,
+    /// Whether the strict variant is meant (the successor element is
+    /// exactly one unit away).
+    pub strict: bool,
+}
+
+impl EventRegularitySpec {
+    /// A non-strict regularity spec.
+    #[must_use]
+    pub const fn new(dimension: RegularDimension, unit: TimeDelta) -> Self {
+        EventRegularitySpec {
+            dimension,
+            unit,
+            strict: false,
+        }
+    }
+
+    /// The strict variant of this spec.
+    #[must_use]
+    pub const fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Validates the unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSpec`] if the unit is not positive.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.unit.is_positive() {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidSpec {
+                spec: self.to_string(),
+                reason: "regularity unit must be positive".to_string(),
+            })
+        }
+    }
+
+    /// Validates a whole extension (any order) against the paper's
+    /// formula, i.e. as a *final state*.
+    ///
+    /// Note: for strict valid-time regularity this is weaker than what the
+    /// incremental [`RegularityChecker`] enforces. The checker guarantees
+    /// *every historical state* (prefix in transaction-time order)
+    /// satisfies the property — the paper's intensional reading, since each
+    /// historical state is itself an extension — which forbids temporarily
+    /// leaving a hole in the valid-time progression even if a later insert
+    /// would fill it. All other regularity variants are prefix-closed, so
+    /// the two notions coincide for them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_extension(&self, stamps: &[EventStamp]) -> Result<(), String> {
+        if !self.unit.is_positive() {
+            return Err("regularity unit must be positive".to_string());
+        }
+        if self.strict && self.dimension == RegularDimension::ValidTime {
+            return strict_vt_extension_check(stamps, self.unit);
+        }
+        let mut checker = RegularityChecker::new(*self);
+        let mut sorted: Vec<EventStamp> = stamps.to_vec();
+        sorted.sort_by_key(|s| s.tt);
+        for s in &sorted {
+            checker.admit(*s)?;
+        }
+        Ok(())
+    }
+
+    /// Whether the extension satisfies this specialization.
+    #[must_use]
+    pub fn holds_for(&self, stamps: &[EventStamp]) -> bool {
+        self.validate_extension(stamps).is_ok()
+    }
+
+    /// The paper's name for this specialization.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let dim = match self.dimension {
+            RegularDimension::TransactionTime => "transaction time event regular",
+            RegularDimension::ValidTime => "valid time event regular",
+            RegularDimension::Temporal => "temporal event regular",
+        };
+        if self.strict {
+            format!("strict {dim}")
+        } else {
+            dim.to_string()
+        }
+    }
+}
+
+impl fmt::Display for EventRegularitySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (Δt = {})", self.name(), self.unit)
+    }
+}
+
+/// The combined unit of the paper's §3.2 combination claim: a relation that
+/// is transaction-time regular with Δt₁ **and** valid-time regular with Δt₂
+/// is both tt- and vt-regular with unit `gcd(Δt₁, Δt₂)` (the largest common
+/// unit; the paper's example: 28 s and 6 s give 2 s).
+///
+/// Note it is *not* temporal event regular in the paper's same-`k` sense —
+/// see the module-level erratum.
+#[must_use]
+pub fn gcd_combined_unit(tt_unit: TimeDelta, vt_unit: TimeDelta) -> TimeDelta {
+    tt_unit.gcd(vt_unit)
+}
+
+/// Incremental regularity checker. Elements are admitted in transaction-
+/// time order; state is `O(1)`.
+///
+/// For strict valid-time regularity, admission order may differ from
+/// valid-time order, so the checker additionally tracks the valid-time
+/// extremes and admits only appends at either end of the arithmetic
+/// progression (which is exactly what keeps *every* prefix valid).
+#[derive(Debug, Clone)]
+pub struct RegularityChecker {
+    spec: EventRegularitySpec,
+    anchor: Option<EventStamp>,
+    last: Option<EventStamp>,
+    /// Strict-vt state: progression extremes and whether the minimum is
+    /// duplicated.
+    vt_min: Option<Timestamp>,
+    vt_max: Option<Timestamp>,
+    vt_min_duplicated: bool,
+}
+
+impl RegularityChecker {
+    /// A fresh checker.
+    #[must_use]
+    pub fn new(spec: EventRegularitySpec) -> Self {
+        RegularityChecker {
+            spec,
+            anchor: None,
+            last: None,
+            vt_min: None,
+            vt_max: None,
+            vt_min_duplicated: false,
+        }
+    }
+
+    /// The specialization being enforced.
+    #[must_use]
+    pub fn spec(&self) -> EventRegularitySpec {
+        self.spec
+    }
+
+    /// Admits the next element (transaction-time order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the element breaks regularity.
+    pub fn admit(&mut self, stamp: EventStamp) -> Result<(), String> {
+        let unit = self.spec.unit;
+        if !unit.is_positive() {
+            return Err("regularity unit must be positive".to_string());
+        }
+        let Some(anchor) = self.anchor else {
+            self.anchor = Some(stamp);
+            self.last = Some(stamp);
+            self.vt_min = Some(stamp.vt);
+            self.vt_max = Some(stamp.vt);
+            return Ok(());
+        };
+        let last = self.last.expect("set with anchor");
+        if self.spec.strict {
+            match self.spec.dimension {
+                RegularDimension::TransactionTime => {
+                    let expect = last.tt.saturating_add(unit);
+                    if stamp.tt != expect {
+                        return Err(format!(
+                            "strict tt regularity: expected tt {expect}, got {}",
+                            stamp.tt
+                        ));
+                    }
+                }
+                RegularDimension::ValidTime => {
+                    self.admit_strict_vt(stamp.vt, unit)?;
+                }
+                RegularDimension::Temporal => {
+                    let expect_tt = last.tt.saturating_add(unit);
+                    let expect_vt = last.vt.saturating_add(unit);
+                    if stamp.tt != expect_tt || stamp.vt != expect_vt {
+                        return Err(format!(
+                            "strict temporal regularity: expected (tt, vt) = ({expect_tt}, {expect_vt}), got ({}, {})",
+                            stamp.tt, stamp.vt
+                        ));
+                    }
+                }
+            }
+        } else {
+            match self.spec.dimension {
+                RegularDimension::TransactionTime => {
+                    check_multiple(stamp.tt, anchor.tt, unit, "transaction")?;
+                }
+                RegularDimension::ValidTime => {
+                    check_multiple(stamp.vt, anchor.vt, unit, "valid")?;
+                }
+                RegularDimension::Temporal => {
+                    // Same k for both dimensions ⟺ vt − tt is constant and
+                    // tt differences are multiples of the unit.
+                    check_multiple(stamp.tt, anchor.tt, unit, "transaction")?;
+                    let off_new = stamp.vt - stamp.tt;
+                    let off_anchor = anchor.vt - anchor.tt;
+                    if off_new != off_anchor {
+                        return Err(format!(
+                            "temporal regularity requires the same multiple k in both dimensions: offset vt−tt changed from {off_anchor} to {off_new}"
+                        ));
+                    }
+                }
+            }
+        }
+        self.last = Some(stamp);
+        if self.vt_min.is_some_and(|m| stamp.vt < m) || self.vt_min.is_none() {
+            self.vt_min = Some(stamp.vt);
+        }
+        if self.vt_max.is_some_and(|m| stamp.vt > m) || self.vt_max.is_none() {
+            self.vt_max = Some(stamp.vt);
+        }
+        Ok(())
+    }
+
+    /// Strict-vt admission: the arithmetic progression may grow at either
+    /// end; duplicates are permitted only at the (final) minimum — see the
+    /// discussion of the paper's formula in [`strict_vt_extension_check`].
+    fn admit_strict_vt(&mut self, vt: Timestamp, unit: TimeDelta) -> Result<(), String> {
+        let (min, max) = (
+            self.vt_min.expect("anchor admitted"),
+            self.vt_max.expect("anchor admitted"),
+        );
+        if vt == max.saturating_add(unit) {
+            Ok(())
+        } else if vt == min.saturating_sub(unit) {
+            if self.vt_min_duplicated {
+                Err(format!(
+                    "strict vt regularity: cannot extend below a duplicated minimum {min}"
+                ))
+            } else {
+                Ok(())
+            }
+        } else if vt == min {
+            // The paper's formula incidentally permits duplicated minimal
+            // valid times (the duplicate never appears in any "between"
+            // range); we implement the formula as written.
+            self.vt_min_duplicated = true;
+            Ok(())
+        } else {
+            Err(format!(
+                "strict vt regularity: vt {vt} is neither max + Δt, min − Δt, nor the current minimum (progression [{min}, {max}], Δt = {unit})"
+            ))
+        }
+    }
+}
+
+fn check_multiple(
+    value: Timestamp,
+    anchor: Timestamp,
+    unit: TimeDelta,
+    dim: &str,
+) -> Result<(), String> {
+    let diff = value - anchor;
+    if diff.rem_euclid(unit).is_zero() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{dim} time {value} is not a multiple of {unit} away from anchor {anchor}"
+        ))
+    }
+}
+
+/// Extension-level check of the paper's strict valid-time regularity
+/// formula: every element either has a successor exactly Δt later in valid
+/// time with no other element in `(vt, vt + Δt]`, or no element has a
+/// greater valid time.
+///
+/// Equivalent fast form (derived from the formula): the distinct valid
+/// times form an arithmetic progression with step Δt, and every value
+/// except the minimum has multiplicity one. (The formula as printed allows
+/// repeated minima; repeated non-minima always land in some predecessor's
+/// forbidden range.)
+fn strict_vt_extension_check(stamps: &[EventStamp], unit: TimeDelta) -> Result<(), String> {
+    if stamps.len() <= 1 {
+        return Ok(());
+    }
+    let mut vts: Vec<Timestamp> = stamps.iter().map(|s| s.vt).collect();
+    vts.sort();
+    for w in vts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a == b {
+            if a != vts[0] {
+                return Err(format!("duplicated non-minimal valid time {a}"));
+            }
+        } else if b - a != unit {
+            return Err(format!(
+                "valid times {a} and {b} are {} apart, expected Δt = {unit}",
+                b - a
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Direct, quadratic evaluation of the paper's quantified definitions —
+/// the reference implementations the fast checkers are tested against and
+/// which the Figure 4 regeneration binary runs.
+pub mod reference {
+    use super::{EventStamp, RegularDimension, TimeDelta};
+
+    /// §3.2 non-strict definitions, evaluated literally (`O(n²)`).
+    #[must_use]
+    pub fn event_regular(stamps: &[EventStamp], dim: RegularDimension, unit: TimeDelta) -> bool {
+        if !unit.is_positive() {
+            return false;
+        }
+        let u = unit.micros();
+        stamps.iter().all(|e| {
+            stamps.iter().all(|e2| {
+                let dtt = e.tt.micros() - e2.tt.micros();
+                let dvt = e.vt.micros() - e2.vt.micros();
+                match dim {
+                    RegularDimension::TransactionTime => dtt % u == 0,
+                    RegularDimension::ValidTime => dvt % u == 0,
+                    // ∃k: dvt = kΔt ∧ dtt = kΔt — same k.
+                    RegularDimension::Temporal => dtt % u == 0 && dvt == dtt,
+                }
+            })
+        })
+    }
+
+    /// §3.2 strict definitions, evaluated literally (`O(n²)`).
+    #[must_use]
+    pub fn strict_event_regular(
+        stamps: &[EventStamp],
+        dim: RegularDimension,
+        unit: TimeDelta,
+    ) -> bool {
+        if !unit.is_positive() {
+            return false;
+        }
+        match dim {
+            RegularDimension::TransactionTime => stamps.iter().all(|e| {
+                let has_succ = stamps.iter().any(|e2| {
+                    e2.tt == e.tt.saturating_add(unit)
+                        && !stamps.iter().any(|e3| e.tt < e3.tt && e3.tt < e2.tt)
+                });
+                let is_last = !stamps.iter().any(|e2| e2.tt > e.tt);
+                has_succ || is_last
+            }),
+            RegularDimension::ValidTime => stamps.iter().enumerate().all(|(i, e)| {
+                let has_succ = stamps.iter().enumerate().any(|(j, e2)| {
+                    j != i
+                        && e2.vt == e.vt.saturating_add(unit)
+                        && !stamps.iter().enumerate().any(|(k, e3)| {
+                            k != i && k != j && e.vt < e3.vt && e3.vt <= e2.vt
+                        })
+                });
+                let is_last = !stamps.iter().any(|e2| e2.vt > e.vt);
+                has_succ || is_last
+            }),
+            RegularDimension::Temporal => stamps.iter().enumerate().all(|(i, e)| {
+                let has_succ = stamps.iter().enumerate().any(|(j, e2)| {
+                    j != i
+                        && e2.tt == e.tt.saturating_add(unit)
+                        && e2.vt == e.vt.saturating_add(unit)
+                        && !stamps.iter().any(|e3| e.tt < e3.tt && e3.tt < e2.tt)
+                        && !stamps.iter().enumerate().any(|(k, e3)| {
+                            k != i && k != j && e.vt <= e3.vt && e3.vt < e2.vt
+                        })
+                });
+                let is_last = !stamps.iter().any(|e2| e2.tt > e.tt)
+                    && !stamps.iter().any(|e2| e2.vt > e.vt);
+                has_succ || is_last
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(vt: i64, tt: i64) -> EventStamp {
+        EventStamp::new(Timestamp::from_secs(vt), Timestamp::from_secs(tt))
+    }
+
+    fn unit(s: i64) -> TimeDelta {
+        TimeDelta::from_secs(s)
+    }
+
+    #[test]
+    fn tt_regular_multiples_not_evenly_spaced() {
+        // "the transaction time-stamps of successively stored elements need
+        // not be evenly spaced; they are merely restricted to be separated
+        // by an integral multiple."
+        let spec = EventRegularitySpec::new(RegularDimension::TransactionTime, unit(10));
+        assert!(spec.holds_for(&[st(0, 0), st(1, 30), st(2, 40), st(3, 90)]));
+        assert!(!spec.holds_for(&[st(0, 0), st(1, 35)]));
+    }
+
+    #[test]
+    fn vt_regular_expresses_granularity() {
+        // Valid-time granularity of one second = vt event regular with unit
+        // one second.
+        let spec = EventRegularitySpec::new(RegularDimension::ValidTime, unit(1));
+        let stamps = [st(5, 100), st(9, 101), st(7, 102)];
+        assert!(spec.holds_for(&stamps));
+    }
+
+    #[test]
+    fn temporal_regular_same_k() {
+        let spec = EventRegularitySpec::new(RegularDimension::Temporal, unit(10));
+        // vt − tt constant (k equal in both dimensions) and steps multiples
+        // of 10.
+        assert!(spec.holds_for(&[st(5, 0), st(25, 20), st(105, 100)]));
+        // tt regular and vt regular with the same unit but different k:
+        // violates the same-k requirement.
+        assert!(!spec.holds_for(&[st(0, 0), st(10, 20)]));
+    }
+
+    #[test]
+    fn degenerate_periodic_is_temporal_regular() {
+        // "A periodic degenerate relation is trivially temporal event
+        // regular."
+        let spec = EventRegularitySpec::new(RegularDimension::Temporal, unit(60));
+        let stamps: Vec<EventStamp> = (0..10).map(|i| st(i * 60, i * 60)).collect();
+        assert!(spec.holds_for(&stamps));
+    }
+
+    #[test]
+    fn paper_gcd_example() {
+        // Δt1 = 28 s and Δt2 = 6 s: combined unit 2 s.
+        assert_eq!(gcd_combined_unit(unit(28), unit(6)), unit(2));
+        // A relation tt-regular(28) and vt-regular(6)…
+        let stamps = [st(0, 0), st(6, 28), st(18, 84)];
+        assert!(EventRegularitySpec::new(RegularDimension::TransactionTime, unit(28))
+            .holds_for(&stamps));
+        assert!(EventRegularitySpec::new(RegularDimension::ValidTime, unit(6)).holds_for(&stamps));
+        // …is tt- and vt-regular with the gcd unit…
+        assert!(EventRegularitySpec::new(RegularDimension::TransactionTime, unit(2))
+            .holds_for(&stamps));
+        assert!(EventRegularitySpec::new(RegularDimension::ValidTime, unit(2)).holds_for(&stamps));
+        // …but NOT temporal event regular with the gcd unit under the
+        // paper's same-k definition (erratum — see module docs).
+        assert!(!EventRegularitySpec::new(RegularDimension::Temporal, unit(2)).holds_for(&stamps));
+    }
+
+    #[test]
+    fn strict_tt_regular() {
+        let spec = EventRegularitySpec::new(RegularDimension::TransactionTime, unit(10)).strict();
+        assert!(spec.holds_for(&[st(0, 0), st(1, 10), st(2, 20)]));
+        assert!(!spec.holds_for(&[st(0, 0), st(1, 20)])); // gap of 2 units
+        assert!(spec.holds_for(&[st(0, 5)])); // singleton trivially strict
+    }
+
+    #[test]
+    fn strict_vt_regular_progression() {
+        let spec = EventRegularitySpec::new(RegularDimension::ValidTime, unit(10)).strict();
+        // Insertion order need not be vt order; progression may extend at
+        // both ends.
+        assert!(spec.holds_for(&[st(20, 1), st(30, 2), st(10, 3)]));
+        assert!(!spec.holds_for(&[st(20, 1), st(40, 2)])); // hole at 30
+        assert!(!spec.holds_for(&[st(20, 1), st(25, 2)])); // off-grid
+    }
+
+    #[test]
+    fn strict_vt_regular_duplicate_semantics_match_formula() {
+        let spec = EventRegularitySpec::new(RegularDimension::ValidTime, unit(10)).strict();
+        // The paper's formula permits duplicated minima…
+        let dup_min = [st(10, 1), st(10, 2), st(20, 3)];
+        assert!(reference::strict_event_regular(
+            &dup_min,
+            RegularDimension::ValidTime,
+            unit(10)
+        ));
+        assert!(spec.holds_for(&dup_min));
+        // …but not duplicated interior values.
+        let dup_mid = [st(10, 1), st(20, 2), st(20, 3), st(30, 4)];
+        assert!(!reference::strict_event_regular(
+            &dup_mid,
+            RegularDimension::ValidTime,
+            unit(10)
+        ));
+        assert!(!spec.holds_for(&dup_mid));
+        // Extending below a duplicated minimum makes the duplicate interior.
+        let dup_then_down = [st(10, 1), st(10, 2), st(0, 3)];
+        assert!(!reference::strict_event_regular(
+            &dup_then_down,
+            RegularDimension::ValidTime,
+            unit(10)
+        ));
+        assert!(!spec.holds_for(&dup_then_down));
+    }
+
+    #[test]
+    fn strict_temporal_regular() {
+        let spec = EventRegularitySpec::new(RegularDimension::Temporal, unit(10)).strict();
+        assert!(spec.holds_for(&[st(5, 0), st(15, 10), st(25, 20)]));
+        assert!(!spec.holds_for(&[st(5, 0), st(16, 10)]));
+        assert!(!spec.holds_for(&[st(5, 0), st(15, 20)]));
+    }
+
+    #[test]
+    fn strict_tt_and_vt_do_not_imply_strict_temporal() {
+        // "For the strict case, however, valid and transaction time event
+        // regularity does not imply temporal event regularity."
+        let stamps = [st(0, 0), st(10, 10), st(30, 20), st(20, 30), st(40, 40)];
+        let tt = EventRegularitySpec::new(RegularDimension::TransactionTime, unit(10)).strict();
+        let vt = EventRegularitySpec::new(RegularDimension::ValidTime, unit(10)).strict();
+        let both = EventRegularitySpec::new(RegularDimension::Temporal, unit(10)).strict();
+        assert!(tt.holds_for(&stamps));
+        assert!(vt.holds_for(&stamps));
+        assert!(!both.holds_for(&stamps));
+    }
+
+    #[test]
+    fn strict_implies_non_strict() {
+        let exts: Vec<Vec<EventStamp>> = vec![
+            (0..8).map(|i| st(i * 10 + 3, i * 10)).collect(),
+            vec![st(0, 0)],
+            vec![],
+        ];
+        for ext in &exts {
+            for dim in RegularDimension::ALL {
+                let strict = EventRegularitySpec::new(dim, unit(10)).strict();
+                let lax = EventRegularitySpec::new(dim, unit(10));
+                if strict.holds_for(ext) {
+                    assert!(lax.holds_for(ext), "{dim:?} {ext:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_checkers_match_reference() {
+        // Exhaustive-ish cross-check on small synthetic extensions.
+        let pool: Vec<Vec<EventStamp>> = vec![
+            vec![st(0, 0), st(10, 10), st(20, 20)],
+            vec![st(0, 0), st(10, 20), st(20, 10)],
+            vec![st(3, 0), st(13, 10), st(23, 20)],
+            vec![st(0, 0), st(1, 10), st(2, 20)],
+            vec![st(0, 0), st(20, 10), st(10, 20)],
+            vec![st(10, 1), st(10, 2), st(20, 3)],
+            vec![st(10, 1), st(20, 2), st(20, 3)],
+            vec![st(0, 0)],
+            vec![],
+            vec![st(0, 0), st(30, 10), st(60, 20)],
+        ];
+        for stamps in &pool {
+            for dim in RegularDimension::ALL {
+                for u in [unit(10), unit(5), unit(3)] {
+                    let lax = EventRegularitySpec::new(dim, u);
+                    assert_eq!(
+                        lax.holds_for(stamps),
+                        reference::event_regular(stamps, dim, u),
+                        "non-strict {dim:?} unit {u} on {stamps:?}"
+                    );
+                    let strict = lax.strict();
+                    // Reference strict-tt assumes admission in tt order,
+                    // which holds for all pool extensions (tt distinct).
+                    assert_eq!(
+                        strict.holds_for(stamps),
+                        reference::strict_event_regular(stamps, dim, u),
+                        "strict {dim:?} unit {u} on {stamps:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_unit() {
+        assert!(EventRegularitySpec::new(RegularDimension::ValidTime, TimeDelta::ZERO)
+            .validate()
+            .is_err());
+        assert!(
+            EventRegularitySpec::new(RegularDimension::ValidTime, unit(-5))
+                .validate()
+                .is_err()
+        );
+        assert!(EventRegularitySpec::new(RegularDimension::ValidTime, unit(5))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn names() {
+        let s = EventRegularitySpec::new(RegularDimension::Temporal, unit(2)).strict();
+        assert_eq!(s.name(), "strict temporal event regular");
+        assert!(s.to_string().contains("2s"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Attribute values.
+//!
+//! §2 of the paper: a temporal element carries *time-invariant* attribute
+//! values (e.g. a social-security number), *time-varying* attribute values
+//! (e.g. a salary), and *user-defined times* ("most appropriately thought of
+//! as specialized kinds of time-varying attribute values"). The conceptual
+//! model "does not assume any particular type system on … attributes"; this
+//! module supplies a small dynamically typed value universe sufficient for
+//! the paper's examples.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempora_time::Timestamp;
+
+/// An interned attribute name.
+///
+/// Cheap to clone and compare; relations typically have a handful of
+/// attributes referenced from every element.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrName(Arc<str>);
+
+impl AttrName {
+    /// Creates an attribute name.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        AttrName(Arc::from(name))
+    }
+
+    /// The name as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        AttrName::new(s)
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A dynamically typed attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float (e.g. a sampled temperature).
+    Float(f64),
+    /// A string.
+    Str(Arc<str>),
+    /// A boolean.
+    Bool(bool),
+    /// A user-defined time (§2: no system-interpreted semantics).
+    Time(Timestamp),
+    /// An absent value.
+    Null,
+}
+
+impl Value {
+    /// A string value (convenience constructor).
+    #[must_use]
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// The contained integer, if this is an `Int`.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The contained float, if this is a `Float` (or an `Int`, widened).
+    #[must_use]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            #[allow(clippy::cast_precision_loss)]
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The contained string, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The contained boolean, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The contained timestamp, if this is a `Time`.
+    #[must_use]
+    pub fn as_time(&self) -> Option<Timestamp> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The name of this value's type, for diagnostics.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+            Value::Time(_) => "time",
+            Value::Null => "null",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::Null => f.write_str("null"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Timestamp> for Value {
+    fn from(v: Timestamp) -> Self {
+        Value::Time(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_name_round_trip() {
+        let a = AttrName::new("salary");
+        assert_eq!(a.as_str(), "salary");
+        assert_eq!(a, AttrName::from("salary"));
+        assert_ne!(a, AttrName::from("title"));
+        assert_eq!(a.to_string(), "salary");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::from(42).as_int(), Some(42));
+        assert_eq!(Value::from(42).as_float(), Some(42.0));
+        assert_eq!(Value::from(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::from(1.5).as_int(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        let t = Timestamp::from_secs(7);
+        assert_eq!(Value::from(t).as_time(), Some(t));
+        assert!(Value::Null.is_null());
+        assert!(!Value::from(0).is_null());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::from(1).type_name(), "int");
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::from("s").type_name(), "string");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests for the taxonomy core: the region algebra, the
+//! event-spec checkers, the incremental inter-element checkers, and the
+//! constraint engine's transactionality.
+
+use proptest::prelude::*;
+
+use tempora_core::constraint::ConstraintEngine;
+use tempora_core::region::OffsetBand;
+use tempora_core::spec::bound::Bound;
+use tempora_core::spec::event::{EventSpec, EventSpecKind};
+use tempora_core::spec::interevent::{EventStamp, OrderingChecker, OrderingSpec};
+use tempora_core::spec::regularity::{reference, EventRegularitySpec, RegularDimension};
+use tempora_core::{Basis, Element, ElementId, ObjectId, RelationSchema, Stamping};
+use tempora_time::{Granularity, TimeDelta, Timestamp};
+
+fn ts(v: i64) -> Timestamp {
+    Timestamp::from_secs(v)
+}
+
+fn band_strategy() -> impl Strategy<Value = OffsetBand> {
+    (
+        prop::option::of(-1_000_000_i64..1_000_000),
+        prop::option::of(-1_000_000_i64..1_000_000),
+    )
+        .prop_map(|(lo, hi)| OffsetBand::new(lo, hi))
+}
+
+proptest! {
+    #[test]
+    fn band_subset_reflexive_transitive(a in band_strategy(), b in band_strategy(), c in band_strategy()) {
+        prop_assert!(a.is_subset(a));
+        if a.is_subset(b) && b.is_subset(c) {
+            prop_assert!(a.is_subset(c));
+        }
+    }
+
+    #[test]
+    fn band_intersect_is_glb(a in band_strategy(), b in band_strategy()) {
+        let i = a.intersect(b);
+        prop_assert!(i.is_subset(a) && i.is_subset(b));
+        // Greatest: any band inside both is inside the intersection.
+        let h = a.hull(b); // not inside in general, but the empty band is:
+        let empty = OffsetBand::new(Some(1), Some(0));
+        prop_assert!(empty.is_subset(i));
+        let _ = h;
+    }
+
+    #[test]
+    fn band_hull_is_lub(a in band_strategy(), b in band_strategy()) {
+        let h = a.hull(b);
+        prop_assert!(a.is_subset(h) && b.is_subset(h));
+    }
+
+    #[test]
+    fn widen_only_grows(a in band_strategy(), slack in 0_i64..1_000_000) {
+        let w = a.widen(TimeDelta::from_micros(slack));
+        prop_assert!(a.is_subset(w));
+    }
+
+    /// Each spec kind's canonical instantiation accepts exactly its band
+    /// on random probes, at random tt anchors.
+    #[test]
+    fn spec_check_matches_band(
+        kind_idx in 0_usize..13,
+        tt in -1_000_000_i64..1_000_000,
+        off in -100_i64..100,
+        scale in 1_i64..30,
+    ) {
+        let kind = EventSpecKind::ALL[kind_idx];
+        let spec = kind.canonical(Bound::secs(scale));
+        let band = spec.exact_band().expect("fixed");
+        let vt = ts(tt + off);
+        prop_assert_eq!(
+            spec.holds(vt, ts(tt), Granularity::Microsecond),
+            band.contains(vt, ts(tt))
+        );
+    }
+
+    /// Orderings: the incremental checker accepts a tt-sorted extension iff
+    /// the batch validator does.
+    #[test]
+    fn ordering_incremental_equals_batch(
+        raw in prop::collection::vec(-100_i64..100, 0..25),
+        spec_idx in 0_usize..3,
+    ) {
+        let spec = OrderingSpec::ALL[spec_idx];
+        let stamps: Vec<EventStamp> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &vt)| EventStamp::new(ts(vt), ts(i64::try_from(i).unwrap() * 10)))
+            .collect();
+        let batch = spec.holds_for(&stamps);
+        let mut checker = OrderingChecker::new(spec);
+        let incremental = stamps.iter().all(|s| checker.admit(*s).is_ok());
+        prop_assert_eq!(batch, incremental);
+    }
+
+    /// Non-strict regularity: the fast path equals the paper's quadratic
+    /// reference formula on random extensions.
+    #[test]
+    fn regularity_fast_equals_reference(
+        raw in prop::collection::vec((0_i64..40, 0_i64..40), 0..15),
+        dim_idx in 0_usize..3,
+        unit in 1_i64..12,
+    ) {
+        let dim = RegularDimension::ALL[dim_idx];
+        // Distinct transaction times required.
+        let mut stamps: Vec<EventStamp> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(vt, tt_off))| {
+                EventStamp::new(ts(vt), ts(i64::try_from(i).unwrap() * 100 + tt_off))
+            })
+            .collect();
+        stamps.sort_by_key(|s| s.tt);
+        stamps.dedup_by_key(|s| s.tt);
+        let spec = EventRegularitySpec::new(dim, TimeDelta::from_secs(unit));
+        prop_assert_eq!(
+            spec.holds_for(&stamps),
+            reference::event_regular(&stamps, dim, TimeDelta::from_secs(unit))
+        );
+    }
+
+    /// The constraint engine is transactional: after a rejected insert the
+    /// engine behaves as if the insert never happened.
+    #[test]
+    fn engine_rejection_leaves_no_trace(
+        vts in prop::collection::vec(-50_i64..50, 1..20),
+    ) {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .event_spec(EventSpec::RetroactivelyBounded { bound: Bound::secs(100) })
+            .build()
+            .unwrap();
+        // Replay the same admissible subsequence through two engines: one
+        // that also sees the rejected attempts, one that never does. They
+        // must accept identically.
+        let mut with_rejects = ConstraintEngine::new(schema.clone());
+        let mut without = ConstraintEngine::new(schema);
+        let mut accepted = Vec::new();
+        for (i, &vt) in vts.iter().enumerate() {
+            let e = Element::new(
+                ElementId::new(u64::try_from(i).unwrap()),
+                ObjectId::new(1),
+                ts(vt),
+                ts(i64::try_from(i).unwrap() * 10 + 10),
+            );
+            if with_rejects.admit_insert(&e).is_ok() {
+                accepted.push(e);
+            }
+        }
+        for e in &accepted {
+            prop_assert!(
+                without.admit_insert(e).is_ok(),
+                "clean engine rejected an element the dirty engine accepted"
+            );
+        }
+    }
+
+    /// Validate-extension agrees with incremental admission for isolated +
+    /// prefix-closed inter-element constraints.
+    #[test]
+    fn validate_extension_equals_incremental(
+        vts in prop::collection::vec(-200_i64..200, 0..20),
+    ) {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::StronglyBounded {
+                past: Bound::secs(150),
+                future: Bound::secs(150),
+            })
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .build()
+            .unwrap();
+        let elements: Vec<Element> = vts
+            .iter()
+            .enumerate()
+            .map(|(i, &vt)| {
+                let tt = i64::try_from(i).unwrap() * 10;
+                Element::new(
+                    ElementId::new(u64::try_from(i).unwrap()),
+                    ObjectId::new(1),
+                    ts(tt + vt.clamp(-150, 150)),
+                    ts(tt),
+                )
+            })
+            .collect();
+        let violations = ConstraintEngine::validate_extension(&schema, &elements);
+        let mut engine = ConstraintEngine::new(schema);
+        let mut incremental_violations = 0usize;
+        for e in &elements {
+            if engine.admit_insert(e).is_err() {
+                incremental_violations += 1;
+            }
+        }
+        // validate_extension counts violations per element per constraint;
+        // compare presence, not counts (one element can violate twice).
+        prop_assert_eq!(violations.is_empty(), incremental_violations == 0);
+    }
+
+    /// Degenerate granularity semantics: coarser granularities accept
+    /// whenever finer ones do.
+    #[test]
+    fn degenerate_monotone_in_granularity(vt in -1_000_000_i64..1_000_000, off in -10_000_i64..10_000) {
+        let spec = EventSpec::Degenerate;
+        let v = Timestamp::from_micros(vt);
+        let t = Timestamp::from_micros(vt + off);
+        let grans = Granularity::ALL;
+        for w in grans.windows(2) {
+            let (fine, coarse) = (w[0], w[1]);
+            if coarse.coarsens(fine) && spec.holds(v, t, fine) {
+                prop_assert!(
+                    spec.holds(v, t, coarse),
+                    "degenerate at {} but not coarser {}", fine, coarse
+                );
+            }
+        }
+    }
+}

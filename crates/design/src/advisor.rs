@@ -1,0 +1,509 @@
+//! The design advisor: from sample data to a proposed schema.
+//!
+//! The advisor mechanizes the design step the paper assigns to the
+//! taxonomy (abstract, §4): it infers the strongest specializations a
+//! sample extension satisfies (via [`tempora_core::inference`]), widens
+//! the inferred bounds by a safety slack (samples understate future
+//! variation), assembles a proposed [`RelationSchema`], and reports the
+//! storage/index strategy that schema unlocks.
+
+use std::sync::Arc;
+
+use tempora_core::inference::{infer_event_band, infer_inter_event, EventBandInference, InterEventInference};
+use tempora_core::spec::bound::Bound;
+use tempora_core::spec::event::EventSpec;
+use tempora_core::spec::interevent::EventStamp;
+use tempora_core::spec::regularity::{EventRegularitySpec, RegularDimension};
+use tempora_core::{Basis, CoreError, Element, RelationSchema, Stamping, Violation};
+use tempora_index::{select_index, IndexChoice};
+use tempora_time::TimeDelta;
+
+/// The advisor's output: inferred facts, a proposed schema, the index
+/// strategy it unlocks, and explanatory notes.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// Raw isolated-event inference (tightest band, degenerate
+    /// granularity, …).
+    pub observed: EventBandInference,
+    /// Raw inter-event inference (orderings, regularity units).
+    pub inter: InterEventInference,
+    /// The recommended isolated-event specialization, after slack.
+    pub recommended: EventSpec,
+    /// The proposed schema (recommended spec + observed orderings +
+    /// non-strict regularity).
+    pub schema: Arc<RelationSchema>,
+    /// The index strategy the proposed schema unlocks.
+    pub index: IndexChoice,
+    /// Human-readable rationale.
+    pub notes: Vec<String>,
+}
+
+/// Runs the advisor over an event-stamped sample.
+///
+/// `slack` widens each finite inferred bound multiplicatively (0.25 = 25%
+/// wider); samples understate the extremes of the generating process.
+/// Returns `None` on an empty sample.
+///
+/// # Panics
+///
+/// Never panics: the widened specialization is always valid (widening
+/// preserves Δt sign constraints) and the assembled schema always builds.
+#[must_use]
+pub fn advise_events(name: &str, stamps: &[EventStamp], slack: f64) -> Option<Advice> {
+    let observed = infer_event_band(stamps)?;
+    let inter = infer_inter_event(stamps);
+    let mut notes = Vec::new();
+
+    let recommended = widen(&observed.strongest, slack.max(0.0));
+    if recommended != observed.strongest {
+        notes.push(format!(
+            "bounds widened by {:.0}% over the sample's tightest band ({})",
+            slack * 100.0,
+            observed.band
+        ));
+    }
+    if let Some(g) = observed.degenerate_at {
+        notes.push(format!(
+            "sample is degenerate at {g} granularity; if that is intended, declare DEGENERATE at \
+             granularity {g} instead for the append-only representation"
+        ));
+    }
+
+    let mut builder = RelationSchema::builder(name, Stamping::Event);
+    if recommended != EventSpec::General {
+        builder = builder.event_spec(recommended);
+    }
+    for ordering in &inter.orderings {
+        builder = builder.ordering(*ordering, Basis::PerRelation);
+        notes.push(format!("sample satisfies {ordering} (declared per relation)"));
+    }
+    if let Some(unit) = inter.tt_unit {
+        if unit >= TimeDelta::from_millis(1) {
+            builder = builder.event_regularity(
+                EventRegularitySpec::new(RegularDimension::TransactionTime, unit),
+                Basis::PerRelation,
+            );
+            notes.push(format!(
+                "transaction times regular with unit {unit}{}",
+                if inter.strict_tt { " (strict in sample; declared non-strict for safety)" } else { "" }
+            ));
+        }
+    }
+    if let Some(unit) = inter.vt_unit {
+        if unit >= TimeDelta::from_millis(1) {
+            builder = builder.event_regularity(
+                EventRegularitySpec::new(RegularDimension::ValidTime, unit),
+                Basis::PerRelation,
+            );
+            notes.push(format!("valid times regular with unit {unit}"));
+        }
+    }
+    let schema = builder
+        .build()
+        .expect("advisor-assembled schemas are consistent by construction");
+    let index = select_index(&schema);
+    notes.push(format!("index strategy unlocked: {index:?}"));
+    Some(Advice {
+        observed,
+        inter,
+        recommended,
+        schema,
+        index,
+        notes,
+    })
+}
+
+/// Widens each finite bound of a specialization by the slack factor,
+/// preserving the paper's Δt sign preconditions.
+fn widen(spec: &EventSpec, slack: f64) -> EventSpec {
+    let stretch = |b: Bound, up: bool| -> Bound {
+        match b {
+            Bound::Fixed(d) => {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+                let widened = (d.micros() as f64 * (1.0 + slack)) as i64;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+                let narrowed = (d.micros() as f64 / (1.0 + slack)) as i64;
+                Bound::Fixed(TimeDelta::from_micros(if up { widened } else { narrowed.max(1) }))
+            }
+            c @ Bound::Calendric(_) => c,
+        }
+    };
+    match *spec {
+        // One-sided and parameterless specs widen on their finite side.
+        EventSpec::DelayedRetroactive { delay } => EventSpec::DelayedRetroactive {
+            delay: stretch(delay, false), // shrink the minimum delay
+        },
+        EventSpec::EarlyPredictive { lead } => EventSpec::EarlyPredictive {
+            lead: stretch(lead, false),
+        },
+        EventSpec::RetroactivelyBounded { bound } => EventSpec::RetroactivelyBounded {
+            bound: stretch(bound, true),
+        },
+        EventSpec::PredictivelyBounded { bound } => EventSpec::PredictivelyBounded {
+            bound: stretch(bound, true),
+        },
+        EventSpec::StronglyRetroactivelyBounded { bound } => {
+            EventSpec::StronglyRetroactivelyBounded {
+                bound: stretch(bound, true),
+            }
+        }
+        EventSpec::StronglyPredictivelyBounded { bound } => {
+            EventSpec::StronglyPredictivelyBounded {
+                bound: stretch(bound, true),
+            }
+        }
+        EventSpec::DelayedStronglyRetroactivelyBounded {
+            min_delay,
+            max_delay,
+        } => EventSpec::DelayedStronglyRetroactivelyBounded {
+            min_delay: stretch(min_delay, false),
+            max_delay: stretch(max_delay, true),
+        },
+        EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+            EventSpec::EarlyStronglyPredictivelyBounded {
+                min_lead: stretch(min_lead, false),
+                max_lead: stretch(max_lead, true),
+            }
+        }
+        EventSpec::StronglyBounded { past, future } => EventSpec::StronglyBounded {
+            past: stretch(past, true),
+            future: stretch(future, true),
+        },
+        other => other,
+    }
+}
+
+/// Runs the advisor over an object-tagged sample, additionally inferring
+/// per-surrogate orderings (§3's per-partition basis): orderings that fail
+/// globally but hold within every life-line are declared `PER SURROGATE`.
+///
+/// Returns `None` on an empty sample.
+#[must_use]
+pub fn advise_events_partitioned(
+    name: &str,
+    tagged: &[(tempora_core::ObjectId, EventStamp)],
+    slack: f64,
+) -> Option<Advice> {
+    use tempora_core::inference::infer_orderings_with_basis;
+    let flat: Vec<EventStamp> = tagged.iter().map(|(_, s)| *s).collect();
+    let mut advice = advise_events(name, &flat, slack)?;
+    let based = infer_orderings_with_basis(tagged);
+    // Rebuild the schema only when a per-object finding adds information.
+    let per_object: Vec<_> = based
+        .iter()
+        .filter(|b| b.basis == Basis::PerObject)
+        .collect();
+    if per_object.is_empty() {
+        return Some(advice);
+    }
+    let mut builder = RelationSchema::builder(name, Stamping::Event);
+    if advice.recommended != EventSpec::General {
+        builder = builder.event_spec(advice.recommended);
+    }
+    for b in &based {
+        builder = builder.ordering(b.spec, b.basis);
+        advice.notes.push(format!(
+            "ordering {} holds {} (partitioned inference)",
+            b.spec, b.basis
+        ));
+    }
+    advice.schema = builder
+        .build()
+        .expect("advisor-assembled schemas are consistent");
+    advice.index = select_index(&advice.schema);
+    Some(advice)
+}
+
+/// The interval advisor's output.
+#[derive(Debug, Clone)]
+pub struct IntervalAdvice {
+    /// Raw inter-interval inference (succession profile, duration units,
+    /// endpoint bands).
+    pub observed: tempora_core::inference::InterIntervalInference,
+    /// The proposed schema.
+    pub schema: Arc<RelationSchema>,
+    /// The index strategy it unlocks.
+    pub index: IndexChoice,
+    /// Human-readable rationale.
+    pub notes: Vec<String>,
+}
+
+/// Runs the advisor over an interval-stamped sample (per-relation basis;
+/// partition the sample per surrogate and call once per partition for
+/// per-surrogate advice).
+///
+/// Proposes: the begin-endpoint band (slack-widened) as an endpoint
+/// specialization, the observed orderings, a strict valid-duration
+/// regularity when all durations are equal (non-strict gcd regularity
+/// otherwise), and `st-X` when the succession profile is a single Allen
+/// relation. Returns `None` on an empty sample.
+#[must_use]
+pub fn advise_intervals(
+    name: &str,
+    stamps: &[tempora_core::spec::interinterval::IntervalStamp],
+    slack: f64,
+) -> Option<IntervalAdvice> {
+    use tempora_core::inference::infer_inter_interval;
+    use tempora_core::spec::interval::{
+        Endpoint, IntervalEndpointSpec, IntervalRegularDimension, IntervalRegularitySpec,
+    };
+    if stamps.is_empty() {
+        return None;
+    }
+    let observed = infer_inter_interval(stamps);
+    let mut notes = Vec::new();
+    let mut builder = RelationSchema::builder(name, Stamping::Interval);
+
+    // Endpoint band → named event spec on the begin endpoint.
+    if let Some(band) = observed.begin_band {
+        if let (Some(lo), Some(hi)) = (band.lo, band.hi) {
+            let begin_stamps: Vec<EventStamp> = stamps
+                .iter()
+                .map(|s| EventStamp::new(s.valid.begin(), s.tt))
+                .collect();
+            if let Some(inf) = tempora_core::inference::infer_event_band(&begin_stamps) {
+                let spec = widen(&inf.strongest, slack.max(0.0));
+                if spec != EventSpec::General {
+                    builder = builder
+                        .endpoint_spec(IntervalEndpointSpec::new(Endpoint::Begin, spec));
+                    notes.push(format!(
+                        "begin offsets observed in [{lo}µs, {hi}µs]; declaring vt⁻-{spec}"
+                    ));
+                }
+            }
+        }
+    }
+    for succession in &observed.successions {
+        builder = builder.succession(*succession, Basis::PerRelation);
+        notes.push(format!("sample satisfies {succession}"));
+    }
+    if let Some(unit) = observed.vt_duration_unit {
+        let mut reg = IntervalRegularitySpec::new(IntervalRegularDimension::ValidTime, unit);
+        if observed.strict_vt_duration {
+            reg = reg.strict();
+            notes.push(format!("all valid durations are exactly {unit} (strict)"));
+        } else {
+            notes.push(format!("valid durations are multiples of {unit}"));
+        }
+        builder = builder.interval_regularity(reg);
+    }
+    let schema = builder
+        .build()
+        .expect("advisor-assembled interval schemas are consistent");
+    let index = select_index(&schema);
+    notes.push(format!("index strategy unlocked: {index:?}"));
+    Some(IntervalAdvice {
+        observed,
+        schema,
+        index,
+        notes,
+    })
+}
+
+/// Validates production data against a declared schema, returning every
+/// violation (empty = conforming). A thin, documented front door over
+/// [`tempora_core::constraint::ConstraintEngine::validate_extension`].
+#[must_use]
+pub fn audit(schema: &Arc<RelationSchema>, elements: &[Element]) -> Vec<Violation> {
+    tempora_core::constraint::ConstraintEngine::validate_extension(schema, elements)
+}
+
+/// Convenience: audit and convert to a `Result`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Violations`] when any element violates the schema.
+pub fn audit_strict(schema: &Arc<RelationSchema>, elements: &[Element]) -> Result<(), CoreError> {
+    let vs = audit(schema, elements);
+    if vs.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::Violations(vs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::spec::event::EventSpecKind;
+    use tempora_core::{ElementId, ObjectId};
+    use tempora_time::Timestamp;
+
+    fn st(vt: i64, tt: i64) -> EventStamp {
+        EventStamp::new(Timestamp::from_secs(vt), Timestamp::from_secs(tt))
+    }
+
+    #[test]
+    fn advisor_on_monitoring_sample() {
+        // Delays 30–60 s.
+        let stamps: Vec<EventStamp> = (0..50)
+            .map(|i| st(i * 60, i * 60 + 30 + (i % 4) * 10))
+            .collect();
+        let advice = advise_events("monitoring", &stamps, 0.25).unwrap();
+        assert_eq!(
+            advice.recommended.kind(),
+            EventSpecKind::DelayedStronglyRetroactivelyBounded
+        );
+        // Slack widened: min delay below 30 s, max above 60 s.
+        match advice.recommended {
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => {
+                assert!(min_delay.as_fixed().unwrap() < TimeDelta::from_secs(30));
+                assert!(max_delay.as_fixed().unwrap() > TimeDelta::from_secs(60));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // The widened schema still admits the sample.
+        let elements: Vec<Element> = stamps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Element::new(
+                    ElementId::new(u64::try_from(i).unwrap()),
+                    ObjectId::new(1),
+                    s.vt,
+                    s.tt,
+                )
+            })
+            .collect();
+        assert!(audit(&advice.schema, &elements).is_empty());
+        // The sample is even sequential (storage delays never reach the
+        // next sample), so the advisor unlocks the append-only order —
+        // stronger than the tt-proxy the band alone would give.
+        assert!(matches!(advice.index, IndexChoice::AppendOrder));
+        assert!(!advice.notes.is_empty());
+    }
+
+    #[test]
+    fn advisor_detects_orderings_and_regularity() {
+        let stamps: Vec<EventStamp> = (0..20).map(|i| st(i * 60, i * 60 + 5)).collect();
+        let advice = advise_events("sampled", &stamps, 0.1).unwrap();
+        assert!(advice
+            .inter
+            .orderings
+            .contains(&tempora_core::spec::interevent::OrderingSpec::GloballyNonDecreasing));
+        assert_eq!(advice.inter.tt_unit, Some(TimeDelta::from_secs(60)));
+        assert!(advice.schema.event_regularities().len() >= 2);
+    }
+
+    #[test]
+    fn advisor_empty_sample() {
+        assert!(advise_events("r", &[], 0.2).is_none());
+    }
+
+    #[test]
+    fn widen_preserves_validity() {
+        for kind in EventSpecKind::ALL {
+            let spec = kind.canonical(Bound::secs(10));
+            for slack in [0.0, 0.1, 1.0, 5.0] {
+                let widened = widen(&spec, slack);
+                widened
+                    .validate()
+                    .unwrap_or_else(|e| panic!("widen broke {kind} at slack {slack}: {e}"));
+                // Widening must not shrink the admitted region.
+                if let (Some(orig), Some(wide)) = (spec.exact_band(), widened.exact_band()) {
+                    assert!(orig.is_subset(wide), "{kind} slack {slack}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_advisor_recommends_per_surrogate() {
+        // Two sensors with interleaved monotone streams: globally
+        // unordered, per-surrogate non-decreasing.
+        let tagged: Vec<(ObjectId, EventStamp)> = (0..40_i64)
+            .map(|i| {
+                let object = ObjectId::new(u64::try_from(i % 2).unwrap());
+                let base = if i % 2 == 0 { 0 } else { 100_000 };
+                (object, st(base + i * 10, i * 10 + 1_000_000))
+            })
+            .collect();
+        let advice = advise_events_partitioned("sensors", &tagged, 0.2).unwrap();
+        let per_object: Vec<_> = advice
+            .schema
+            .orderings()
+            .iter()
+            .filter(|(_, b)| *b == Basis::PerObject)
+            .collect();
+        assert!(
+            !per_object.is_empty(),
+            "interleaved monotone streams must yield a per-surrogate ordering: {:?}",
+            advice.schema.orderings()
+        );
+        // And the proposed schema admits the sample.
+        let elements: Vec<Element> = tagged
+            .iter()
+            .enumerate()
+            .map(|(i, (obj, s))| {
+                Element::new(ElementId::new(u64::try_from(i).unwrap()), *obj, s.vt, s.tt)
+            })
+            .collect();
+        assert!(audit(&advice.schema, &elements).is_empty());
+    }
+
+    #[test]
+    fn interval_advisor_on_weekly_assignments() {
+        use tempora_core::spec::interinterval::{IntervalStamp, SuccessionSpec};
+        use tempora_time::Interval;
+        // Contiguous weeks recorded shortly before each week begins.
+        let stamps: Vec<IntervalStamp> = (0..12_i64)
+            .map(|w| {
+                let begin = Timestamp::from_secs(w * 7 * 86_400);
+                IntervalStamp::new(
+                    Interval::from_len(begin, TimeDelta::from_days(7)).unwrap(),
+                    begin - TimeDelta::from_hours(6 + w % 3),
+                )
+            })
+            .collect();
+        let advice = advise_intervals("weeks", &stamps, 0.25).unwrap();
+        assert!(advice
+            .observed
+            .successions
+            .contains(&SuccessionSpec::GLOBALLY_CONTIGUOUS));
+        assert!(advice.schema.interval_regularities()[0].strict);
+        assert_eq!(advice.schema.endpoint_specs().len(), 1);
+        // The proposed schema admits the sample.
+        let elements: Vec<Element> = stamps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Element::new(
+                    ElementId::new(u64::try_from(i).unwrap()),
+                    ObjectId::new(1),
+                    s.valid,
+                    s.tt,
+                )
+            })
+            .collect();
+        assert!(
+            audit(&advice.schema, &elements).is_empty(),
+            "advice must admit its own sample"
+        );
+        // Ordered arrival unlocks the append-only strategy.
+        assert!(matches!(advice.index, IndexChoice::AppendOrder));
+    }
+
+    #[test]
+    fn interval_advisor_empty_sample() {
+        assert!(advise_intervals("w", &[], 0.1).is_none());
+    }
+
+    #[test]
+    fn audit_strict_errors_on_violation() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let bad = vec![Element::new(
+            ElementId::new(1),
+            ObjectId::new(1),
+            Timestamp::from_secs(100),
+            Timestamp::from_secs(10),
+        )];
+        assert!(audit_strict(&schema, &bad).is_err());
+        assert!(audit_strict(&schema, &[]).is_ok());
+    }
+}

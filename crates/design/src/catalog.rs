@@ -1,0 +1,184 @@
+//! The schema catalog.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use tempora_core::{CoreError, RelationSchema};
+
+/// A thread-safe registry of relation schemas, keyed by relation name.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    schemas: RwLock<BTreeMap<String, Arc<RelationSchema>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a schema under its own name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchema`] if a schema with the same name
+    /// is already registered (schemas are immutable; drop first to
+    /// replace).
+    pub fn register(&self, schema: Arc<RelationSchema>) -> Result<(), CoreError> {
+        let mut map = self.schemas.write();
+        if map.contains_key(schema.name()) {
+            return Err(CoreError::InvalidSchema {
+                reason: format!("relation {} is already registered", schema.name()),
+            });
+        }
+        map.insert(schema.name().to_string(), schema);
+        Ok(())
+    }
+
+    /// Looks up a schema by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<RelationSchema>> {
+        self.schemas.read().get(name).cloned()
+    }
+
+    /// Removes a schema; returns it if present.
+    pub fn drop_schema(&self, name: &str) -> Option<Arc<RelationSchema>> {
+        self.schemas.write().remove(name)
+    }
+
+    /// The registered relation names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.schemas.read().keys().cloned().collect()
+    }
+
+    /// Number of registered schemas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schemas.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schemas.read().is_empty()
+    }
+
+    /// Dumps every schema as DDL text, one statement per line, separated
+    /// by `;` — a plain-text catalog persistence format readable by
+    /// [`Catalog::load_ddl`].
+    #[must_use]
+    pub fn dump_ddl(&self) -> String {
+        self.schemas
+            .read()
+            .values()
+            .map(|s| format!("{};", crate::ddl::render_ddl(s)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Loads a `;`-separated DDL dump (as produced by
+    /// [`Catalog::dump_ddl`]), registering every statement. Returns the
+    /// number of schemas registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or registration error; schemas registered
+    /// before the failure remain registered.
+    pub fn load_ddl(&self, dump: &str) -> Result<usize, CoreError> {
+        let mut count = 0usize;
+        for statement in dump.split(';') {
+            let statement = statement.trim();
+            if statement.is_empty() {
+                continue;
+            }
+            let schema = crate::ddl::parse_ddl(statement).map_err(|e| CoreError::InvalidSchema {
+                reason: e.to_string(),
+            })?;
+            self.register(schema)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::Stamping;
+
+    fn schema(name: &str) -> Arc<RelationSchema> {
+        RelationSchema::builder(name, Stamping::Event).build().unwrap()
+    }
+
+    #[test]
+    fn register_get_drop() {
+        let catalog = Catalog::new();
+        assert!(catalog.is_empty());
+        catalog.register(schema("a")).unwrap();
+        catalog.register(schema("b")).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.names(), vec!["a", "b"]);
+        assert!(catalog.get("a").is_some());
+        assert!(catalog.get("c").is_none());
+        assert!(catalog.drop_schema("a").is_some());
+        assert!(catalog.get("a").is_none());
+        assert!(catalog.drop_schema("a").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let catalog = Catalog::new();
+        catalog.register(schema("a")).unwrap();
+        assert!(catalog.register(schema("a")).is_err());
+    }
+
+    #[test]
+    fn dump_load_round_trip() {
+        let catalog = Catalog::new();
+        catalog
+            .register(
+                crate::ddl::parse_ddl(
+                    "CREATE TEMPORAL RELATION a (k KEY) AS EVENT WITH RETROACTIVE",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        catalog
+            .register(
+                crate::ddl::parse_ddl(
+                    "CREATE TEMPORAL RELATION b (k KEY, p VARYING) AS INTERVAL
+                     WITH CONTIGUOUS PER SURROGATE",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let dump = catalog.dump_ddl();
+        let restored = Catalog::new();
+        assert_eq!(restored.load_ddl(&dump).unwrap(), 2);
+        assert_eq!(restored.names(), catalog.names());
+        let b = restored.get("b").unwrap();
+        assert_eq!(b.successions().len(), 1);
+        // Malformed dumps error.
+        assert!(restored.load_ddl("CREATE NONSENSE;").is_err());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let catalog = Arc::new(Catalog::new());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let c = Arc::clone(&catalog);
+            handles.push(std::thread::spawn(move || {
+                c.register(schema(&format!("rel{i}"))).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(catalog.len(), 8);
+    }
+}

@@ -1,0 +1,353 @@
+//! A small DML, completing the text interface: `INSERT`, `DELETE`, and
+//! `UPDATE` statements against a [`crate::Database`].
+//!
+//! ```text
+//! INSERT INTO plant OBJECT 7 VALID 1992-02-12T08:58:00 SET temperature = 19.5
+//! INSERT INTO weeks OBJECT 3 VALID 1992-03-02 TO 1992-03-09 SET project = 'apollo'
+//! DELETE FROM plant ELEMENT 12
+//! UPDATE plant ELEMENT 12 VALID 1992-02-12T08:59:00 SET temperature = 20.1
+//! ```
+//!
+//! Values: integers, floats, `true`/`false`, `null`, single-quoted
+//! strings, or timestamps.
+
+use tempora_core::{AttrName, ElementId, ObjectId, ValidTime, Value};
+use tempora_time::{Interval, Timestamp};
+
+use crate::ddl::DdlError;
+
+/// A parsed DML statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DmlStatement {
+    /// Insert a new fact.
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// Object surrogate.
+        object: ObjectId,
+        /// Valid time (event or interval).
+        valid: ValidTime,
+        /// Attribute assignments.
+        attrs: Vec<(AttrName, Value)>,
+    },
+    /// Logically delete an element.
+    Delete {
+        /// Target relation.
+        relation: String,
+        /// The element surrogate.
+        element: ElementId,
+    },
+    /// Modify an element (delete + insert under one transaction, §2).
+    Update {
+        /// Target relation.
+        relation: String,
+        /// The element surrogate being superseded.
+        element: ElementId,
+        /// New valid time.
+        valid: ValidTime,
+        /// New attribute assignments.
+        attrs: Vec<(AttrName, Value)>,
+    },
+}
+
+/// Parses one DML statement.
+///
+/// # Errors
+///
+/// Returns [`DdlError::Syntax`] with token position context.
+pub fn parse_dml(input: &str) -> Result<DmlStatement, DdlError> {
+    let tokens = tokenize(input);
+    let mut p = P { tokens, pos: 0 };
+    let statement = if p.accept("INSERT") {
+        p.expect("INTO")?;
+        let relation = p.ident()?;
+        p.expect("OBJECT")?;
+        let object = ObjectId::new(p.integer()?);
+        p.expect("VALID")?;
+        let valid = p.valid_time()?;
+        let attrs = p.set_clause()?;
+        DmlStatement::Insert {
+            relation,
+            object,
+            valid,
+            attrs,
+        }
+    } else if p.accept("DELETE") {
+        p.expect("FROM")?;
+        let relation = p.ident()?;
+        p.expect("ELEMENT")?;
+        let element = ElementId::new(p.integer()?);
+        DmlStatement::Delete { relation, element }
+    } else if p.accept("UPDATE") {
+        let relation = p.ident()?;
+        p.expect("ELEMENT")?;
+        let element = ElementId::new(p.integer()?);
+        p.expect("VALID")?;
+        let valid = p.valid_time()?;
+        let attrs = p.set_clause()?;
+        DmlStatement::Update {
+            relation,
+            element,
+            valid,
+            attrs,
+        }
+    } else {
+        return Err(p.err("INSERT, DELETE, or UPDATE"));
+    };
+    p.end()?;
+    Ok(statement)
+}
+
+fn tokenize(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '\'' {
+            chars.next();
+            let mut lit = String::from("'");
+            for ch in chars.by_ref() {
+                if ch == '\'' {
+                    break;
+                }
+                lit.push(ch);
+            }
+            out.push(lit);
+        } else if c == ',' || c == '=' {
+            chars.next();
+            out.push(c.to_string());
+        } else {
+            let mut tok = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == '\'' || ch == ',' || ch == '=' {
+                    break;
+                }
+                tok.push(ch);
+                chars.next();
+            }
+            out.push(tok);
+        }
+    }
+    out
+}
+
+struct P {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl P {
+    fn err(&self, expected: &str) -> DdlError {
+        DdlError::Syntax {
+            expected: expected.to_string(),
+            found: self
+                .tokens
+                .get(self.pos)
+                .cloned()
+                .unwrap_or_else(|| "<end>".to_string()),
+            position: self.pos,
+        }
+    }
+
+    fn accept(&mut self, kw: &str) -> bool {
+        if self
+            .tokens
+            .get(self.pos)
+            .is_some_and(|t| t.eq_ignore_ascii_case(kw))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kw: &str) -> Result<(), DdlError> {
+        if self.accept(kw) {
+            Ok(())
+        } else {
+            Err(self.err(kw))
+        }
+    }
+
+    fn end(&self) -> Result<(), DdlError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("<end of statement>"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DdlError> {
+        match self.tokens.get(self.pos) {
+            Some(t)
+                if !t.is_empty()
+                    && !t.starts_with('\'')
+                    && t.chars().all(|c| c.is_alphanumeric() || c == '_') =>
+            {
+                self.pos += 1;
+                Ok(self.tokens[self.pos - 1].clone())
+            }
+            _ => Err(self.err("identifier")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<u64, DdlError> {
+        let tok = self.tokens.get(self.pos).ok_or_else(|| self.err("an integer"))?;
+        let n = tok.parse().map_err(|_| self.err("an integer"))?;
+        self.pos += 1;
+        Ok(n)
+    }
+
+    fn timestamp(&mut self) -> Result<Timestamp, DdlError> {
+        let tok = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| self.err("a timestamp"))?;
+        let text = tok.strip_prefix('\'').unwrap_or(tok);
+        let ts = text
+            .parse::<Timestamp>()
+            .map_err(|_| self.err("a timestamp"))?;
+        self.pos += 1;
+        Ok(ts)
+    }
+
+    fn valid_time(&mut self) -> Result<ValidTime, DdlError> {
+        let begin = self.timestamp()?;
+        if self.accept("TO") {
+            let end = self.timestamp()?;
+            let interval = Interval::new(begin, end).map_err(|_| self.err("an end after the begin"))?;
+            Ok(ValidTime::Interval(interval))
+        } else {
+            Ok(ValidTime::Event(begin))
+        }
+    }
+
+    fn set_clause(&mut self) -> Result<Vec<(AttrName, Value)>, DdlError> {
+        let mut attrs = Vec::new();
+        if self.accept("SET") {
+            loop {
+                let name = self.ident()?;
+                self.expect("=")?;
+                let value = self.value()?;
+                attrs.push((AttrName::new(&name), value));
+                if !self.accept(",") {
+                    break;
+                }
+            }
+        }
+        Ok(attrs)
+    }
+
+    fn value(&mut self) -> Result<Value, DdlError> {
+        let tok = self.tokens.get(self.pos).ok_or_else(|| self.err("a value"))?;
+        let v = if let Some(s) = tok.strip_prefix('\'') {
+            Value::str(s)
+        } else if tok.eq_ignore_ascii_case("true") {
+            Value::Bool(true)
+        } else if tok.eq_ignore_ascii_case("false") {
+            Value::Bool(false)
+        } else if tok.eq_ignore_ascii_case("null") {
+            Value::Null
+        } else if let Ok(i) = tok.parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(f) = tok.parse::<f64>() {
+            Value::Float(f)
+        } else if let Ok(t) = tok.parse::<Timestamp>() {
+            Value::Time(t)
+        } else {
+            return Err(self.err("a value (int, float, bool, null, 'string', timestamp)"));
+        };
+        self.pos += 1;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_insert_event() {
+        let s = parse_dml(
+            "INSERT INTO plant OBJECT 7 VALID 1992-02-12T08:58:00 SET temperature = 19.5, unit = 'C'",
+        )
+        .unwrap();
+        match s {
+            DmlStatement::Insert {
+                relation,
+                object,
+                valid,
+                attrs,
+            } => {
+                assert_eq!(relation, "plant");
+                assert_eq!(object, ObjectId::new(7));
+                assert_eq!(
+                    valid,
+                    ValidTime::Event("1992-02-12T08:58:00".parse().unwrap())
+                );
+                assert_eq!(attrs.len(), 2);
+                assert_eq!(attrs[0].1, Value::Float(19.5));
+                assert_eq!(attrs[1].1, Value::str("C"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_interval() {
+        let s = parse_dml(
+            "insert into weeks object 3 valid 1992-03-02 to 1992-03-09 set project = 'apollo'",
+        )
+        .unwrap();
+        match s {
+            DmlStatement::Insert { valid, .. } => {
+                assert!(matches!(valid, ValidTime::Interval(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_delete_and_update() {
+        assert_eq!(
+            parse_dml("DELETE FROM plant ELEMENT 12").unwrap(),
+            DmlStatement::Delete {
+                relation: "plant".to_string(),
+                element: ElementId::new(12)
+            }
+        );
+        let s = parse_dml("UPDATE plant ELEMENT 12 VALID 1992-02-12 SET v = 1").unwrap();
+        assert!(matches!(s, DmlStatement::Update { .. }));
+    }
+
+    #[test]
+    fn value_kinds() {
+        let s = parse_dml(
+            "INSERT INTO r OBJECT 1 VALID 1992-01-01 SET a = 1, b = 1.5, c = true, d = null, e = 'x', f = 1993-01-01",
+        )
+        .unwrap();
+        match s {
+            DmlStatement::Insert { attrs, .. } => {
+                assert_eq!(attrs[0].1, Value::Int(1));
+                assert_eq!(attrs[1].1, Value::Float(1.5));
+                assert_eq!(attrs[2].1, Value::Bool(true));
+                assert_eq!(attrs[3].1, Value::Null);
+                assert_eq!(attrs[4].1, Value::str("x"));
+                assert!(matches!(attrs[5].1, Value::Time(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse_dml("").is_err());
+        assert!(parse_dml("INSERT plant").is_err());
+        assert!(parse_dml("INSERT INTO r OBJECT x VALID 1992-01-01").is_err());
+        assert!(parse_dml("INSERT INTO r OBJECT 1 VALID 1992-01-01 TO 1991-01-01").is_err());
+        assert!(parse_dml("DELETE FROM r ELEMENT 1 trailing").is_err());
+        assert!(parse_dml("INSERT INTO r OBJECT 1 VALID 1992-01-01 SET a = @").is_err());
+    }
+}

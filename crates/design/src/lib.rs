@@ -1,0 +1,40 @@
+//! # tempora-design — the database-design methodology toolkit
+//!
+//! The paper's abstract positions the taxonomy as a design instrument:
+//! "This taxonomy may be employed during database design to specify the
+//! particular time semantics of temporal relations." This crate is that
+//! instrument:
+//!
+//! * [`Catalog`] — a registry of relation schemas;
+//! * [`parse_ddl`] — a small declarative language for specifying schemas
+//!   with their temporal specializations in the paper's own vocabulary
+//!   (`WITH DELAYED RETROACTIVE 30s AND REGULAR TRANSACTION 60s PER
+//!   SURROGATE`);
+//! * [`advise_events`] — the design advisor: feed it a sample extension
+//!   and get a proposed schema (inferred specializations with safety
+//!   slack), the storage/index strategy it unlocks, and explanatory notes;
+//! * [`audit`] — validate production data against a declared schema,
+//!   reporting every violation;
+//! * [`report`] — human-readable taxonomy reports (a schema's position in
+//!   the Figure 2 hierarchy, inherited properties, chosen strategies).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advisor;
+mod catalog;
+mod database;
+mod ddl;
+pub mod dml;
+pub mod dump;
+pub mod report;
+
+pub use advisor::{
+    advise_events, advise_events_partitioned, advise_intervals, audit, audit_strict, Advice,
+    IntervalAdvice,
+};
+pub use catalog::Catalog;
+pub use database::{Database, DbError, ExecOutcome};
+pub use ddl::{parse_ddl, render_ddl, DdlError};
+pub use dml::{parse_dml, DmlStatement};
+pub use dump::{dump, restore};

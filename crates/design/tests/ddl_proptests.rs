@@ -1,0 +1,191 @@
+//! Property-based round-trip tests: arbitrary schemas render to DDL text
+//! that parses back to a structurally identical schema.
+
+use proptest::prelude::*;
+
+use tempora_core::spec::bound::Bound;
+use tempora_core::spec::event::{EventSpec, EventSpecKind};
+use tempora_core::spec::interevent::OrderingSpec;
+use tempora_core::spec::interinterval::SuccessionSpec;
+use tempora_core::spec::interval::{
+    Endpoint, IntervalEndpointSpec, IntervalRegularDimension, IntervalRegularitySpec,
+};
+use tempora_core::spec::regularity::{EventRegularitySpec, RegularDimension};
+use tempora_core::{Basis, RelationSchema, Stamping, TtReference};
+use tempora_design::{parse_ddl, render_ddl};
+use tempora_time::{AllenRelation, Granularity, TimeDelta};
+
+fn bound_strategy() -> impl Strategy<Value = Bound> {
+    prop_oneof![
+        (1_i64..100_000).prop_map(|s| Bound::Fixed(TimeDelta::from_secs(s))),
+        (1_i32..24).prop_map(Bound::months),
+        (1_i32..90).prop_map(|d| Bound::Calendric(tempora_time::CalendricDuration::days(d))),
+    ]
+}
+
+/// A random *valid* event specialization (parameters respect the paper's
+/// preconditions; two-parameter forms order their bounds).
+fn event_spec_strategy() -> impl Strategy<Value = EventSpec> {
+    let b = bound_strategy;
+    prop_oneof![
+        Just(EventSpec::Retroactive),
+        Just(EventSpec::Predictive),
+        Just(EventSpec::Degenerate),
+        b().prop_map(|delay| EventSpec::DelayedRetroactive { delay }),
+        b().prop_map(|lead| EventSpec::EarlyPredictive { lead }),
+        b().prop_map(|bound| EventSpec::RetroactivelyBounded { bound }),
+        b().prop_map(|bound| EventSpec::PredictivelyBounded { bound }),
+        b().prop_map(|bound| EventSpec::StronglyRetroactivelyBounded { bound }),
+        b().prop_map(|bound| EventSpec::StronglyPredictivelyBounded { bound }),
+        (1_i64..1_000, 1_i64..1_000).prop_map(|(a, c)| {
+            let (lo, hi) = (a.min(c), a.max(c) + a.min(c));
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay: Bound::Fixed(TimeDelta::from_secs(lo)),
+                max_delay: Bound::Fixed(TimeDelta::from_secs(hi)),
+            }
+        }),
+        (1_i64..1_000, 1_i64..1_000).prop_map(|(a, c)| {
+            let (lo, hi) = (a.min(c), a.max(c) + a.min(c));
+            EventSpec::EarlyStronglyPredictivelyBounded {
+                min_lead: Bound::Fixed(TimeDelta::from_secs(lo)),
+                max_lead: Bound::Fixed(TimeDelta::from_secs(hi)),
+            }
+        }),
+        (b(), b()).prop_map(|(past, future)| EventSpec::StronglyBounded { past, future }),
+    ]
+}
+
+fn granularity_strategy() -> impl Strategy<Value = Granularity> {
+    (0_usize..9).prop_map(|i| Granularity::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn event_schema_round_trips(
+        spec in event_spec_strategy(),
+        gran in granularity_strategy(),
+        ordering_idx in prop::option::of(0_usize..3),
+        per_object in any::<bool>(),
+        reg_unit in prop::option::of(1_i64..10_000),
+        on_deletion in any::<bool>(),
+    ) {
+        let mut builder = RelationSchema::builder("r", Stamping::Event)
+            .granularity(gran)
+            .key_attr("k")
+            .attr("v", true);
+        let tt_ref = if on_deletion { TtReference::Deletion } else { TtReference::Insertion };
+        builder = builder.event_spec_for(spec, tt_ref);
+        let basis = if per_object { Basis::PerObject } else { Basis::PerRelation };
+        if let Some(i) = ordering_idx {
+            builder = builder.ordering(OrderingSpec::ALL[i], basis);
+        }
+        if let Some(u) = reg_unit {
+            builder = builder.event_regularity(
+                EventRegularitySpec::new(RegularDimension::TransactionTime, TimeDelta::from_secs(u)),
+                basis,
+            );
+        }
+        let Ok(schema) = builder.build() else {
+            // A deletion-referenced spec never conflicts; insertion-referenced
+            // single specs are satisfiable alone — build only fails for
+            // empty conjunctions, which a single spec cannot produce.
+            return Err(TestCaseError::fail("single-spec schema must build"));
+        };
+        let rendered = render_ddl(&schema);
+        let reparsed = parse_ddl(&rendered)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{rendered}")))?;
+        prop_assert_eq!(reparsed.event_specs(), schema.event_specs(), "{}", rendered);
+        prop_assert_eq!(reparsed.granularity(), schema.granularity());
+        prop_assert_eq!(reparsed.orderings(), schema.orderings());
+        prop_assert_eq!(reparsed.event_regularities(), schema.event_regularities());
+        prop_assert_eq!(reparsed.key(), schema.key());
+    }
+
+    #[test]
+    fn interval_schema_round_trips(
+        spec in event_spec_strategy(),
+        endpoint_idx in 0_usize..3,
+        allen_idx in prop::option::of(0_usize..13),
+        reg_dim in 0_usize..3,
+        reg_unit in 1_i64..10_000,
+        strict in any::<bool>(),
+    ) {
+        let endpoint = Endpoint::ALL[endpoint_idx];
+        let mut builder = RelationSchema::builder("r", Stamping::Interval)
+            .key_attr("k")
+            .endpoint_spec(IntervalEndpointSpec::new(endpoint, spec));
+        if let Some(i) = allen_idx {
+            builder = builder.succession(
+                SuccessionSpec::SuccessiveTt(AllenRelation::ALL[i]),
+                Basis::PerObject,
+            );
+        }
+        let dim = IntervalRegularDimension::ALL[reg_dim];
+        let mut reg = IntervalRegularitySpec::new(dim, TimeDelta::from_secs(reg_unit));
+        if strict {
+            reg = reg.strict();
+        }
+        builder = builder.interval_regularity(reg);
+        let Ok(schema) = builder.build() else {
+            return Err(TestCaseError::fail("single-endpoint schema must build"));
+        };
+        let rendered = render_ddl(&schema);
+        let reparsed = parse_ddl(&rendered)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{rendered}")))?;
+        prop_assert_eq!(reparsed.endpoint_specs(), schema.endpoint_specs(), "{}", rendered);
+        prop_assert_eq!(reparsed.successions(), schema.successions());
+        prop_assert_eq!(reparsed.interval_regularities(), schema.interval_regularities());
+    }
+
+    /// The parsers never panic, whatever the input (they return errors).
+    #[test]
+    fn parsers_are_total(input in "\\PC{0,120}") {
+        let _ = parse_ddl(&input);
+        let _ = tempora_design::parse_dml(&input);
+        let _ = tempora_query::parse_tql(&input);
+    }
+
+    /// Keyword soup stresses the grammar paths without panics.
+    #[test]
+    fn parsers_survive_keyword_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "CREATE", "TEMPORAL", "RELATION", "AS", "EVENT", "INTERVAL", "WITH",
+                "AND", "DELAYED", "EARLY", "STRONGLY", "RETROACTIVE", "PREDICTIVE",
+                "BOUNDED", "RETROACTIVELY", "PREDICTIVELY", "30s", "1mo", "(", ")",
+                ",", "KEY", "VARYING", "r", "k", "SELECT", "FROM", "AT", "OF",
+                "WHERE", "=", "7", "INSERT", "INTO", "OBJECT", "VALID", "SET",
+                "PATTERN", "WEEKDAYS", "09:00", "17:00", "REGULAR", "STRICT",
+                "PER", "SURROGATE", "'x'", "1992-02-12",
+            ]),
+            0..25,
+        )
+    ) {
+        let soup = words.join(" ");
+        let _ = parse_ddl(&soup);
+        let _ = tempora_design::parse_dml(&soup);
+        let _ = tempora_query::parse_tql(&soup);
+    }
+
+    /// Rendered DDL always reuses the paper's vocabulary: the event-spec
+    /// kind names appear verbatim (uppercased) in the text.
+    #[test]
+    fn rendered_ddl_speaks_the_papers_language(spec in event_spec_strategy()) {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(spec)
+            .build()
+            .expect("single spec builds");
+        let rendered = render_ddl(&schema);
+        let kind_name = spec.kind().name().to_ascii_uppercase();
+        if spec.kind() != EventSpecKind::General {
+            prop_assert!(
+                rendered.contains(&kind_name),
+                "rendered {:?} lacks {:?}",
+                rendered,
+                kind_name
+            );
+        }
+    }
+}

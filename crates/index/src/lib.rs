@@ -1,0 +1,28 @@
+//! # tempora-index — the index substrate
+//!
+//! §1 of the paper motivates capturing specialization semantics so a DBMS
+//! can select "appropriate storage structures, indexing techniques, and
+//! query processing strategies". This crate supplies the indexing
+//! techniques:
+//!
+//! * [`PointIndex`] — a B-tree point index over valid-time events;
+//! * [`IntervalIndex`] — a centered interval tree over valid-time
+//!   intervals (stabbing and overlap queries);
+//! * [`tt_proxy`] — *the specialization payoff*: when a relation's declared
+//!   offset band bounds `vt − tt`, a valid-time predicate converts into a
+//!   transaction-time range probe on the (always-ordered) `tt` dimension
+//!   plus a residual filter — no valid-time index needed at all;
+//! * [`IndexChoice`]/[`select_index`] — the selector that picks a strategy
+//!   from a schema's declared specializations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval_tree;
+mod point;
+mod selector;
+pub mod tt_proxy;
+
+pub use interval_tree::IntervalIndex;
+pub use point::PointIndex;
+pub use selector::{select_index, select_index_with_profile, IndexChoice};

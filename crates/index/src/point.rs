@@ -1,0 +1,137 @@
+//! B-tree point index over event valid times.
+
+use std::collections::BTreeMap;
+use std::ops::Bound as RangeBound;
+
+use tempora_time::Timestamp;
+
+use tempora_core::ElementId;
+
+/// A point index: valid time → element surrogates.
+///
+/// Supports equality probes and half-open range scans; duplicates (several
+/// elements valid at the same instant) are kept in insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct PointIndex {
+    map: BTreeMap<Timestamp, Vec<ElementId>>,
+    len: usize,
+}
+
+impl PointIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        PointIndex::default()
+    }
+
+    /// Number of indexed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Indexes an element at its valid time.
+    pub fn insert(&mut self, vt: Timestamp, id: ElementId) {
+        self.map.entry(vt).or_default().push(id);
+        self.len += 1;
+    }
+
+    /// Removes one entry; returns whether it was present.
+    pub fn remove(&mut self, vt: Timestamp, id: ElementId) -> bool {
+        let Some(ids) = self.map.get_mut(&vt) else {
+            return false;
+        };
+        let Some(pos) = ids.iter().position(|&e| e == id) else {
+            return false;
+        };
+        ids.remove(pos);
+        if ids.is_empty() {
+            self.map.remove(&vt);
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Elements valid exactly at `vt`.
+    pub fn get(&self, vt: Timestamp) -> impl Iterator<Item = ElementId> + '_ {
+        self.map.get(&vt).into_iter().flatten().copied()
+    }
+
+    /// Elements with valid time in `[from, to)`, in valid-time order.
+    pub fn range(&self, from: Timestamp, to: Timestamp) -> impl Iterator<Item = ElementId> + '_ {
+        self.map
+            .range((RangeBound::Included(from), RangeBound::Excluded(to)))
+            .flat_map(|(_, ids)| ids.iter().copied())
+    }
+
+    /// The extreme indexed valid times, if any.
+    #[must_use]
+    pub fn bounds(&self) -> Option<(Timestamp, Timestamp)> {
+        let lo = self.map.keys().next()?;
+        let hi = self.map.keys().next_back()?;
+        Some((*lo, *hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn id(i: u64) -> ElementId {
+        ElementId::new(i)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut idx = PointIndex::new();
+        idx.insert(ts(10), id(1));
+        idx.insert(ts(10), id(2));
+        idx.insert(ts(20), id(3));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.get(ts(10)).count(), 2);
+        assert!(idx.remove(ts(10), id(1)));
+        assert!(!idx.remove(ts(10), id(1)));
+        assert!(!idx.remove(ts(99), id(9)));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(ts(10)).collect::<Vec<_>>(), vec![id(2)]);
+    }
+
+    #[test]
+    fn range_is_half_open_and_ordered() {
+        let mut idx = PointIndex::new();
+        for i in 0..10_i64 {
+            idx.insert(ts(i * 10), id(u64::try_from(i).unwrap()));
+        }
+        let hits: Vec<ElementId> = idx.range(ts(20), ts(50)).collect();
+        assert_eq!(hits, vec![id(2), id(3), id(4)]);
+        assert_eq!(idx.range(ts(45), ts(46)).count(), 0);
+    }
+
+    #[test]
+    fn bounds() {
+        let mut idx = PointIndex::new();
+        assert_eq!(idx.bounds(), None);
+        idx.insert(ts(30), id(1));
+        idx.insert(ts(-10), id(2));
+        assert_eq!(idx.bounds(), Some((ts(-10), ts(30))));
+    }
+
+    #[test]
+    fn empty_vt_entry_pruned() {
+        let mut idx = PointIndex::new();
+        idx.insert(ts(5), id(1));
+        idx.remove(ts(5), id(1));
+        assert!(idx.is_empty());
+        assert_eq!(idx.bounds(), None);
+    }
+}

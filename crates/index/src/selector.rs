@@ -1,0 +1,202 @@
+//! Index-strategy selection from declared specializations.
+//!
+//! The decision procedure behind §1's promise that specialization
+//! semantics "may be used for selecting appropriate storage structures
+//! [and] indexing techniques":
+//!
+//! 1. a **degenerate** or relation-wide **ordered** relation needs no
+//!    valid-time index at all — the base order serves both dimensions;
+//! 2. a relation whose insertion-referenced specializations yield a
+//!    two-sidedly bounded offset band gets the **tt-proxy** strategy
+//!    (valid-time predicates become transaction-time ranges);
+//! 3. otherwise a dedicated valid-time index is required: a point index
+//!    for event relations, an interval tree for interval relations.
+
+use tempora_core::region::OffsetBand;
+use tempora_core::{RelationSchema, Stamping};
+
+/// The selected valid-time access strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexChoice {
+    /// The base (append) order serves valid-time queries directly — no
+    /// auxiliary structure.
+    AppendOrder,
+    /// Probe the transaction-time order through the offset band, then
+    /// filter.
+    TtProxy(
+        /// The conservative insertion band (both sides finite).
+        OffsetBand,
+    ),
+    /// Maintain a B-tree point index on event valid times.
+    PointIndex,
+    /// Maintain an interval tree on valid intervals.
+    IntervalTree,
+}
+
+/// Selects the valid-time access strategy for a schema.
+#[must_use]
+pub fn select_index(schema: &RelationSchema) -> IndexChoice {
+    if schema.is_degenerate() || schema.is_vt_ordered() {
+        return IndexChoice::AppendOrder;
+    }
+    let band = schema.insertion_band();
+    if band.lo.is_some() && band.hi.is_some() {
+        return IndexChoice::TtProxy(band);
+    }
+    dedicated_index(schema)
+}
+
+/// Cost-aware variant of [`select_index`]: the tt-proxy window scan
+/// examines roughly `window / tt_span` of the relation per probe, so a
+/// wide band over a short-lived relation can be *worse* than maintaining a
+/// dedicated index. Given the expected transaction-time span of the
+/// relation and the largest acceptable window fraction, this falls back to
+/// the dedicated index when the proxy would scan too much.
+///
+/// `max_window_fraction` of 1.0 reproduces [`select_index`]; typical
+/// deployments choose something like 0.05 (a probe may touch 5 % of the
+/// relation). See the `crossover` bench for the empirical trade-off.
+#[must_use]
+pub fn select_index_with_profile(
+    schema: &RelationSchema,
+    expected_tt_span: tempora_time::TimeDelta,
+    max_window_fraction: f64,
+) -> IndexChoice {
+    match select_index(schema) {
+        IndexChoice::TtProxy(band)
+            if crate::tt_proxy::window_fraction(band, expected_tt_span) > max_window_fraction =>
+        {
+            dedicated_index(schema)
+        }
+        choice => choice,
+    }
+}
+
+fn dedicated_index(schema: &RelationSchema) -> IndexChoice {
+    match schema.stamping() {
+        Stamping::Event => IndexChoice::PointIndex,
+        Stamping::Interval => IndexChoice::IntervalTree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::spec::bound::Bound;
+    use tempora_core::spec::event::EventSpec;
+    use tempora_core::spec::interevent::OrderingSpec;
+    use tempora_core::spec::interval::{Endpoint, IntervalEndpointSpec};
+    use tempora_core::Basis;
+
+    #[test]
+    fn degenerate_gets_append_order() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Degenerate)
+            .build()
+            .unwrap();
+        assert_eq!(select_index(&schema), IndexChoice::AppendOrder);
+    }
+
+    #[test]
+    fn sequential_gets_append_order() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerRelation)
+            .build()
+            .unwrap();
+        assert_eq!(select_index(&schema), IndexChoice::AppendOrder);
+    }
+
+    #[test]
+    fn bounded_gets_tt_proxy() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::StronglyBounded {
+                past: Bound::secs(60),
+                future: Bound::secs(30),
+            })
+            .build()
+            .unwrap();
+        match select_index(&schema) {
+            IndexChoice::TtProxy(band) => {
+                assert_eq!(band.lo, Some(-60_000_000));
+                assert_eq!(band.hi, Some(30_000_000));
+            }
+            other => panic!("expected tt proxy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_sided_bound_falls_back_to_point_index() {
+        // Retroactive bounds only one side: no finite window.
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        assert_eq!(select_index(&schema), IndexChoice::PointIndex);
+    }
+
+    #[test]
+    fn general_event_gets_point_index() {
+        let schema = RelationSchema::builder("r", Stamping::Event).build().unwrap();
+        assert_eq!(select_index(&schema), IndexChoice::PointIndex);
+    }
+
+    #[test]
+    fn general_interval_gets_interval_tree() {
+        let schema = RelationSchema::builder("r", Stamping::Interval)
+            .build()
+            .unwrap();
+        assert_eq!(select_index(&schema), IndexChoice::IntervalTree);
+    }
+
+    #[test]
+    fn bounded_interval_begin_gets_tt_proxy() {
+        let schema = RelationSchema::builder("r", Stamping::Interval)
+            .endpoint_spec(IntervalEndpointSpec::new(
+                Endpoint::Begin,
+                EventSpec::StronglyBounded {
+                    past: Bound::secs(10),
+                    future: Bound::secs(10),
+                },
+            ))
+            .build()
+            .unwrap();
+        assert!(matches!(select_index(&schema), IndexChoice::TtProxy(_)));
+    }
+
+    #[test]
+    fn profile_aware_selection_falls_back_on_wide_bands() {
+        use tempora_time::TimeDelta;
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::StronglyBounded {
+                past: Bound::secs(3_000),
+                future: Bound::secs(3_000),
+            })
+            .build()
+            .unwrap();
+        // Band ≈ 6000 s. Over a 100 000 s relation the proxy touches 6 %:
+        // acceptable at 10 %, rejected at 5 %.
+        let span = TimeDelta::from_secs(100_000);
+        assert!(matches!(
+            select_index_with_profile(&schema, span, 0.10),
+            IndexChoice::TtProxy(_)
+        ));
+        assert_eq!(
+            select_index_with_profile(&schema, span, 0.05),
+            IndexChoice::PointIndex
+        );
+        // Threshold 1.0 reproduces the plain selector.
+        assert_eq!(
+            select_index_with_profile(&schema, span, 1.0),
+            select_index(&schema)
+        );
+    }
+
+    #[test]
+    fn per_object_ordering_does_not_unlock_append_order() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+            .build()
+            .unwrap();
+        assert_eq!(select_index(&schema), IndexChoice::PointIndex);
+    }
+}

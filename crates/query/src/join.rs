@@ -1,0 +1,250 @@
+//! Temporal joins: combining two relations on shared valid time.
+//!
+//! The classic temporal-algebra operation over §1's historical queries:
+//! two facts join where their valid times intersect, and the result is
+//! stamped with the intersection. Event relations join on coincidence.
+//!
+//! The join is *specialization-aware* in the same way timeslices are: when
+//! the probe side's schema admits an ordered or bounded strategy, each
+//! outer element's overlap probe runs through the inner relation's planner
+//! rather than a scan (see [`valid_join`]'s use of
+//! [`crate::plan::Query::TimesliceRange`]).
+
+use tempora_time::{Interval, TimeDelta, Timestamp};
+
+use tempora_core::{Element, ObjectId, ValidTime};
+
+use crate::exec::IndexedRelation;
+use crate::plan::Query;
+
+/// One joined pair: the two elements and the valid time they share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinedPair {
+    /// Element from the left relation.
+    pub left: Element,
+    /// Element from the right relation.
+    pub right: Element,
+    /// The shared valid time: the intersection interval, or the common
+    /// instant for event stamps.
+    pub valid: ValidTime,
+}
+
+/// How join keys are matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKey {
+    /// Join only pairs with equal object surrogates (the per-surrogate
+    /// life-line join).
+    Object,
+    /// Join every temporally compatible pair (cross join on time).
+    Any,
+}
+
+/// Joins the *current* elements of two relations on valid-time overlap.
+///
+/// For each current element of `left`, the overlapping `right` elements
+/// are found through `right`'s planner (so bounded/ordered schemas probe
+/// instead of scanning), then filtered by the key discipline. Interval ∧
+/// interval pairs carry the intersection; pairs involving an event carry
+/// the event instant (which must lie inside the other side's valid time).
+#[must_use]
+pub fn valid_join(
+    left: &IndexedRelation,
+    right: &IndexedRelation,
+    key: JoinKey,
+) -> Vec<JoinedPair> {
+    let mut out = Vec::new();
+    for l in left.relation().iter().filter(|e| e.is_current()) {
+        let (from, to) = match l.valid {
+            ValidTime::Event(t) => (t, t.saturating_add(TimeDelta::RESOLUTION)),
+            ValidTime::Interval(iv) => (iv.begin(), iv.end()),
+        };
+        let candidates = right.execute(Query::TimesliceRange { from, to });
+        for r in candidates.elements {
+            if key == JoinKey::Object && r.object != l.object {
+                continue;
+            }
+            if let Some(valid) = shared_valid(l.valid, r.valid) {
+                out.push(JoinedPair {
+                    left: l.clone(),
+                    right: r,
+                    valid,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Joins two relations at one instant: pairs of current elements both
+/// valid at `vt` (the timeslice join).
+#[must_use]
+pub fn timeslice_join(
+    left: &IndexedRelation,
+    right: &IndexedRelation,
+    vt: Timestamp,
+    key: JoinKey,
+) -> Vec<(Element, Element)> {
+    let ls = left.execute(Query::Timeslice { vt }).elements;
+    let rs = right.execute(Query::Timeslice { vt }).elements;
+    let mut out = Vec::new();
+    for l in &ls {
+        for r in &rs {
+            if key == JoinKey::Any || l.object == r.object {
+                out.push((l.clone(), r.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// The shared valid time of two stamps, if any.
+fn shared_valid(a: ValidTime, b: ValidTime) -> Option<ValidTime> {
+    match (a, b) {
+        (ValidTime::Event(x), ValidTime::Event(y)) => (x == y).then_some(ValidTime::Event(x)),
+        (ValidTime::Event(x), ValidTime::Interval(iv))
+        | (ValidTime::Interval(iv), ValidTime::Event(x)) => {
+            iv.contains(x).then_some(ValidTime::Event(x))
+        }
+        (ValidTime::Interval(x), ValidTime::Interval(y)) => {
+            x.intersect(y).map(ValidTime::Interval)
+        }
+    }
+}
+
+/// Convenience: the join restricted to one object's life-lines in both
+/// relations (e.g. an employee's assignment × salary history).
+#[must_use]
+pub fn object_join(
+    left: &IndexedRelation,
+    right: &IndexedRelation,
+    object: ObjectId,
+) -> Vec<JoinedPair> {
+    valid_join(left, right, JoinKey::Object)
+        .into_iter()
+        .filter(|p| p.left.object == object)
+        .collect()
+}
+
+/// The joined pairs' shared intervals, useful for coverage analysis
+/// ("when do both relations know something about the object?").
+#[must_use]
+pub fn shared_intervals(pairs: &[JoinedPair]) -> Vec<Interval> {
+    pairs
+        .iter()
+        .filter_map(|p| match p.valid {
+            ValidTime::Interval(iv) => Some(iv),
+            ValidTime::Event(_) => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempora_core::{AttrName, RelationSchema, Stamping, Value};
+    use tempora_time::ManualClock;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(ts(b), ts(e)).unwrap()
+    }
+
+    fn interval_relation(name: &str, rows: &[(u64, i64, i64, &str)]) -> IndexedRelation {
+        let schema = RelationSchema::builder(name, Stamping::Interval)
+            .attr("v", true)
+            .build()
+            .unwrap();
+        let clock = Arc::new(ManualClock::new(ts(0)));
+        let mut rel = IndexedRelation::new(schema, clock.clone());
+        for (i, &(obj, b, e, v)) in rows.iter().enumerate() {
+            clock.set(ts(i64::try_from(i).unwrap() + 1));
+            rel.insert(
+                ObjectId::new(obj),
+                iv(b, e),
+                vec![(AttrName::new("v"), Value::str(v))],
+            )
+            .unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn interval_join_carries_intersections() {
+        // Assignments × office locations for employee 1.
+        let assignments = interval_relation("a", &[(1, 0, 10, "apollo"), (1, 10, 20, "borealis")]);
+        let offices = interval_relation("o", &[(1, 5, 15, "hq"), (2, 0, 30, "remote")]);
+        let pairs = valid_join(&assignments, &offices, JoinKey::Object);
+        assert_eq!(pairs.len(), 2);
+        let mut spans: Vec<Interval> = shared_intervals(&pairs);
+        spans.sort_by_key(|i| i.begin());
+        assert_eq!(spans, vec![iv(5, 10), iv(10, 15)]);
+    }
+
+    #[test]
+    fn any_key_cross_joins_on_time() {
+        let a = interval_relation("a", &[(1, 0, 10, "x")]);
+        let b = interval_relation("b", &[(2, 5, 15, "y"), (3, 20, 30, "z")]);
+        assert!(valid_join(&a, &b, JoinKey::Object).is_empty());
+        let pairs = valid_join(&a, &b, JoinKey::Any);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].valid, ValidTime::Interval(iv(5, 10)));
+    }
+
+    #[test]
+    fn meeting_intervals_do_not_join() {
+        let a = interval_relation("a", &[(1, 0, 10, "x")]);
+        let b = interval_relation("b", &[(1, 10, 20, "y")]);
+        assert!(valid_join(&a, &b, JoinKey::Object).is_empty());
+    }
+
+    #[test]
+    fn event_in_interval_join() {
+        // Sensor events joined against maintenance windows.
+        let schema = RelationSchema::builder("events", Stamping::Event).build().unwrap();
+        let clock = Arc::new(ManualClock::new(ts(0)));
+        let mut events = IndexedRelation::new(schema, clock.clone());
+        clock.set(ts(1));
+        events.insert(ObjectId::new(1), ts(7), vec![]).unwrap();
+        clock.set(ts(2));
+        events.insert(ObjectId::new(1), ts(25), vec![]).unwrap();
+
+        let windows = interval_relation("w", &[(1, 0, 10, "maintenance")]);
+        let pairs = valid_join(&events, &windows, JoinKey::Object);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].valid, ValidTime::Event(ts(7)));
+        assert!(shared_intervals(&pairs).is_empty()); // event-stamped result
+    }
+
+    #[test]
+    fn timeslice_join_at_instant() {
+        let a = interval_relation("a", &[(1, 0, 10, "x"), (2, 0, 10, "q")]);
+        let b = interval_relation("b", &[(1, 5, 15, "y"), (2, 20, 30, "z")]);
+        let pairs = timeslice_join(&a, &b, ts(7), JoinKey::Object);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.object, ObjectId::new(1));
+        // Any-key at the same instant: a has 2 live, b has 1 ⇒ 2 pairs.
+        assert_eq!(timeslice_join(&a, &b, ts(7), JoinKey::Any).len(), 2);
+    }
+
+    #[test]
+    fn object_join_filters() {
+        let a = interval_relation("a", &[(1, 0, 10, "x"), (2, 0, 10, "y")]);
+        let b = interval_relation("b", &[(1, 5, 15, "p"), (2, 5, 15, "q")]);
+        let only_two = object_join(&a, &b, ObjectId::new(2));
+        assert_eq!(only_two.len(), 1);
+        assert_eq!(only_two[0].left.object, ObjectId::new(2));
+    }
+
+    #[test]
+    fn deleted_elements_do_not_join() {
+        let mut a = interval_relation("a", &[(1, 0, 10, "x")]);
+        let b = interval_relation("b", &[(1, 5, 15, "y")]);
+        let id = a.relation().iter().next().unwrap().id;
+        a.delete(id).unwrap();
+        assert!(valid_join(&a, &b, JoinKey::Object).is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! The specialization-driven planner.
+//!
+//! Rules, in priority order, for valid-time (historical) queries:
+//!
+//! 1. **Ordered relations** (degenerate / sequential / relation-wide
+//!    non-decreasing): the append order *is* valid-time order — binary
+//!    search it ([`Plan::AppendOrderSearch`]). For interval-stamped ordered
+//!    relations the search range's lower edge is widened by the maximum
+//!    interval duration when a declared interval regularity bounds it.
+//! 2. **Bounded relations** (two-sided offset band): convert the valid-time
+//!    predicate into a transaction-time window plus residual filter
+//!    ([`Plan::TtWindowScan`]).
+//! 3. Otherwise use the maintained valid-time index
+//!    ([`Plan::PointProbe`] / [`Plan::IntervalProbe`]).
+//!
+//! Rollback queries always use the transaction-prefix scan — the base
+//! order is transaction-time order for every representation (§2). Current
+//! queries scan the live set; object histories walk the per-surrogate
+//! partition.
+
+use tempora_time::{TimeDelta, Timestamp};
+
+use tempora_core::{RelationSchema, Stamping};
+use tempora_index::{select_index, IndexChoice};
+
+use crate::plan::{Plan, Query};
+
+/// Plans a query against a schema.
+#[must_use]
+pub fn plan_query(schema: &RelationSchema, query: Query) -> Plan {
+    match query {
+        Query::Current => Plan::FullScan,
+        Query::Rollback { tt } => Plan::TtPrefixScan { tt },
+        Query::ObjectHistory { object } => Plan::ObjectScan { object },
+        Query::Timeslice { vt } => plan_timeslice(schema, vt, vt.saturating_add(TimeDelta::RESOLUTION)),
+        Query::TimesliceRange { from, to } => plan_timeslice(schema, from, to),
+        Query::Bitemporal { tt, vt } => {
+            // The valid-time structures (point index / interval tree) track
+            // only *current* elements, so they cannot answer as-of queries;
+            // the tt-ordered base can. Prefer a band-driven window (the
+            // executor additionally clips it at `tt`), then ordered search,
+            // then the rollback prefix scan.
+            match plan_timeslice(schema, vt, vt.saturating_add(TimeDelta::RESOLUTION)) {
+                p @ (Plan::TtWindowScan { .. } | Plan::AppendOrderSearch { .. }) => p,
+                _ => Plan::TtPrefixScan { tt },
+            }
+        }
+    }
+}
+
+/// Plans a valid-time probe over `[from, to)`.
+fn plan_timeslice(schema: &RelationSchema, from: Timestamp, to: Timestamp) -> Plan {
+    // Interval-stamped relations cover instants earlier than their begin
+    // probe point; widen the search floor by the longest possible interval
+    // when the schema bounds durations, otherwise ordered search is only
+    // availableon the begin endpoint for event relations.
+    let probe_floor = match schema.stamping() {
+        Stamping::Event => Some(from),
+        Stamping::Interval => max_interval_duration(schema).map(|d| from.saturating_sub(d)),
+    };
+    match select_index(schema) {
+        IndexChoice::AppendOrder => {
+            if let Some(floor) = probe_floor {
+                Plan::AppendOrderSearch { from: floor, to }
+            } else {
+                Plan::FullScan
+            }
+        }
+        IndexChoice::TtProxy(band) => Plan::TtWindowScan { band, from, to },
+        IndexChoice::PointIndex => Plan::PointProbe { from, to },
+        IndexChoice::IntervalTree => Plan::IntervalProbe { from, to },
+    }
+}
+
+/// The longest valid-interval duration the schema's declared interval
+/// regularities permit: the unit of a *strict* interval regularity (all
+/// intervals exactly that long). Non-strict regularity bounds only the
+/// divisor, not the length, so it yields nothing.
+pub(crate) fn max_interval_duration(schema: &RelationSchema) -> Option<TimeDelta> {
+    schema
+        .interval_regularities()
+        .iter()
+        .filter(|r| {
+            r.strict
+                && matches!(
+                    r.dimension,
+                    tempora_core::spec::interval::IntervalRegularDimension::ValidTime
+                        | tempora_core::spec::interval::IntervalRegularDimension::Temporal
+                )
+        })
+        .map(|r| r.unit)
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::spec::bound::Bound;
+    use tempora_core::spec::event::EventSpec;
+    use tempora_core::spec::interevent::OrderingSpec;
+    use tempora_core::spec::interinterval::SuccessionSpec;
+    use tempora_core::spec::interval::{IntervalRegularDimension, IntervalRegularitySpec};
+    use tempora_core::Basis;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn rollback_is_prefix_scan_everywhere() {
+        for schema in [
+            RelationSchema::builder("a", Stamping::Event).build().unwrap(),
+            RelationSchema::builder("b", Stamping::Event)
+                .event_spec(EventSpec::Degenerate)
+                .build()
+                .unwrap(),
+        ] {
+            assert!(matches!(
+                plan_query(&schema, Query::Rollback { tt: ts(5) }),
+                Plan::TtPrefixScan { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn degenerate_timeslice_uses_append_order() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Degenerate)
+            .build()
+            .unwrap();
+        let plan = plan_query(&schema, Query::Timeslice { vt: ts(100) });
+        assert!(matches!(plan, Plan::AppendOrderSearch { .. }), "{plan}");
+    }
+
+    #[test]
+    fn bounded_timeslice_uses_tt_window() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::StronglyBounded {
+                past: Bound::secs(60),
+                future: Bound::secs(30),
+            })
+            .build()
+            .unwrap();
+        match plan_query(&schema, Query::Timeslice { vt: ts(100) }) {
+            Plan::TtWindowScan { band, .. } => {
+                assert_eq!(band.lo, Some(-60_000_000));
+            }
+            other => panic!("expected tt window scan, got {other}"),
+        }
+    }
+
+    #[test]
+    fn general_event_timeslice_uses_point_probe() {
+        let schema = RelationSchema::builder("r", Stamping::Event).build().unwrap();
+        assert!(matches!(
+            plan_query(&schema, Query::Timeslice { vt: ts(1) }),
+            Plan::PointProbe { .. }
+        ));
+    }
+
+    #[test]
+    fn general_interval_timeslice_uses_interval_probe() {
+        let schema = RelationSchema::builder("r", Stamping::Interval)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            plan_query(&schema, Query::TimesliceRange { from: ts(0), to: ts(10) }),
+            Plan::IntervalProbe { .. }
+        ));
+    }
+
+    #[test]
+    fn ordered_interval_relation_widens_by_strict_duration() {
+        // Weekly contiguous assignments: ordered arrival + strict 7-day
+        // durations ⇒ append-order search with a 7-day widened floor.
+        let schema = RelationSchema::builder("weeks", Stamping::Interval)
+            .succession(SuccessionSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .interval_regularity(
+                IntervalRegularitySpec::new(
+                    IntervalRegularDimension::ValidTime,
+                    TimeDelta::from_days(7),
+                )
+                .strict(),
+            )
+            .build()
+            .unwrap();
+        match plan_query(&schema, Query::Timeslice { vt: ts(1_000_000) }) {
+            Plan::AppendOrderSearch { from, .. } => {
+                assert_eq!(from, ts(1_000_000) - TimeDelta::from_days(7));
+            }
+            other => panic!("expected append-order search, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ordered_interval_without_duration_bound_falls_back() {
+        // Ordered arrival but unbounded interval lengths: an old interval
+        // may still cover the probe, so no sound search floor exists.
+        let schema = RelationSchema::builder("r", Stamping::Interval)
+            .succession(SuccessionSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            plan_query(&schema, Query::Timeslice { vt: ts(100) }),
+            Plan::FullScan
+        ));
+    }
+
+    #[test]
+    fn sequential_event_relation_searchable() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerRelation)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            plan_query(&schema, Query::TimesliceRange { from: ts(0), to: ts(10) }),
+            Plan::AppendOrderSearch { .. }
+        ));
+    }
+
+    #[test]
+    fn object_history_plans_partition_walk() {
+        let schema = RelationSchema::builder("r", Stamping::Event).build().unwrap();
+        let object = tempora_core::ObjectId::new(7);
+        assert_eq!(
+            plan_query(&schema, Query::ObjectHistory { object }),
+            Plan::ObjectScan { object }
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for temporal joins: the planner-driven join must equal a
+//! brute-force nested-loop reference on random interval relations.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tempora_core::{ObjectId, RelationSchema, Stamping, ValidTime};
+use tempora_query::join::{timeslice_join, valid_join, JoinKey};
+use tempora_query::IndexedRelation;
+use tempora_time::{Interval, ManualClock, Timestamp};
+
+type Spec = (u64, i64, i64); // object, begin, length
+
+fn build(rows: &[Spec], tt_base: i64) -> IndexedRelation {
+    let schema = RelationSchema::builder("r", Stamping::Interval)
+        .build()
+        .expect("general interval schema");
+    let clock = Arc::new(ManualClock::new(Timestamp::from_secs(tt_base)));
+    let mut rel = IndexedRelation::new(schema, clock.clone());
+    for (i, &(obj, b, len)) in rows.iter().enumerate() {
+        clock.set(Timestamp::from_secs(tt_base + i64::try_from(i).expect("small") + 1));
+        let iv = Interval::new(Timestamp::from_secs(b), Timestamp::from_secs(b + len))
+            .expect("positive length");
+        rel.insert(ObjectId::new(obj), iv, vec![]).expect("general schema");
+    }
+    rel
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<Spec>> {
+    prop::collection::vec((0_u64..4, -200_i64..200, 1_i64..80), 0..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn valid_join_matches_nested_loop(left in spec_strategy(), right in spec_strategy()) {
+        let l = build(&left, 0);
+        let r = build(&right, 10_000);
+        for key in [JoinKey::Object, JoinKey::Any] {
+            let fast = valid_join(&l, &r, key);
+            // Reference: nested loop over the raw specs.
+            let mut expect = 0usize;
+            for &(lo, lb, ll) in &left {
+                for &(ro, rb, rl) in &right {
+                    if key == JoinKey::Object && lo != ro {
+                        continue;
+                    }
+                    let overlap = lb < rb + rl && rb < lb + ll;
+                    if overlap {
+                        expect += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(fast.len(), expect, "key {:?}", key);
+            // Every reported shared interval really is inside both sides.
+            for pair in &fast {
+                if let ValidTime::Interval(shared) = pair.valid {
+                    let lv = pair.left.valid.as_interval().expect("interval relation");
+                    let rv = pair.right.valid.as_interval().expect("interval relation");
+                    prop_assert!(lv.encloses(shared) && rv.encloses(shared));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeslice_join_matches_per_instant(left in spec_strategy(), right in spec_strategy(), probe in -250_i64..300) {
+        let l = build(&left, 0);
+        let r = build(&right, 10_000);
+        let vt = Timestamp::from_secs(probe);
+        let fast = timeslice_join(&l, &r, vt, JoinKey::Any);
+        let covers = |b: i64, len: i64| b <= probe && probe < b + len;
+        let expect: usize = left
+            .iter()
+            .filter(|&&(_, b, len)| covers(b, len))
+            .count()
+            * right.iter().filter(|&&(_, b, len)| covers(b, len)).count();
+        prop_assert_eq!(fast.len(), expect);
+    }
+}

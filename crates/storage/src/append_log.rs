@@ -1,0 +1,220 @@
+//! Append-only storage for degenerate and sequential relations.
+//!
+//! §3.1: "At the implementation level, a degenerate temporal relation can
+//! be advantageously treated as a rollback relation due to the fact that
+//! relations are append-only and elements are entered in time-stamp
+//! order." §3.2 extends the idea to globally sequential relations, where
+//! "valid time can be approximated with transaction time, yielding an
+//! append-only relation that can support historical (as well as
+//! transaction time) queries."
+//!
+//! [`AppendLog`] exploits exactly that: elements are kept in arrival
+//! (transaction-time) order, which for these specializations is *also*
+//! valid-time order, so both rollback and valid-timeslice reads are binary
+//! searches with no extra index.
+
+use tempora_time::Timestamp;
+
+use tempora_core::{CoreError, Element, ElementId};
+
+/// Append-only element storage where arrival order is simultaneously
+/// transaction- and valid-time order.
+///
+/// The valid-time ordering invariant (`vt_begin` non-decreasing) is
+/// enforced on append — the structure is only sound for relations whose
+/// schema guarantees it (degenerate, sequential, or globally
+/// non-decreasing relations).
+#[derive(Debug, Default, Clone)]
+pub struct AppendLog {
+    elements: Vec<Element>,
+}
+
+impl AppendLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        AppendLog::default()
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Appends an element, verifying both orderings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ElementMismatch`] if transaction times are not
+    /// strictly increasing or valid begins are not non-decreasing (the
+    /// schema promised an ordered relation; a violation here means the
+    /// constraint engine was bypassed).
+    pub fn append(&mut self, element: Element) -> Result<(), CoreError> {
+        if let Some(last) = self.elements.last() {
+            if element.tt_begin <= last.tt_begin {
+                return Err(CoreError::ElementMismatch {
+                    element: element.id,
+                    reason: format!(
+                        "tt_b {} not after last tt_b {}",
+                        element.tt_begin, last.tt_begin
+                    ),
+                });
+            }
+            if element.valid.begin() < last.valid.begin() {
+                return Err(CoreError::ElementMismatch {
+                    element: element.id,
+                    reason: format!(
+                        "vt begin {} regresses below {} — append-only storage requires an ordered relation",
+                        element.valid.begin(),
+                        last.valid.begin()
+                    ),
+                });
+            }
+        }
+        self.elements.push(element);
+        Ok(())
+    }
+
+    /// All elements in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &Element> {
+        self.elements.iter()
+    }
+
+    /// The element by surrogate (linear; the log is not keyed — use the
+    /// relation façade's indexes for point lookups).
+    #[must_use]
+    pub fn get(&self, id: ElementId) -> Option<&Element> {
+        self.elements.iter().find(|e| e.id == id)
+    }
+
+    /// Elements of the historical state at transaction time `tt`: the
+    /// prefix with `tt_b ≤ tt` (binary search), minus logical deletions.
+    pub fn iter_at(&self, tt: Timestamp) -> impl Iterator<Item = &Element> + '_ {
+        let end = self.elements.partition_point(|e| e.tt_begin <= tt);
+        self.elements[..end].iter().filter(move |e| e.existed_at(tt))
+    }
+
+    /// Elements whose valid begin lies in `[from, to)` — a contiguous run
+    /// found by binary search, the payoff of the ordering invariant.
+    #[must_use]
+    pub fn slice_by_vt_begin(&self, from: Timestamp, to: Timestamp) -> &[Element] {
+        let lo = self.elements.partition_point(|e| e.valid.begin() < from);
+        let hi = self.elements.partition_point(|e| e.valid.begin() < to);
+        &self.elements[lo..hi]
+    }
+
+    /// Elements with `tt_b` in the inclusive window `[lo, hi]` (binary
+    /// search on arrival order).
+    #[must_use]
+    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> &[Element] {
+        let start = self.elements.partition_point(|e| e.tt_begin < lo);
+        let end = self.elements.partition_point(|e| e.tt_begin <= hi);
+        &self.elements[start..end]
+    }
+
+    /// Marks an element logically deleted (linear scan; deletions are rare
+    /// in the append-mostly workloads this representation targets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchElement`] for unknown or already deleted
+    /// surrogates, [`CoreError::ElementMismatch`] for `tt_d ≤ tt_b`.
+    pub fn delete(&mut self, id: ElementId, tt_d: Timestamp) -> Result<(), CoreError> {
+        let element = self
+            .elements
+            .iter_mut()
+            .find(|e| e.id == id)
+            .ok_or(CoreError::NoSuchElement { element: id })?;
+        if element.tt_end.is_some() {
+            return Err(CoreError::NoSuchElement { element: id });
+        }
+        if tt_d <= element.tt_begin {
+            return Err(CoreError::ElementMismatch {
+                element: id,
+                reason: format!("tt_d {tt_d} must exceed tt_b {}", element.tt_begin),
+            });
+        }
+        element.tt_end = Some(tt_d);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::{ObjectId, ValidTime};
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn el(id: u64, vt: i64, tt: i64) -> Element {
+        Element::new(
+            ElementId::new(id),
+            ObjectId::new(1),
+            ValidTime::Event(ts(vt)),
+            ts(tt),
+        )
+    }
+
+    #[test]
+    fn append_enforces_both_orders() {
+        let mut log = AppendLog::new();
+        log.append(el(1, 10, 10)).unwrap();
+        log.append(el(2, 10, 11)).unwrap(); // equal vt allowed
+        log.append(el(3, 12, 12)).unwrap();
+        assert!(log.append(el(4, 11, 13)).is_err()); // vt regression
+        assert!(log.append(el(5, 20, 12)).is_err()); // tt regression
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn vt_slice_binary_search() {
+        let mut log = AppendLog::new();
+        for i in 0..100_i64 {
+            log.append(el(u64::try_from(i).unwrap(), i * 10, i * 10 + 1)).unwrap();
+        }
+        let run = log.slice_by_vt_begin(ts(200), ts(300));
+        assert_eq!(run.len(), 10);
+        assert_eq!(run[0].valid.begin(), ts(200));
+        assert_eq!(run[9].valid.begin(), ts(290));
+        assert!(log.slice_by_vt_begin(ts(5_000), ts(6_000)).is_empty());
+    }
+
+    #[test]
+    fn rollback_prefix() {
+        let mut log = AppendLog::new();
+        log.append(el(1, 10, 10)).unwrap();
+        log.append(el(2, 20, 20)).unwrap();
+        log.delete(ElementId::new(1), ts(25)).unwrap();
+        assert_eq!(log.iter_at(ts(15)).count(), 1);
+        assert_eq!(log.iter_at(ts(20)).count(), 2);
+        assert_eq!(log.iter_at(ts(25)).count(), 1);
+        assert_eq!(log.iter_at(ts(5)).count(), 0);
+    }
+
+    #[test]
+    fn delete_errors() {
+        let mut log = AppendLog::new();
+        log.append(el(1, 10, 10)).unwrap();
+        assert!(log.delete(ElementId::new(2), ts(20)).is_err());
+        assert!(log.delete(ElementId::new(1), ts(10)).is_err());
+        log.delete(ElementId::new(1), ts(20)).unwrap();
+        assert!(log.delete(ElementId::new(1), ts(30)).is_err());
+    }
+
+    #[test]
+    fn get_by_id() {
+        let mut log = AppendLog::new();
+        log.append(el(7, 10, 10)).unwrap();
+        assert!(log.get(ElementId::new(7)).is_some());
+        assert!(log.get(ElementId::new(8)).is_none());
+    }
+}

@@ -1,0 +1,267 @@
+//! Attribute-value time-stamping: the \[Gad88\] representation.
+//!
+//! §2's closing survey of physical representations ends with "tuples
+//! containing attributes time-stamped with one or more finite unions of
+//! intervals (termed temporal elements \[Gad88\])". In that homogeneous
+//! model, each object carries, per attribute, a set of `(value, temporal
+//! element)` pairs whose temporal elements partition the attribute's
+//! lifespan: the attribute has exactly one value at any covered valid
+//! instant.
+//!
+//! [`AttributeStore`] implements the representation and a converter from
+//! the tuple-stamped world: folding a relation's *current* interval-stamped
+//! elements per object per attribute, with later-stored elements
+//! superseding earlier ones on overlap (the same semantics as
+//! [`tempora_query`-style] timelines, here at the storage layer). The
+//! §2 claim that the conceptual model "does not imply (nor disallow) a
+//! particular physical representation" is tested by round-tripping
+//! queries across representations.
+
+use std::collections::BTreeMap;
+
+use tempora_time::{Interval, IntervalSet, Timestamp};
+
+use tempora_core::{AttrName, Element, ObjectId, Value, ValidTime};
+
+/// Per-attribute history: values stamped with disjoint temporal elements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttributeHistory {
+    /// `(value, temporal element)` pairs; temporal elements are pairwise
+    /// disjoint (the homogeneity invariant).
+    entries: Vec<(Value, IntervalSet)>,
+}
+
+impl AttributeHistory {
+    /// The value holding at `vt`, if any.
+    #[must_use]
+    pub fn value_at(&self, vt: Timestamp) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(_, te)| te.contains(vt))
+            .map(|(v, _)| v)
+    }
+
+    /// The stored `(value, temporal element)` pairs.
+    #[must_use]
+    pub fn entries(&self) -> &[(Value, IntervalSet)] {
+        &self.entries
+    }
+
+    /// The union of all temporal elements: when the attribute has *some*
+    /// value.
+    #[must_use]
+    pub fn lifespan(&self) -> IntervalSet {
+        self.entries
+            .iter()
+            .fold(IntervalSet::empty(), |acc, (_, te)| acc.union(te))
+    }
+
+    /// Asserts pairwise disjointness (the \[Gad88\] homogeneity invariant);
+    /// used by tests.
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        for (i, (_, a)) in self.entries.iter().enumerate() {
+            for (_, b) in self.entries.iter().skip(i + 1) {
+                if a.overlaps(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Records that the attribute held `value` over `when`, superseding
+    /// anything previously recorded over that span.
+    pub fn paint(&mut self, value: &Value, when: Interval) {
+        let mask = IntervalSet::from_interval(when);
+        for (_, te) in &mut self.entries {
+            *te = te.difference(&mask);
+        }
+        self.entries.retain(|(_, te)| !te.is_empty());
+        // Merge into an existing equal value if present, else push.
+        if let Some((_, te)) = self.entries.iter_mut().find(|(v, _)| v == value) {
+            *te = te.union(&mask);
+        } else {
+            self.entries.push((value.clone(), mask));
+        }
+    }
+}
+
+/// The attribute-time-stamped store: object → attribute → history.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeStore {
+    objects: BTreeMap<ObjectId, BTreeMap<AttrName, AttributeHistory>>,
+}
+
+impl AttributeStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        AttributeStore::default()
+    }
+
+    /// Builds the store from tuple-stamped elements: each *current*
+    /// interval-stamped element paints its attribute values over its valid
+    /// interval, in storage (`tt_b`) order so later assertions supersede.
+    #[must_use]
+    pub fn from_elements<'a>(elements: impl IntoIterator<Item = &'a Element>) -> Self {
+        let mut sorted: Vec<&Element> = elements
+            .into_iter()
+            .filter(|e| e.is_current())
+            .collect();
+        sorted.sort_by_key(|e| e.tt_begin);
+        let mut store = AttributeStore::new();
+        for e in sorted {
+            if let ValidTime::Interval(iv) = e.valid {
+                for (name, value) in &e.attrs {
+                    store
+                        .objects
+                        .entry(e.object)
+                        .or_default()
+                        .entry(name.clone())
+                        .or_default()
+                        .paint(value, iv);
+                }
+            }
+        }
+        store
+    }
+
+    /// The history of one attribute of one object.
+    #[must_use]
+    pub fn history(&self, object: ObjectId, attr: &str) -> Option<&AttributeHistory> {
+        self.objects
+            .get(&object)?
+            .iter()
+            .find(|(n, _)| n.as_str() == attr)
+            .map(|(_, h)| h)
+    }
+
+    /// The value of `attr` for `object` at valid time `vt`.
+    #[must_use]
+    pub fn value_at(&self, object: ObjectId, attr: &str, vt: Timestamp) -> Option<&Value> {
+        self.history(object, attr)?.value_at(vt)
+    }
+
+    /// The stored objects.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.keys().copied()
+    }
+
+    /// Whether every attribute history satisfies the homogeneity
+    /// invariant.
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        self.objects
+            .values()
+            .flat_map(BTreeMap::values)
+            .all(AttributeHistory::is_homogeneous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::ElementId;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(ts(b), ts(e)).unwrap()
+    }
+
+    fn el(id: u64, obj: u64, valid: Interval, tt: i64, project: &str) -> Element {
+        Element::new(ElementId::new(id), ObjectId::new(obj), valid, ts(tt))
+            .with_attr("project", project)
+    }
+
+    #[test]
+    fn paint_and_lookup() {
+        let mut h = AttributeHistory::default();
+        h.paint(&Value::str("apollo"), iv(0, 10));
+        h.paint(&Value::str("borealis"), iv(10, 20));
+        assert_eq!(h.value_at(ts(5)), Some(&Value::str("apollo")));
+        assert_eq!(h.value_at(ts(15)), Some(&Value::str("borealis")));
+        assert_eq!(h.value_at(ts(25)), None);
+        assert!(h.is_homogeneous());
+        assert_eq!(h.lifespan().runs().len(), 1); // [0, 20) as one span
+    }
+
+    #[test]
+    fn later_paint_supersedes() {
+        let mut h = AttributeHistory::default();
+        h.paint(&Value::str("apollo"), iv(0, 20));
+        h.paint(&Value::str("borealis"), iv(5, 10));
+        assert_eq!(h.value_at(ts(2)), Some(&Value::str("apollo")));
+        assert_eq!(h.value_at(ts(7)), Some(&Value::str("borealis")));
+        assert_eq!(h.value_at(ts(15)), Some(&Value::str("apollo")));
+        assert!(h.is_homogeneous());
+        // The apollo temporal element is now a genuine union of intervals.
+        let apollo_te = &h.entries().iter().find(|(v, _)| v == &Value::str("apollo")).unwrap().1;
+        assert_eq!(apollo_te.run_count(), 2);
+    }
+
+    #[test]
+    fn equal_values_merge_into_one_temporal_element() {
+        let mut h = AttributeHistory::default();
+        h.paint(&Value::str("apollo"), iv(0, 10));
+        h.paint(&Value::str("apollo"), iv(20, 30));
+        assert_eq!(h.entries().len(), 1);
+        assert_eq!(h.entries()[0].1.run_count(), 2);
+    }
+
+    #[test]
+    fn from_elements_respects_storage_order_and_currency() {
+        let mut superseded = el(1, 1, iv(0, 21), 1, "apollo");
+        superseded.tt_end = Some(ts(100)); // logically deleted: ignored
+        let elements = vec![
+            superseded,
+            el(2, 1, iv(0, 21), 2, "caravel"),
+            el(3, 1, iv(7, 14), 3, "borealis"), // later, overrides middle week
+            el(4, 2, iv(0, 7), 4, "delphi"),    // other object
+        ];
+        let store = AttributeStore::from_elements(&elements);
+        assert!(store.is_homogeneous());
+        let o1 = ObjectId::new(1);
+        assert_eq!(store.value_at(o1, "project", ts(3)), Some(&Value::str("caravel")));
+        assert_eq!(store.value_at(o1, "project", ts(10)), Some(&Value::str("borealis")));
+        assert_eq!(store.value_at(o1, "project", ts(18)), Some(&Value::str("caravel")));
+        assert_eq!(
+            store.value_at(ObjectId::new(2), "project", ts(3)),
+            Some(&Value::str("delphi"))
+        );
+        assert_eq!(store.value_at(o1, "missing", ts(3)), None);
+        assert_eq!(store.objects().count(), 2);
+    }
+
+    #[test]
+    fn representation_equivalence_with_tuple_view() {
+        // §2: the conceptual model admits multiple physical
+        // representations — per-instant answers must agree between the
+        // tuple-stamped elements and the attribute-stamped store.
+        let elements = vec![
+            el(1, 1, iv(0, 7), 1, "apollo"),
+            el(2, 1, iv(7, 14), 2, "apollo"),
+            el(3, 1, iv(14, 21), 3, "borealis"),
+            el(4, 1, iv(5, 9), 4, "caravel"),
+        ];
+        let store = AttributeStore::from_elements(&elements);
+        for probe in -2..25_i64 {
+            let vt = ts(probe);
+            // Tuple-view answer: value of the last-stored current element
+            // covering vt.
+            let tuple_answer = elements
+                .iter()
+                .filter(|e| e.is_current() && e.valid.covers(vt))
+                .max_by_key(|e| e.tt_begin)
+                .and_then(|e| e.attr("project"));
+            assert_eq!(
+                store.value_at(ObjectId::new(1), "project", vt),
+                tuple_answer,
+                "at {probe}"
+            );
+        }
+    }
+}

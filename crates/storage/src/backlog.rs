@@ -1,0 +1,281 @@
+//! Backlog representation: the relation as a log of operations.
+//!
+//! §2: a temporal relation may be represented "as a backlog relation of
+//! insertion, modification, and deletion operations (tuples) with single
+//! transaction time-stamps" \[JMRS90\]. The backlog is the *system of
+//! record*: every historical state is a deterministic replay of an
+//! operation prefix, which is how the rollback operator is implemented
+//! here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tempora_time::Timestamp;
+
+use tempora_core::{CoreError, Element, ElementId};
+
+/// The kind of a backlog operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BacklogKind {
+    /// A new element was stored.
+    Insertion,
+    /// An element was logically deleted.
+    Deletion,
+    /// A modification: the paper decomposes it as "the element in the
+    /// current historical state is (logically) deleted, and a new element
+    /// … is stored in the new historical state" (§2); the backlog keeps it
+    /// as one operation carrying both halves.
+    Modification,
+}
+
+impl fmt::Display for BacklogKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BacklogKind::Insertion => "insert",
+            BacklogKind::Deletion => "delete",
+            BacklogKind::Modification => "modify",
+        })
+    }
+}
+
+/// One backlog operation, stamped with a single transaction time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacklogOp {
+    /// When the operation executed (unique per operation, §2).
+    pub tt: Timestamp,
+    /// What happened.
+    pub kind: BacklogKind,
+    /// The element deleted by a deletion/modification.
+    pub deleted: Option<ElementId>,
+    /// The element stored by an insertion/modification (with `tt_begin =
+    /// tt`, current at the time).
+    pub stored: Option<Element>,
+}
+
+/// An append-only operation log with single transaction time-stamps.
+#[derive(Debug, Default, Clone)]
+pub struct Backlog {
+    ops: Vec<BacklogOp>,
+}
+
+impl Backlog {
+    /// An empty backlog.
+    #[must_use]
+    pub fn new() -> Self {
+        Backlog::default()
+    }
+
+    /// Number of operations logged.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operation has been logged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The logged operations, in transaction-time order.
+    #[must_use]
+    pub fn ops(&self) -> &[BacklogOp] {
+        &self.ops
+    }
+
+    fn check_tt(&self, tt: Timestamp) -> Result<(), CoreError> {
+        if let Some(last) = self.ops.last() {
+            if tt <= last.tt {
+                return Err(CoreError::InvalidSchema {
+                    reason: format!(
+                        "backlog operations must have strictly increasing transaction times ({tt} after {})",
+                        last.tt
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Logs an insertion. The element's `tt_begin` must equal the
+    /// operation's transaction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when transaction times are not strictly
+    /// increasing or the element's stamp disagrees with the operation's.
+    pub fn log_insert(&mut self, element: Element) -> Result<(), CoreError> {
+        self.check_tt(element.tt_begin)?;
+        if element.tt_end.is_some() {
+            return Err(CoreError::ElementMismatch {
+                element: element.id,
+                reason: "backlogged insertions must be current elements".to_string(),
+            });
+        }
+        self.ops.push(BacklogOp {
+            tt: element.tt_begin,
+            kind: BacklogKind::Insertion,
+            deleted: None,
+            stored: Some(element),
+        });
+        Ok(())
+    }
+
+    /// Logs a logical deletion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when transaction times are not strictly increasing.
+    pub fn log_delete(&mut self, id: ElementId, tt: Timestamp) -> Result<(), CoreError> {
+        self.check_tt(tt)?;
+        self.ops.push(BacklogOp {
+            tt,
+            kind: BacklogKind::Deletion,
+            deleted: Some(id),
+            stored: None,
+        });
+        Ok(())
+    }
+
+    /// Logs a modification: `old` is deleted and `new` stored atomically
+    /// at `new.tt_begin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when transaction times are not strictly increasing.
+    pub fn log_modify(&mut self, old: ElementId, new: Element) -> Result<(), CoreError> {
+        self.check_tt(new.tt_begin)?;
+        if new.tt_end.is_some() {
+            return Err(CoreError::ElementMismatch {
+                element: new.id,
+                reason: "backlogged modifications must store current elements".to_string(),
+            });
+        }
+        self.ops.push(BacklogOp {
+            tt: new.tt_begin,
+            kind: BacklogKind::Modification,
+            deleted: Some(old),
+            stored: Some(new),
+        });
+        Ok(())
+    }
+
+    /// Replays the backlog up to and including transaction time `tt`,
+    /// producing that historical state (element surrogate → element, with
+    /// `tt_end` filled for the elements deleted *within* the replayed
+    /// prefix — i.e. the state as the incremental model \[JMR91\] would
+    /// materialize it).
+    #[must_use]
+    pub fn replay_at(&self, tt: Timestamp) -> BTreeMap<ElementId, Element> {
+        let mut state: BTreeMap<ElementId, Element> = BTreeMap::new();
+        for op in &self.ops {
+            if op.tt > tt {
+                break;
+            }
+            if let Some(deleted) = op.deleted {
+                state.remove(&deleted);
+            }
+            if let Some(stored) = &op.stored {
+                state.insert(stored.id, stored.clone());
+            }
+        }
+        state
+    }
+
+    /// Replays the full backlog to the current state.
+    #[must_use]
+    pub fn replay_current(&self) -> BTreeMap<ElementId, Element> {
+        self.replay_at(Timestamp::MAX)
+    }
+
+    /// Operations with transaction time in `[from, to)` — the differential
+    /// a cache at state `from` needs to catch up to state `to` (the
+    /// "differential techniques" of \[JMRS90\]).
+    #[must_use]
+    pub fn differential(&self, from: Timestamp, to: Timestamp) -> &[BacklogOp] {
+        let lo = self.ops.partition_point(|op| op.tt < from);
+        let hi = self.ops.partition_point(|op| op.tt < to);
+        &self.ops[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::{ObjectId, ValidTime};
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn el(id: u64, vt: i64, tt: i64) -> Element {
+        Element::new(
+            ElementId::new(id),
+            ObjectId::new(1),
+            ValidTime::Event(ts(vt)),
+            ts(tt),
+        )
+    }
+
+    #[test]
+    fn replay_reconstructs_states() {
+        let mut log = Backlog::new();
+        log.log_insert(el(1, 5, 10)).unwrap();
+        log.log_insert(el(2, 6, 20)).unwrap();
+        log.log_delete(ElementId::new(1), ts(30)).unwrap();
+        log.log_modify(ElementId::new(2), el(3, 7, 40)).unwrap();
+
+        assert!(log.replay_at(ts(5)).is_empty());
+        assert_eq!(log.replay_at(ts(10)).len(), 1);
+        assert_eq!(log.replay_at(ts(25)).len(), 2);
+        let s30 = log.replay_at(ts(30));
+        assert_eq!(s30.len(), 1);
+        assert!(s30.contains_key(&ElementId::new(2)));
+        let now = log.replay_current();
+        assert_eq!(now.len(), 1);
+        assert!(now.contains_key(&ElementId::new(3)));
+    }
+
+    #[test]
+    fn monotone_tt_enforced() {
+        let mut log = Backlog::new();
+        log.log_insert(el(1, 5, 10)).unwrap();
+        assert!(log.log_insert(el(2, 5, 10)).is_err());
+        assert!(log.log_delete(ElementId::new(1), ts(9)).is_err());
+        assert!(log.log_insert(el(2, 5, 11)).is_ok());
+    }
+
+    #[test]
+    fn completed_elements_rejected() {
+        let mut log = Backlog::new();
+        let mut e = el(1, 5, 10);
+        e.tt_end = Some(ts(20));
+        assert!(log.log_insert(e.clone()).is_err());
+        assert!(log.log_modify(ElementId::new(9), e).is_err());
+    }
+
+    #[test]
+    fn differential_window() {
+        let mut log = Backlog::new();
+        for i in 1..=5_i64 {
+            log.log_insert(el(u64::try_from(i).unwrap(), 0, i * 10)).unwrap();
+        }
+        let diff = log.differential(ts(20), ts(41));
+        let tts: Vec<i64> = diff.iter().map(|op| op.tt.secs()).collect();
+        assert_eq!(tts, vec![20, 30, 40]);
+        assert!(log.differential(ts(100), ts(200)).is_empty());
+    }
+
+    #[test]
+    fn modification_is_atomic_delete_insert() {
+        let mut log = Backlog::new();
+        log.log_insert(el(1, 5, 10)).unwrap();
+        log.log_modify(ElementId::new(1), el(2, 6, 20)).unwrap();
+        // At tt 20 the old element is gone and the new one present —
+        // exactly one state transition.
+        let s = log.replay_at(ts(20));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains_key(&ElementId::new(2)));
+        assert_eq!(log.len(), 2);
+    }
+}

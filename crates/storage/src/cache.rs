@@ -1,0 +1,187 @@
+//! Differential state caching over the backlog.
+//!
+//! §2 cites \[JMRS90\] — "Using Caching, Cache Indexing, and Differential
+//! Techniques to Efficiently Support Transaction Time" — as one way to
+//! realize the sequence-of-historical-states model: keep the relation as a
+//! backlog of operations, materialize states into caches, and bring a
+//! stale cache forward by applying only the *differential* (the operations
+//! logged since the cache's snapshot time) instead of replaying from
+//! scratch.
+//!
+//! [`StateCache`] is that mechanism: a materialized historical state
+//! pinned at a transaction time, refreshable forward in `O(|differential|)`.
+
+use std::collections::BTreeMap;
+
+use tempora_time::{TimeDelta, Timestamp};
+
+use tempora_core::{Element, ElementId};
+
+use crate::backlog::Backlog;
+
+/// A materialized historical state, refreshable from a [`Backlog`].
+///
+/// Invariant: `state` equals `backlog.replay_at(as_of)` for the backlog it
+/// has been refreshed against (tested, including property tests).
+#[derive(Debug, Clone, Default)]
+pub struct StateCache {
+    as_of: Timestamp,
+    state: BTreeMap<ElementId, Element>,
+    /// Operations applied since construction (for instrumentation).
+    ops_applied: u64,
+}
+
+impl StateCache {
+    /// An empty cache pinned before all time (refreshing applies the whole
+    /// backlog).
+    #[must_use]
+    pub fn new() -> Self {
+        StateCache {
+            as_of: Timestamp::MIN,
+            state: BTreeMap::new(),
+            ops_applied: 0,
+        }
+    }
+
+    /// The transaction time this cache reflects.
+    #[must_use]
+    pub fn as_of(&self) -> Timestamp {
+        self.as_of
+    }
+
+    /// Number of operations ever applied to this cache.
+    #[must_use]
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// The cached state (element surrogate → element).
+    #[must_use]
+    pub fn state(&self) -> &BTreeMap<ElementId, Element> {
+        &self.state
+    }
+
+    /// Number of elements in the cached state.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether the cached state is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Brings the cache forward to transaction time `to`, applying exactly
+    /// the backlog differential `(as_of, to]`. Returns the number of
+    /// operations applied.
+    ///
+    /// Moving *backward* is not supported (caches only roll forward;
+    /// create a fresh cache to travel back): a `to` before the current
+    /// snapshot is a no-op returning 0.
+    pub fn refresh(&mut self, backlog: &Backlog, to: Timestamp) -> usize {
+        if to <= self.as_of {
+            return 0;
+        }
+        // Differential is half-open [from, to): shift by one microsecond on
+        // both sides to get the (as_of, to] window the cache needs.
+        let diff = backlog.differential(
+            self.as_of.saturating_add(TimeDelta::RESOLUTION),
+            to.saturating_add(TimeDelta::RESOLUTION),
+        );
+        let applied = diff.len();
+        for op in diff {
+            if let Some(deleted) = op.deleted {
+                self.state.remove(&deleted);
+            }
+            if let Some(stored) = &op.stored {
+                self.state.insert(stored.id, stored.clone());
+            }
+        }
+        self.as_of = to;
+        self.ops_applied += applied as u64;
+        applied
+    }
+
+    /// Refreshes to the latest logged operation.
+    pub fn refresh_to_latest(&mut self, backlog: &Backlog) -> usize {
+        match backlog.ops().last() {
+            Some(op) => self.refresh(backlog, op.tt),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::{ObjectId, ValidTime};
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn el(id: u64, tt: i64) -> Element {
+        Element::new(
+            ElementId::new(id),
+            ObjectId::new(1),
+            ValidTime::Event(ts(0)),
+            ts(tt),
+        )
+    }
+
+    fn demo_backlog() -> Backlog {
+        let mut log = Backlog::new();
+        log.log_insert(el(1, 10)).unwrap();
+        log.log_insert(el(2, 20)).unwrap();
+        log.log_delete(ElementId::new(1), ts(30)).unwrap();
+        log.log_modify(ElementId::new(2), el(3, 40)).unwrap();
+        log.log_insert(el(4, 50)).unwrap();
+        log
+    }
+
+    #[test]
+    fn incremental_refresh_matches_replay() {
+        let log = demo_backlog();
+        let mut cache = StateCache::new();
+        for probe in [5_i64, 10, 25, 30, 40, 45, 50, 60] {
+            cache.refresh(&log, ts(probe));
+            let expect: Vec<ElementId> = log.replay_at(ts(probe)).keys().copied().collect();
+            let got: Vec<ElementId> = cache.state().keys().copied().collect();
+            assert_eq!(got, expect, "at tt {probe}");
+            assert_eq!(cache.as_of(), ts(probe));
+        }
+    }
+
+    #[test]
+    fn differential_applies_only_new_ops() {
+        let log = demo_backlog();
+        let mut cache = StateCache::new();
+        assert_eq!(cache.refresh(&log, ts(20)), 2);
+        assert_eq!(cache.refresh(&log, ts(20)), 0); // idempotent
+        assert_eq!(cache.refresh(&log, ts(40)), 2); // delete + modify only
+        assert_eq!(cache.refresh_to_latest(&log), 1);
+        assert_eq!(cache.ops_applied(), 5);
+        assert_eq!(cache.len(), 2); // elements 3 and 4
+    }
+
+    #[test]
+    fn backward_refresh_is_a_noop() {
+        let log = demo_backlog();
+        let mut cache = StateCache::new();
+        cache.refresh(&log, ts(50));
+        let before = cache.state().clone();
+        assert_eq!(cache.refresh(&log, ts(10)), 0);
+        assert_eq!(cache.state(), &before);
+        assert_eq!(cache.as_of(), ts(50));
+    }
+
+    #[test]
+    fn empty_backlog() {
+        let log = Backlog::new();
+        let mut cache = StateCache::new();
+        assert_eq!(cache.refresh_to_latest(&log), 0);
+        assert!(cache.is_empty());
+    }
+}

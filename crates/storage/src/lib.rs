@@ -1,0 +1,43 @@
+//! # tempora-storage — the bitemporal storage substrate
+//!
+//! §2 of the paper models a temporal relation as "a sequence of historical
+//! states indexed by transaction time", and §2's closing paragraph lists
+//! several physical representations the conceptual model admits. This crate
+//! implements that substrate:
+//!
+//! * [`TupleStore`] — tuple time-stamping with an interval transaction
+//!   stamp per element (the \[Sno87\]-style representation): a current
+//!   store plus history, with logical deletion;
+//! * [`Backlog`] — "a backlog relation of insertion, modification, and
+//!   deletion operations (tuples) with single transaction time-stamps"
+//!   (\[JMRS90\]); any historical state can be replayed from it;
+//! * [`AppendLog`] — the append-only representation that §3.1/§3.2 promise
+//!   for *degenerate* and *sequential* relations ("relations are
+//!   append-only and elements are entered in time-stamp order");
+//! * [`StateCache`] — differential state materialization over the backlog
+//!   (\[JMRS90\]'s caching technique);
+//! * [`AttributeStore`] — attribute-value time-stamping over finite unions
+//!   of intervals, §2's last listed representation (\[Gad88\]'s temporal
+//!   elements), with the homogeneity invariant;
+//! * [`TemporalRelation`] — the façade that couples a schema, the
+//!   constraint engine, a transaction clock, and a chosen representation:
+//!   insert / logical delete / modify (= delete + insert, §2), rollback and
+//!   valid-timeslice reads, and specialization-aware vacuuming.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod append_log;
+mod attribute_store;
+mod backlog;
+mod cache;
+mod relation;
+mod tuple_store;
+pub mod vacuum;
+
+pub use append_log::AppendLog;
+pub use attribute_store::{AttributeHistory, AttributeStore};
+pub use backlog::{Backlog, BacklogKind, BacklogOp};
+pub use cache::StateCache;
+pub use relation::{Enforcement, RelationStats, TemporalRelation};
+pub use tuple_store::TupleStore;

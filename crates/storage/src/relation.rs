@@ -1,0 +1,558 @@
+//! The temporal relation façade: schema + clock + constraints + storage.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tempora_time::{Timestamp, TransactionClock};
+
+use tempora_core::constraint::ConstraintEngine;
+use tempora_core::{
+    AttrName, CoreError, Element, ElementId, ObjectId, RelationSchema, Value, ValidTime,
+};
+
+use crate::append_log::AppendLog;
+use crate::backlog::Backlog;
+use crate::tuple_store::TupleStore;
+
+/// Whether declared specializations are enforced on update.
+///
+/// `Trust` skips constraint checking — the mode a deployment would use
+/// after validating a bulk load, and the baseline the enforcement-overhead
+/// bench compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enforcement {
+    /// Check every update against the declared specializations (default).
+    Enforce,
+    /// Trust the writer; skip constraint checks.
+    Trust,
+}
+
+/// Update counters, exposed for benches and monitoring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Successful inserts.
+    pub inserts: u64,
+    /// Successful logical deletes.
+    pub deletes: u64,
+    /// Successful modifications.
+    pub modifications: u64,
+    /// Updates rejected by the constraint engine.
+    pub rejections: u64,
+}
+
+/// The physical representation, selected from the schema's declared
+/// specializations (§1: the semantics "may be used for selecting
+/// appropriate storage structures").
+#[derive(Debug, Clone)]
+enum Store {
+    /// General representation: tuple time-stamping.
+    Tuple(TupleStore),
+    /// Ordered relations (degenerate / sequential / non-decreasing):
+    /// append-only, no index needed for either time dimension.
+    Append(AppendLog),
+}
+
+/// A bitemporal relation: elements with valid and transaction time, a
+/// declared set of specializations (enforced on update), and
+/// representation-appropriate reads.
+///
+/// Transaction times come from the injected [`TransactionClock`] — tests
+/// and workloads drive a [`tempora_time::ManualClock`], deployments a
+/// [`tempora_time::SystemClock`].
+pub struct TemporalRelation {
+    schema: Arc<RelationSchema>,
+    engine: ConstraintEngine,
+    clock: Arc<dyn TransactionClock>,
+    store: Store,
+    backlog: Option<Backlog>,
+    enforcement: Enforcement,
+    next_element: u64,
+    stats: RelationStats,
+}
+
+impl TemporalRelation {
+    /// Creates a relation, choosing the physical representation from the
+    /// schema: relations whose declarations guarantee valid-time-ordered
+    /// arrival (degenerate, relation-wide sequential or non-decreasing) get
+    /// the append-only representation, everything else tuple time-stamping.
+    #[must_use]
+    pub fn new(schema: Arc<RelationSchema>, clock: Arc<dyn TransactionClock>) -> Self {
+        let store = if schema.is_degenerate() || schema.is_vt_ordered() {
+            Store::Append(AppendLog::new())
+        } else {
+            Store::Tuple(TupleStore::new())
+        };
+        TemporalRelation {
+            engine: ConstraintEngine::new(Arc::clone(&schema)),
+            schema,
+            clock,
+            store,
+            backlog: None,
+            enforcement: Enforcement::Enforce,
+            next_element: 0,
+            stats: RelationStats::default(),
+        }
+    }
+
+    /// Enables the backlog (operation log) alongside the primary store,
+    /// supporting replay-based rollback and differential refresh.
+    #[must_use]
+    pub fn with_backlog(mut self) -> Self {
+        self.backlog = Some(Backlog::new());
+        self
+    }
+
+    /// Sets the enforcement mode.
+    #[must_use]
+    pub fn with_enforcement(mut self, mode: Enforcement) -> Self {
+        self.enforcement = mode;
+        self
+    }
+
+    /// The relation's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Arc<RelationSchema> {
+        &self.schema
+    }
+
+    /// Update counters.
+    #[must_use]
+    pub fn stats(&self) -> RelationStats {
+        self.stats
+    }
+
+    /// Whether the relation uses the append-only representation.
+    #[must_use]
+    pub fn is_append_only(&self) -> bool {
+        matches!(self.store, Store::Append(_))
+    }
+
+    /// The backlog, if enabled.
+    #[must_use]
+    pub fn backlog(&self) -> Option<&Backlog> {
+        self.backlog.as_ref()
+    }
+
+    /// The current transaction time (without consuming a stamp).
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// Inserts a fact: stamps it with a fresh transaction time, checks the
+    /// declared specializations, and stores it. Returns the new element's
+    /// surrogate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Violations`] when the element would violate a
+    /// declared specialization (the relation is unchanged), or a storage
+    /// error if invariants are broken.
+    pub fn insert(
+        &mut self,
+        object: ObjectId,
+        valid: impl Into<ValidTime>,
+        attrs: Vec<(AttrName, Value)>,
+    ) -> Result<ElementId, CoreError> {
+        let tt = self.clock.tick();
+        let id = ElementId::new(self.next_element);
+        let mut element = Element::new(id, object, valid, tt);
+        element.attrs = attrs;
+        if self.enforcement == Enforcement::Enforce {
+            if let Err(e) = self.engine.admit_insert(&element) {
+                self.stats.rejections += 1;
+                return Err(e);
+            }
+        }
+        match &mut self.store {
+            Store::Tuple(s) => s.insert(element.clone())?,
+            Store::Append(s) => s.append(element.clone())?,
+        }
+        if let Some(log) = &mut self.backlog {
+            log.log_insert(element)?;
+        }
+        self.next_element += 1;
+        self.stats.inserts += 1;
+        Ok(id)
+    }
+
+    /// Logically deletes an element at a fresh transaction time. Returns
+    /// the deletion time `tt_d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchElement`] for unknown/deleted elements,
+    /// or [`CoreError::Violations`] when a deletion-referenced
+    /// specialization would be violated.
+    pub fn delete(&mut self, id: ElementId) -> Result<Timestamp, CoreError> {
+        let element = self
+            .get(id)
+            .filter(|e| e.is_current())
+            .cloned()
+            .ok_or(CoreError::NoSuchElement { element: id })?;
+        let tt_d = self.clock.tick();
+        if self.enforcement == Enforcement::Enforce {
+            if let Err(e) = self.engine.admit_delete(&element, tt_d) {
+                self.stats.rejections += 1;
+                return Err(e);
+            }
+        }
+        match &mut self.store {
+            Store::Tuple(s) => s.delete(id, tt_d)?,
+            Store::Append(s) => s.delete(id, tt_d)?,
+        }
+        if let Some(log) = &mut self.backlog {
+            log.log_delete(id, tt_d)?;
+        }
+        self.stats.deletes += 1;
+        Ok(tt_d)
+    }
+
+    /// Modifies an element: logically deletes the old one and stores a new
+    /// element with the modified fact at the same transaction time (§2:
+    /// "the element in the current historical state is (logically)
+    /// deleted, and a new element, recording the modified information, is
+    /// stored in the new historical state"). Returns the new surrogate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::delete`] and [`Self::insert`]; the modification is
+    /// atomic — on any violation the relation is unchanged.
+    pub fn modify(
+        &mut self,
+        id: ElementId,
+        valid: impl Into<ValidTime>,
+        attrs: Vec<(AttrName, Value)>,
+    ) -> Result<ElementId, CoreError> {
+        let old = self
+            .get(id)
+            .filter(|e| e.is_current())
+            .cloned()
+            .ok_or(CoreError::NoSuchElement { element: id })?;
+        let tt = self.clock.tick();
+        let new_id = ElementId::new(self.next_element);
+        let mut element = Element::new(new_id, old.object, valid, tt);
+        element.attrs = attrs;
+        if self.enforcement == Enforcement::Enforce {
+            // Stage both halves against a scratch engine state so a failed
+            // insert does not leave the delete's effects behind.
+            let mut scratch = self.engine.clone();
+            if let Err(e) = scratch
+                .admit_delete(&old, tt)
+                .and_then(|()| scratch.admit_insert(&element))
+            {
+                self.stats.rejections += 1;
+                return Err(e);
+            }
+            self.engine = scratch;
+        }
+        match &mut self.store {
+            Store::Tuple(s) => {
+                s.delete(id, tt)?;
+                s.insert(element.clone())?;
+            }
+            Store::Append(s) => {
+                s.delete(id, tt)?;
+                s.append(element.clone())?;
+            }
+        }
+        if let Some(log) = &mut self.backlog {
+            log.log_modify(id, element)?;
+        }
+        self.next_element += 1;
+        self.stats.modifications += 1;
+        Ok(new_id)
+    }
+
+    /// The element by surrogate (current or deleted).
+    #[must_use]
+    pub fn get(&self, id: ElementId) -> Option<&Element> {
+        match &self.store {
+            Store::Tuple(s) => s.get(id),
+            Store::Append(s) => s.get(id),
+        }
+    }
+
+    /// All elements ever stored, in transaction-time order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = &Element> + '_> {
+        match &self.store {
+            Store::Tuple(s) => Box::new(s.iter()),
+            Store::Append(s) => Box::new(s.iter()),
+        }
+    }
+
+    /// The current state (a *current query*, §1).
+    pub fn iter_current(&self) -> impl Iterator<Item = &Element> {
+        self.iter().filter(|e| e.is_current())
+    }
+
+    /// The historical state at transaction time `tt` (a *rollback query*,
+    /// §1).
+    pub fn iter_at(&self, tt: Timestamp) -> Box<dyn Iterator<Item = &Element> + '_> {
+        match &self.store {
+            Store::Tuple(s) => Box::new(s.iter_at(tt)),
+            Store::Append(s) => Box::new(s.iter_at(tt)),
+        }
+    }
+
+    /// Current elements whose valid time covers `vt` (a *historical query*
+    /// / valid timeslice, §1). Representation-aware: ordered stores binary-
+    /// search; the general store scans. (The full planner with tt-proxy
+    /// optimization lives in `tempora-query`.)
+    pub fn timeslice(&self, vt: Timestamp) -> Vec<&Element> {
+        match &self.store {
+            Store::Append(s) => {
+                // Elements are vt-begin ordered; candidates have begin ≤ vt.
+                // For event stamps the run [vt, vt+ε) suffices; for interval
+                // stamps any earlier begin may still cover vt, so scan the
+                // ordered prefix and stop early only for event relations.
+                s.iter()
+                    .filter(|e| e.is_current() && e.valid.covers(vt))
+                    .collect()
+            }
+            Store::Tuple(s) => s
+                .iter_current()
+                .filter(|e| e.valid.covers(vt))
+                .collect(),
+        }
+    }
+
+    /// Elements with `tt_b` in the inclusive window `[lo, hi]` — the
+    /// binary-searched transaction-time probe issued by the tt-proxy
+    /// strategy.
+    #[must_use]
+    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> &[Element] {
+        match &self.store {
+            Store::Tuple(s) => s.tt_range(lo, hi),
+            Store::Append(s) => s.tt_range(lo, hi),
+        }
+    }
+
+    /// Elements whose valid begin lies in `[from, to)`, when the relation
+    /// uses the append-only (valid-time-ordered) representation; `None`
+    /// otherwise.
+    #[must_use]
+    pub fn vt_ordered_slice(&self, from: Timestamp, to: Timestamp) -> Option<&[Element]> {
+        match &self.store {
+            Store::Append(s) => Some(s.slice_by_vt_begin(from, to)),
+            Store::Tuple(_) => None,
+        }
+    }
+
+    /// Every element of one object's life-line (current and deleted).
+    /// For the append representation this is a filtered scan.
+    pub fn iter_object_history(
+        &self,
+        object: tempora_core::ObjectId,
+    ) -> Box<dyn Iterator<Item = &Element> + '_> {
+        match &self.store {
+            Store::Tuple(s) => Box::new(s.iter_object_history(object)),
+            Store::Append(s) => Box::new(s.iter().filter(move |e| e.object == object)),
+        }
+    }
+
+    /// Number of elements ever stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.store {
+            Store::Tuple(s) => s.len(),
+            Store::Append(s) => s.len(),
+        }
+    }
+
+    /// Whether the relation has never been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physically reclaims logically deleted elements the predicate
+    /// rejects (see [`crate::vacuum`] for specialization-aware policies).
+    /// Returns the number reclaimed. No-op on append-only stores: their
+    /// point is full history retention.
+    pub fn reclaim(&mut self, keep: impl FnMut(&Element) -> bool) -> usize {
+        match &mut self.store {
+            Store::Tuple(s) => s.reclaim(keep),
+            Store::Append(_) => 0,
+        }
+    }
+}
+
+impl fmt::Debug for TemporalRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TemporalRelation")
+            .field("schema", &self.schema.name())
+            .field("len", &self.len())
+            .field("append_only", &self.is_append_only())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::spec::bound::Bound;
+    use tempora_core::spec::event::EventSpec;
+    use tempora_core::spec::interevent::OrderingSpec;
+    use tempora_core::{Basis, Stamping};
+    use tempora_time::{ManualClock, TimeDelta};
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn clock_at(s: i64) -> Arc<ManualClock> {
+        Arc::new(ManualClock::new(ts(s)))
+    }
+
+    fn general_schema() -> Arc<RelationSchema> {
+        RelationSchema::builder("r", Stamping::Event).build().unwrap()
+    }
+
+    #[test]
+    fn insert_stamps_with_clock() {
+        let clock = clock_at(100);
+        let mut rel = TemporalRelation::new(general_schema(), clock.clone());
+        let id = rel.insert(ObjectId::new(1), ts(50), vec![]).unwrap();
+        let e = rel.get(id).unwrap();
+        assert_eq!(e.tt_begin, ts(100));
+        assert_eq!(e.valid, ValidTime::Event(ts(50)));
+        clock.advance(TimeDelta::from_secs(10));
+        let id2 = rel.insert(ObjectId::new(1), ts(60), vec![]).unwrap();
+        assert_eq!(rel.get(id2).unwrap().tt_begin, ts(110));
+        assert_eq!(rel.stats().inserts, 2);
+    }
+
+    #[test]
+    fn violation_rejects_and_counts() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let mut rel = TemporalRelation::new(schema, clock_at(100));
+        assert!(rel.insert(ObjectId::new(1), ts(500), vec![]).is_err());
+        assert_eq!(rel.stats().rejections, 1);
+        assert_eq!(rel.len(), 0);
+        // Trust mode admits the same fact.
+        let schema2 = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let mut trusting =
+            TemporalRelation::new(schema2, clock_at(100)).with_enforcement(Enforcement::Trust);
+        assert!(trusting.insert(ObjectId::new(1), ts(500), vec![]).is_ok());
+    }
+
+    #[test]
+    fn representation_selection() {
+        let deg = RelationSchema::builder("d", Stamping::Event)
+            .event_spec(EventSpec::Degenerate)
+            .build()
+            .unwrap();
+        assert!(TemporalRelation::new(deg, clock_at(0)).is_append_only());
+
+        let seq = RelationSchema::builder("s", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerRelation)
+            .build()
+            .unwrap();
+        assert!(TemporalRelation::new(seq, clock_at(0)).is_append_only());
+
+        assert!(!TemporalRelation::new(general_schema(), clock_at(0)).is_append_only());
+    }
+
+    #[test]
+    fn delete_and_rollback() {
+        let clock = clock_at(0);
+        let mut rel = TemporalRelation::new(general_schema(), clock.clone());
+        clock.set(ts(10));
+        let a = rel.insert(ObjectId::new(1), ts(5), vec![]).unwrap();
+        clock.set(ts(20));
+        let _b = rel.insert(ObjectId::new(1), ts(6), vec![]).unwrap();
+        clock.set(ts(30));
+        rel.delete(a).unwrap();
+        assert_eq!(rel.iter_current().count(), 1);
+        assert_eq!(rel.iter_at(ts(25)).count(), 2);
+        assert_eq!(rel.iter_at(ts(30)).count(), 1);
+        assert_eq!(rel.stats().deletes, 1);
+        // Deleting again fails.
+        assert!(rel.delete(a).is_err());
+    }
+
+    #[test]
+    fn modify_is_delete_plus_insert_same_tt() {
+        let clock = clock_at(10);
+        let mut rel = TemporalRelation::new(general_schema(), clock.clone()).with_backlog();
+        let a = rel
+            .insert(ObjectId::new(1), ts(5), vec![(AttrName::new("v"), Value::Int(1))])
+            .unwrap();
+        clock.set(ts(20));
+        let b = rel
+            .modify(a, ts(5), vec![(AttrName::new("v"), Value::Int(2))])
+            .unwrap();
+        assert_ne!(a, b); // fresh element surrogate (§2)
+        let old = rel.get(a).unwrap();
+        let new = rel.get(b).unwrap();
+        assert_eq!(old.tt_end, Some(new.tt_begin)); // same transaction time
+        assert_eq!(new.attr("v"), Some(&Value::Int(2)));
+        assert_eq!(rel.stats().modifications, 1);
+        // Backlog recorded one modification op.
+        assert_eq!(rel.backlog().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn modify_violation_leaves_relation_unchanged() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::RetroactivelyBounded {
+                bound: Bound::secs(10),
+            })
+            .build()
+            .unwrap();
+        let clock = clock_at(100);
+        let mut rel = TemporalRelation::new(schema, clock.clone());
+        let a = rel.insert(ObjectId::new(1), ts(95), vec![]).unwrap();
+        clock.set(ts(200));
+        // New valid time 20 violates the bound (200 − 10 = 190 > 20).
+        assert!(rel.modify(a, ts(20), vec![]).is_err());
+        let e = rel.get(a).unwrap();
+        assert!(e.is_current(), "old element must survive a failed modify");
+        assert_eq!(rel.iter_current().count(), 1);
+        // And a legal modify still works afterwards.
+        assert!(rel.modify(a, ts(195), vec![]).is_ok());
+    }
+
+    #[test]
+    fn timeslice_reads() {
+        let clock = clock_at(0);
+        let mut rel = TemporalRelation::new(general_schema(), clock.clone());
+        clock.set(ts(100));
+        rel.insert(ObjectId::new(1), ts(5), vec![]).unwrap();
+        rel.insert(ObjectId::new(2), ts(5), vec![]).unwrap();
+        rel.insert(ObjectId::new(3), ts(7), vec![]).unwrap();
+        assert_eq!(rel.timeslice(ts(5)).len(), 2);
+        assert_eq!(rel.timeslice(ts(7)).len(), 1);
+        assert_eq!(rel.timeslice(ts(6)).len(), 0);
+    }
+
+    #[test]
+    fn backlog_replay_matches_store() {
+        let clock = clock_at(0);
+        let mut rel = TemporalRelation::new(general_schema(), clock.clone()).with_backlog();
+        clock.set(ts(10));
+        let a = rel.insert(ObjectId::new(1), ts(1), vec![]).unwrap();
+        clock.set(ts(20));
+        rel.insert(ObjectId::new(2), ts(2), vec![]).unwrap();
+        clock.set(ts(30));
+        rel.delete(a).unwrap();
+        for probe in [5, 10, 15, 20, 25, 30, 35] {
+            let from_store: Vec<ElementId> = {
+                let mut v: Vec<ElementId> = rel.iter_at(ts(probe)).map(|e| e.id).collect();
+                v.sort();
+                v
+            };
+            let from_log: Vec<ElementId> =
+                rel.backlog().unwrap().replay_at(ts(probe)).keys().copied().collect();
+            assert_eq!(from_store, from_log, "state at tt {probe}");
+        }
+    }
+}

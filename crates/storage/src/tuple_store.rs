@@ -1,0 +1,316 @@
+//! Tuple-time-stamped storage: elements carry `[tt_b, tt_d)` directly.
+//!
+//! The representation §2 attributes to TQuel \[Sno87\]: "a collection of
+//! tuples with an event or interval valid time-stamp and an interval
+//! transaction time-stamp". Elements are kept in `tt_b` order (the order
+//! the transaction clock produces), so rollback reads are range scans and
+//! current reads go through a live-set index.
+
+use std::collections::HashMap;
+
+use tempora_time::Timestamp;
+
+use tempora_core::{CoreError, Element, ElementId, ObjectId};
+
+/// Tuple-time-stamped element storage.
+///
+/// Invariants (checked in debug builds, maintained by construction):
+/// elements are stored in strictly increasing `tt_b` order; each element
+/// surrogate appears exactly once; a logically deleted element has
+/// `tt_d > tt_b`.
+#[derive(Debug, Default, Clone)]
+pub struct TupleStore {
+    /// All elements ever stored, in `tt_b` order (append-only; deletion is
+    /// logical — it sets `tt_end`).
+    elements: Vec<Element>,
+    /// Element surrogate → position in `elements`.
+    by_id: HashMap<ElementId, usize>,
+    /// Every element ever stored per object (the per-surrogate partitions,
+    /// §2/§3), in insertion order; current elements are filtered on read.
+    by_object: HashMap<ObjectId, Vec<ElementId>>,
+}
+
+impl TupleStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        TupleStore::default()
+    }
+
+    /// Number of elements ever stored (including logically deleted ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the store has never been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Appends a new current element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ElementMismatch`] if the element surrogate is
+    /// already present or `tt_b` does not exceed the last stored `tt_b`
+    /// (transaction times are unique and monotone, §2).
+    pub fn insert(&mut self, element: Element) -> Result<(), CoreError> {
+        if self.by_id.contains_key(&element.id) {
+            return Err(CoreError::ElementMismatch {
+                element: element.id,
+                reason: "element surrogate already stored".to_string(),
+            });
+        }
+        if let Some(last) = self.elements.last() {
+            if element.tt_begin <= last.tt_begin {
+                return Err(CoreError::ElementMismatch {
+                    element: element.id,
+                    reason: format!(
+                        "tt_b {} not after last stored tt_b {}",
+                        element.tt_begin, last.tt_begin
+                    ),
+                });
+            }
+        }
+        if element.tt_end.is_some() {
+            return Err(CoreError::ElementMismatch {
+                element: element.id,
+                reason: "newly inserted elements must be current (tt_d unset)".to_string(),
+            });
+        }
+        self.by_id.insert(element.id, self.elements.len());
+        self.by_object
+            .entry(element.object)
+            .or_default()
+            .push(element.id);
+        self.elements.push(element);
+        Ok(())
+    }
+
+    /// Logically deletes an element at transaction time `tt_d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchElement`] if the surrogate is unknown or
+    /// already deleted, [`CoreError::ElementMismatch`] if `tt_d ≤ tt_b`.
+    pub fn delete(&mut self, id: ElementId, tt_d: Timestamp) -> Result<(), CoreError> {
+        let idx = *self
+            .by_id
+            .get(&id)
+            .ok_or(CoreError::NoSuchElement { element: id })?;
+        let element = &mut self.elements[idx];
+        if element.tt_end.is_some() {
+            return Err(CoreError::NoSuchElement { element: id });
+        }
+        if tt_d <= element.tt_begin {
+            return Err(CoreError::ElementMismatch {
+                element: id,
+                reason: format!("tt_d {tt_d} must exceed tt_b {}", element.tt_begin),
+            });
+        }
+        element.tt_end = Some(tt_d);
+        Ok(())
+    }
+
+    /// The element with the given surrogate, if ever stored.
+    #[must_use]
+    pub fn get(&self, id: ElementId) -> Option<&Element> {
+        self.by_id.get(&id).map(|&i| &self.elements[i])
+    }
+
+    /// All elements in `tt_b` order (including logically deleted ones).
+    pub fn iter(&self) -> impl Iterator<Item = &Element> {
+        self.elements.iter()
+    }
+
+    /// Elements current *now* (not logically deleted).
+    pub fn iter_current(&self) -> impl Iterator<Item = &Element> {
+        self.elements.iter().filter(|e| e.is_current())
+    }
+
+    /// Elements of the historical state at transaction time `tt` — the
+    /// rollback read (§1's third query class): every element with
+    /// `tt ∈ [tt_b, tt_d)`.
+    pub fn iter_at(&self, tt: Timestamp) -> impl Iterator<Item = &Element> + '_ {
+        // Elements are tt_b-ordered: binary search the insertion horizon,
+        // then filter deletions.
+        let end = self.elements.partition_point(|e| e.tt_begin <= tt);
+        self.elements[..end].iter().filter(move |e| e.existed_at(tt))
+    }
+
+    /// Current elements of one object's partition (life-line).
+    pub fn iter_object(&self, object: ObjectId) -> impl Iterator<Item = &Element> + '_ {
+        self.iter_object_history(object).filter(|e| e.is_current())
+    }
+
+    /// Every element ever stored for one object, in insertion order —
+    /// the full life-line including logically deleted elements.
+    pub fn iter_object_history(&self, object: ObjectId) -> impl Iterator<Item = &Element> + '_ {
+        self.by_object
+            .get(&object)
+            .into_iter()
+            .flatten()
+            .filter_map(|id| self.get(*id))
+    }
+
+    /// Elements with `tt_b` in the inclusive window `[lo, hi]` — a binary-
+    /// searched contiguous run of the transaction-time order, the probe the
+    /// tt-proxy strategy issues.
+    #[must_use]
+    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> &[Element] {
+        let start = self.elements.partition_point(|e| e.tt_begin < lo);
+        let end = self.elements.partition_point(|e| e.tt_begin <= hi);
+        &self.elements[start..end]
+    }
+
+    /// Number of elements current now.
+    #[must_use]
+    pub fn current_len(&self) -> usize {
+        self.iter_current().count()
+    }
+
+    /// Physically removes elements selected by the predicate. Only
+    /// logically deleted elements may be reclaimed — vacuuming must never
+    /// drop current facts. Returns the number reclaimed.
+    ///
+    /// This is the hook the specialization-aware vacuum (see
+    /// [`crate::vacuum`]) uses; calling it directly with an arbitrary
+    /// predicate is allowed but forfeits rollback fidelity for the
+    /// reclaimed range, so the caller decides the retention policy.
+    pub fn reclaim(&mut self, mut keep: impl FnMut(&Element) -> bool) -> usize {
+        let before = self.elements.len();
+        self.elements.retain(|e| e.is_current() || keep(e));
+        if self.elements.len() != before {
+            self.by_id.clear();
+            self.by_object.clear();
+            for (i, e) in self.elements.iter().enumerate() {
+                self.by_id.insert(e.id, i);
+                self.by_object.entry(e.object).or_default().push(e.id);
+            }
+        }
+        before - self.elements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::ValidTime;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn el(id: u64, obj: u64, vt: i64, tt: i64) -> Element {
+        Element::new(
+            ElementId::new(id),
+            ObjectId::new(obj),
+            ValidTime::Event(ts(vt)),
+            ts(tt),
+        )
+    }
+
+    #[test]
+    fn insert_get_iterate() {
+        let mut store = TupleStore::new();
+        store.insert(el(1, 1, 5, 10)).unwrap();
+        store.insert(el(2, 2, 6, 11)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+        assert_eq!(store.get(ElementId::new(1)).unwrap().tt_begin, ts(10));
+        assert_eq!(store.iter().count(), 2);
+        assert_eq!(store.current_len(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_rejected() {
+        let mut store = TupleStore::new();
+        store.insert(el(1, 1, 5, 10)).unwrap();
+        assert!(store.insert(el(1, 1, 6, 11)).is_err());
+        assert!(store.insert(el(2, 1, 6, 10)).is_err()); // tt not increasing
+        assert!(store.insert(el(3, 1, 6, 9)).is_err());
+    }
+
+    #[test]
+    fn precompleted_element_rejected() {
+        let mut store = TupleStore::new();
+        let mut e = el(1, 1, 5, 10);
+        e.tt_end = Some(ts(20));
+        assert!(store.insert(e).is_err());
+    }
+
+    #[test]
+    fn logical_delete() {
+        let mut store = TupleStore::new();
+        store.insert(el(1, 1, 5, 10)).unwrap();
+        store.delete(ElementId::new(1), ts(20)).unwrap();
+        assert_eq!(store.current_len(), 0);
+        assert_eq!(store.len(), 1); // still present for rollback
+        // Double delete and unknown ids fail.
+        assert!(store.delete(ElementId::new(1), ts(30)).is_err());
+        assert!(store.delete(ElementId::new(9), ts(30)).is_err());
+    }
+
+    #[test]
+    fn delete_before_insert_rejected() {
+        let mut store = TupleStore::new();
+        store.insert(el(1, 1, 5, 10)).unwrap();
+        assert!(store.delete(ElementId::new(1), ts(10)).is_err());
+        assert!(store.delete(ElementId::new(1), ts(5)).is_err());
+    }
+
+    #[test]
+    fn rollback_read() {
+        let mut store = TupleStore::new();
+        store.insert(el(1, 1, 5, 10)).unwrap();
+        store.insert(el(2, 1, 6, 20)).unwrap();
+        store.delete(ElementId::new(1), ts(30)).unwrap();
+        store.insert(el(3, 1, 7, 40)).unwrap();
+
+        let at = |tt: i64| -> Vec<u64> {
+            let mut v: Vec<u64> = store.iter_at(ts(tt)).map(|e| e.id.raw()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(at(5), Vec::<u64>::new());
+        assert_eq!(at(10), vec![1]);
+        assert_eq!(at(25), vec![1, 2]);
+        assert_eq!(at(30), vec![2]); // deletion effective at tt 30
+        assert_eq!(at(45), vec![2, 3]);
+    }
+
+    #[test]
+    fn per_object_partition() {
+        let mut store = TupleStore::new();
+        store.insert(el(1, 1, 5, 10)).unwrap();
+        store.insert(el(2, 2, 6, 11)).unwrap();
+        store.insert(el(3, 1, 7, 12)).unwrap();
+        let obj1: Vec<u64> = store
+            .iter_object(ObjectId::new(1))
+            .map(|e| e.id.raw())
+            .collect();
+        assert_eq!(obj1, vec![1, 3]);
+        store.delete(ElementId::new(1), ts(20)).unwrap();
+        let obj1b: Vec<u64> = store
+            .iter_object(ObjectId::new(1))
+            .map(|e| e.id.raw())
+            .collect();
+        assert_eq!(obj1b, vec![3]);
+    }
+
+    #[test]
+    fn reclaim_keeps_current() {
+        let mut store = TupleStore::new();
+        store.insert(el(1, 1, 5, 10)).unwrap();
+        store.insert(el(2, 1, 6, 20)).unwrap();
+        store.delete(ElementId::new(1), ts(30)).unwrap();
+        // Try to reclaim everything: only the deleted element goes.
+        let n = store.reclaim(|_| false);
+        assert_eq!(n, 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(ElementId::new(1)).is_none());
+        assert!(store.get(ElementId::new(2)).is_some());
+    }
+}

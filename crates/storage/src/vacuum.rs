@@ -1,0 +1,165 @@
+//! Specialization-aware vacuuming.
+//!
+//! A bitemporal relation never forgets: logical deletion keeps the element
+//! for rollback queries. Retention can still be bounded *when the schema's
+//! specializations bound what future queries can ask*:
+//!
+//! * a **strongly bounded** relation (§3.1's current-month accounting
+//!   example) guarantees every element's valid time lies within
+//!   `[tt − Δt₁, tt + Δt₂]`; once the application declares it only ever
+//!   asks valid-timeslices (not rollbacks) older than some horizon, all
+//!   logically deleted elements whose valid time falls entirely before
+//!   `horizon` are dead weight;
+//! * a rollback-retention policy keeps the last `window` of transaction
+//!   time for audit and drops logically deleted elements whose existence
+//!   interval ended before it.
+//!
+//! These are *policies*, deliberately explicit: vacuuming trades rollback
+//! fidelity for space, so the caller chooses.
+
+use tempora_time::{TimeDelta, Timestamp};
+
+use tempora_core::Element;
+
+use crate::relation::TemporalRelation;
+
+/// A vacuum policy: which logically deleted elements to retain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VacuumPolicy {
+    /// Keep elements whose existence interval ends within the last
+    /// `window` of transaction time (rollback audit window).
+    RollbackWindow {
+        /// How much transaction-time history to preserve.
+        window: TimeDelta,
+    },
+    /// Keep elements whose *valid* time reaches past the horizon; drop
+    /// ones entirely valid before it. Sound for valid-timeslice workloads
+    /// that never probe before the horizon.
+    ValidHorizon {
+        /// The earliest valid time future queries may probe.
+        horizon: Timestamp,
+    },
+}
+
+/// Runs a vacuum pass; returns the number of elements reclaimed.
+///
+/// Only logically deleted elements are ever reclaimed (current facts are
+/// untouchable), so vacuuming never affects current queries; it affects
+/// rollback (and, under `ValidHorizon`, pre-horizon timeslice) fidelity
+/// only.
+pub fn vacuum(relation: &mut TemporalRelation, policy: VacuumPolicy, now: Timestamp) -> usize {
+    let keep = move |e: &Element| -> bool {
+        match policy {
+            VacuumPolicy::RollbackWindow { window } => {
+                let cutoff = now.saturating_sub(window);
+                e.tt_end.is_none_or(|d| d >= cutoff)
+            }
+            VacuumPolicy::ValidHorizon { horizon } => e.valid.end() >= horizon,
+        }
+    };
+    relation.reclaim(keep)
+}
+
+/// The tightest sound `ValidHorizon` for a relation with a conservative
+/// insertion band, given that the application will only probe valid times
+/// ≥ `oldest_probe`: any element whose valid time ends before
+/// `oldest_probe` can never match such probes, independent of the band —
+/// the band's payoff is that *future inserts* cannot resurrect pre-horizon
+/// valid times either (their offsets are bounded below by `band.lo`), so
+/// the horizon never needs revisiting.
+#[must_use]
+pub fn sound_valid_horizon(oldest_probe: Timestamp) -> VacuumPolicy {
+    VacuumPolicy::ValidHorizon {
+        horizon: oldest_probe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempora_core::spec::bound::Bound;
+    use tempora_core::spec::event::EventSpec;
+    use tempora_core::{ObjectId, RelationSchema, Stamping};
+    use tempora_time::{ManualClock, TransactionClock};
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn accounting_relation() -> (TemporalRelation, Arc<ManualClock>) {
+        let schema = RelationSchema::builder("ledger", Stamping::Event)
+            .event_spec(EventSpec::StronglyBounded {
+                past: Bound::secs(100),
+                future: Bound::secs(100),
+            })
+            .build()
+            .unwrap();
+        let clock = Arc::new(ManualClock::new(ts(0)));
+        let rel = TemporalRelation::new(schema, clock.clone());
+        (rel, clock)
+    }
+
+    #[test]
+    fn rollback_window_reclaims_old_deletions() {
+        let (mut rel, clock) = accounting_relation();
+        let mut ids = Vec::new();
+        for i in 0..10_i64 {
+            clock.set(ts(i * 100));
+            ids.push(rel.insert(ObjectId::new(1), ts(i * 100), vec![]).unwrap());
+        }
+        // Delete the first five, spread over time.
+        for (i, id) in ids.iter().take(5).enumerate() {
+            clock.set(ts(1_000 + i64::try_from(i).unwrap() * 100));
+            rel.delete(*id).unwrap();
+        }
+        let now = ts(2_000);
+        // Keep 700 s of rollback: deletions at tt < 1300 are reclaimable
+        // (tt_d 1000, 1100, 1200 — three elements).
+        let n = vacuum(
+            &mut rel,
+            VacuumPolicy::RollbackWindow {
+                window: TimeDelta::from_secs(700),
+            },
+            now,
+        );
+        assert_eq!(n, 3);
+        assert_eq!(rel.len(), 7);
+        // Current elements all survive.
+        assert_eq!(rel.iter_current().count(), 5);
+    }
+
+    #[test]
+    fn valid_horizon_reclaims_pre_horizon_facts() {
+        let (mut rel, clock) = accounting_relation();
+        let mut ids = Vec::new();
+        for i in 0..6_i64 {
+            clock.set(ts(i * 100));
+            ids.push(rel.insert(ObjectId::new(1), ts(i * 100 - 50), vec![]).unwrap());
+        }
+        for id in &ids {
+            clock.advance(TimeDelta::from_secs(10));
+            rel.delete(*id).unwrap();
+        }
+        let policy = sound_valid_horizon(ts(250));
+        let n = vacuum(&mut rel, policy, clock.now());
+        // Valid times: −50, 50, 150, 250, 350, 450; event stamps end at the
+        // same instant, so those < 250 go (three elements).
+        assert_eq!(n, 3);
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn vacuum_never_touches_current_elements() {
+        let (mut rel, clock) = accounting_relation();
+        clock.set(ts(100));
+        rel.insert(ObjectId::new(1), ts(60), vec![]).unwrap();
+        let n = vacuum(
+            &mut rel,
+            VacuumPolicy::ValidHorizon { horizon: ts(10_000) },
+            ts(10_000),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(rel.iter_current().count(), 1);
+    }
+}

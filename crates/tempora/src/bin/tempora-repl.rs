@@ -1,0 +1,102 @@
+//! `tempora-repl` — an interactive (and pipeable) shell over the whole
+//! stack: DDL, DML, and TQL, one statement per line.
+//!
+//! ```text
+//! $ cargo run -p tempora --bin tempora-repl
+//! tempora> CREATE TEMPORAL RELATION plant (sensor KEY, temperature VARYING) AS EVENT WITH RETROACTIVE
+//! created relation plant
+//! tempora> INSERT INTO plant OBJECT 7 VALID 1992-02-12T08:58:00 SET temperature = 19.5
+//! inserted e0
+//! tempora> SELECT FROM plant AT 1992-02-12T08:58:00
+//! point-probe: examined 1 returned 1
+//!   e0[o7] vt=1992-02-12T08:58:00 tt=[…]
+//! ```
+//!
+//! Meta-commands: `.relations`, `.report <relation>`, `.taxonomy`,
+//! `.help`, `.quit`. Statements may span lines by ending a line with `\`.
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use tempora::design::{report, Database};
+use tempora::prelude::*;
+
+fn main() {
+    let clock: Arc<SystemClock> = Arc::new(SystemClock::new());
+    let db = Database::new(clock);
+    let stdin = io::stdin();
+    let interactive = atty_guess();
+    let mut buffer = String::new();
+
+    if interactive {
+        println!("tempora — temporal specialization shell (.help for help)");
+    }
+    loop {
+        if interactive {
+            print!("tempora> ");
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim_end();
+        if let Some(cont) = line.strip_suffix('\\') {
+            buffer.push_str(cont);
+            buffer.push(' ');
+            continue;
+        }
+        buffer.push_str(line);
+        let statement = buffer.trim().to_string();
+        buffer.clear();
+        if statement.is_empty() || statement.starts_with("--") {
+            continue;
+        }
+        if let Some(meta) = statement.strip_prefix('.') {
+            if !handle_meta(meta, &db) {
+                break;
+            }
+            continue;
+        }
+        match db.execute(&statement) {
+            Ok(outcome) => println!("{outcome}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Handles a meta-command; returns false to quit.
+fn handle_meta(meta: &str, db: &Database) -> bool {
+    let mut parts = meta.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "quit" | "exit" | "q" => return false,
+        "relations" => {
+            for name in db.relation_names() {
+                println!("{name}");
+            }
+        }
+        "report" => match parts.next().and_then(|name| db.report(name)) {
+            Some(text) => println!("{text}"),
+            None => eprintln!("usage: .report <relation>"),
+        },
+        "taxonomy" => println!("{}", report::taxonomy_overview()),
+        "help" => {
+            println!(
+                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .taxonomy  .quit"
+            );
+        }
+        other => eprintln!("unknown meta-command .{other} (try .help)"),
+    }
+    true
+}
+
+/// Crude interactivity guess without platform deps: honor a NO_PROMPT env
+/// var for scripted runs, otherwise prompt.
+fn atty_guess() -> bool {
+    std::env::var_os("NO_PROMPT").is_none()
+}

@@ -1,0 +1,227 @@
+//! # tempora — temporal specialization for bitemporal relations
+//!
+//! A Rust implementation of *C. S. Jensen & R. T. Snodgrass, "Temporal
+//! Specialization", ICDE 1992*: the full taxonomy of specialized temporal
+//! relations, a bitemporal storage/index/query stack that exploits the
+//! declared specializations, and a design toolkit.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tempora::prelude::*;
+//!
+//! // Declare a monitoring relation: readings arrive 30 s – 5 min after
+//! // they are measured (§3.1's delayed retroactive example).
+//! let schema = RelationSchema::builder("plant", Stamping::Event)
+//!     .key_attr("sensor")
+//!     .attr("temperature", true)
+//!     .event_spec(EventSpec::DelayedRetroactive { delay: Bound::secs(30) })
+//!     .build()
+//!     .expect("consistent schema");
+//!
+//! let clock = Arc::new(ManualClock::new("1992-02-12T09:00:00".parse().unwrap()));
+//! let mut relation = IndexedRelation::new(schema, clock.clone());
+//!
+//! // A reading measured at 08:58:00, stored now (09:00:00): fine.
+//! relation
+//!     .insert(ObjectId::new(1), "1992-02-12T08:58:00".parse::<Timestamp>().unwrap(), vec![])
+//!     .expect("30 s delay satisfied");
+//!
+//! // A reading claiming to be measured *now*: violates the declared delay.
+//! clock.advance(TimeDelta::from_secs(60));
+//! let now = clock.now();
+//! assert!(relation.insert(ObjectId::new(1), now, vec![]).is_err());
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`time`] — timestamps, calendric durations, Allen's
+//!   interval algebra, transaction clocks;
+//! * [`core`] — the taxonomy: specializations, region
+//!   algebra, lattices (Figures 2–5), constraint engine, inference;
+//! * [`storage`] — tuple store, backlog, append log,
+//!   the [`TemporalRelation`](tempora_storage::TemporalRelation) façade, vacuuming;
+//! * [`index`] — point index, interval tree, tt-proxy;
+//! * [`query`] — plans, the specialization-driven
+//!   optimizer, [`IndexedRelation`];
+//! * [`design`] — DDL, catalog, design advisor, reports;
+//! * [`workload`] — generators for every scenario the
+//!   paper names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tempora_core as core;
+pub use tempora_design as design;
+pub use tempora_index as index;
+pub use tempora_query as query;
+pub use tempora_storage as storage;
+pub use tempora_time as time;
+pub use tempora_workload as workload;
+
+use std::sync::Arc;
+
+use tempora_core::{CoreError, ElementId};
+use tempora_query::IndexedRelation;
+use tempora_time::ManualClock;
+use tempora_workload::{EventWorkload, GenEvent, GenInterval, IntervalWorkload};
+
+/// The commonly needed types in one import.
+pub mod prelude {
+    pub use tempora_core::spec::bound::Bound;
+    pub use tempora_core::spec::determined::DeterminedSpec;
+    pub use tempora_core::spec::event::{EventSpec, EventSpecKind};
+    pub use tempora_core::spec::interevent::{EventStamp, OrderingSpec};
+    pub use tempora_core::spec::interinterval::{IntervalStamp, SuccessionSpec};
+    pub use tempora_core::spec::interval::{Endpoint, IntervalEndpointSpec, IntervalRegularitySpec};
+    pub use tempora_core::spec::regularity::{EventRegularitySpec, RegularDimension};
+    pub use tempora_core::{
+        AttrName, Basis, CoreError, Element, ElementId, ObjectId, RelationSchema, Stamping,
+        TtReference, Value, ValidTime,
+    };
+    pub use tempora_index::IndexChoice;
+    pub use tempora_query::timeline::Timeline;
+    pub use tempora_query::{parse_tql, IndexedRelation, Plan, Query, TqlStatement};
+    pub use tempora_storage::{Enforcement, TemporalRelation};
+    pub use tempora_time::{
+        AllenRelation, CalendricDuration, Granularity, Interval, ManualClock, MonotoneClock,
+        SystemClock, TimeDelta, Timestamp, TransactionClock,
+    };
+}
+
+/// Builds an [`IndexedRelation`] from an event workload and loads every
+/// generated event, driving the manual clock to the generator's intended
+/// transaction times. Returns the loaded relation.
+///
+/// # Errors
+///
+/// Returns the first constraint violation — generated workloads conform to
+/// their own schemas, so an error indicates a bug worth surfacing loudly.
+pub fn load_event_workload(workload: &EventWorkload) -> Result<IndexedRelation, CoreError> {
+    let clock = Arc::new(ManualClock::new(
+        workload
+            .events
+            .first()
+            .map_or(tempora_time::Timestamp::EPOCH, |e| e.tt),
+    ));
+    let mut relation = IndexedRelation::new(Arc::clone(&workload.schema), clock.clone());
+    let mut ids = Vec::with_capacity(workload.events.len());
+    load_events_into(&mut relation, &clock, &workload.events, &mut ids)?;
+    Ok(relation)
+}
+
+/// Loads events into an existing relation (appending to whatever is
+/// there); pushes the new element ids onto `ids`.
+///
+/// # Errors
+///
+/// Propagates constraint violations.
+pub fn load_events_into(
+    relation: &mut IndexedRelation,
+    clock: &ManualClock,
+    events: &[GenEvent],
+    ids: &mut Vec<ElementId>,
+) -> Result<(), CoreError> {
+    for event in events {
+        // Drive the clock so tick() returns the generator's intended stamp
+        // (generators emit strictly increasing transaction times).
+        clock.set(event.tt);
+        let id = relation.insert(event.object, event.vt, event.attrs.clone())?;
+        ids.push(id);
+    }
+    Ok(())
+}
+
+/// Builds and loads an interval workload (see [`load_event_workload`]).
+///
+/// # Errors
+///
+/// Returns the first constraint violation.
+pub fn load_interval_workload(workload: &IntervalWorkload) -> Result<IndexedRelation, CoreError> {
+    let clock = Arc::new(ManualClock::new(
+        workload
+            .intervals
+            .first()
+            .map_or(tempora_time::Timestamp::EPOCH, |e| e.tt),
+    ));
+    let mut relation = IndexedRelation::new(Arc::clone(&workload.schema), clock.clone());
+    let mut ids = Vec::with_capacity(workload.intervals.len());
+    load_intervals_into(&mut relation, &clock, &workload.intervals, &mut ids)?;
+    Ok(relation)
+}
+
+/// Loads intervals into an existing relation; pushes the new element ids
+/// onto `ids` in generation order.
+///
+/// # Errors
+///
+/// Propagates constraint violations.
+pub fn load_intervals_into(
+    relation: &mut IndexedRelation,
+    clock: &ManualClock,
+    intervals: &[GenInterval],
+    ids: &mut Vec<ElementId>,
+) -> Result<(), CoreError> {
+    for item in intervals {
+        clock.set(item.tt);
+        ids.push(relation.insert(item.object, item.valid, item.attrs.clone())?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn load_monitoring_workload_end_to_end() {
+        let w = tempora_workload::monitoring(
+            4,
+            25,
+            TimeDelta::from_secs(60),
+            TimeDelta::from_secs(30),
+            TimeDelta::from_secs(90),
+            1,
+        );
+        let relation = load_event_workload(&w).expect("workload conforms to its schema");
+        assert_eq!(relation.relation().len(), 100);
+        assert_eq!(relation.relation().stats().rejections, 0);
+        // Probe a known reading through the planner.
+        let probe = w.events[40].vt;
+        let result = relation.execute(Query::Timeslice { vt: probe });
+        assert!(result.stats.returned >= 1);
+    }
+
+    #[test]
+    fn load_interval_workload_end_to_end() {
+        let w = tempora_workload::assignments(3, 6, 2);
+        let relation = load_interval_workload(&w).expect("workload conforms");
+        assert_eq!(relation.relation().len(), 18);
+        // Every employee has exactly one assignment covering week 3's
+        // midpoint.
+        let probe = tempora_workload::workload_epoch() + TimeDelta::from_days(7 * 3 + 3);
+        let result = relation.execute(Query::Timeslice { vt: probe });
+        assert_eq!(result.stats.returned, 3);
+    }
+
+    #[test]
+    fn loader_surfaces_violations() {
+        // Hand-build a workload whose data contradicts its schema.
+        let schema = RelationSchema::builder("bad", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let w = EventWorkload {
+            schema,
+            events: vec![tempora_workload::GenEvent {
+                object: ObjectId::new(1),
+                vt: Timestamp::from_secs(1_000),
+                tt: Timestamp::from_secs(10),
+                attrs: vec![],
+            }],
+        };
+        assert!(load_event_workload(&w).is_err());
+    }
+}

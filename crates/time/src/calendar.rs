@@ -1,0 +1,369 @@
+//! Proleptic Gregorian calendar arithmetic.
+//!
+//! Implemented from first principles (days-from-civil / civil-from-days in
+//! the style of Howard Hinnant's public-domain algorithms) so that
+//! calendric-specific durations — "one month, where a month in the Gregorian
+//! calendar contains 28 to 31 days, depending on the date to which the
+//! duration is added or subtracted" (§3.1) — have exactly the semantics the
+//! paper describes. Also provides business-day logic for determined mapping
+//! functions such as "valid from the start of the next business day" (§3.1).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::TimeError;
+
+/// A day of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Weekday {
+    /// Monday.
+    Monday,
+    /// Tuesday.
+    Tuesday,
+    /// Wednesday.
+    Wednesday,
+    /// Thursday.
+    Thursday,
+    /// Friday.
+    Friday,
+    /// Saturday.
+    Saturday,
+    /// Sunday.
+    Sunday,
+}
+
+impl Weekday {
+    /// Whether this is a Saturday or Sunday.
+    #[must_use]
+    pub const fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// All seven weekdays, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A date in the proleptic Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDate {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl CivilDate {
+    /// Creates a civil date, validating month and day ranges (including leap
+    /// years).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidDate`] for out-of-range components.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, TimeError> {
+        if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+            return Err(TimeError::InvalidDate { year, month, day });
+        }
+        Ok(CivilDate { year, month, day })
+    }
+
+    /// The year component.
+    #[must_use]
+    pub const fn year(self) -> i32 {
+        self.year
+    }
+
+    /// The month component, 1–12.
+    #[must_use]
+    pub const fn month(self) -> u8 {
+        self.month
+    }
+
+    /// The day-of-month component, 1–31.
+    #[must_use]
+    pub const fn day(self) -> u8 {
+        self.day
+    }
+
+    /// Days since 1970-01-01 (negative for earlier dates).
+    ///
+    /// Howard Hinnant's `days_from_civil`.
+    #[must_use]
+    pub fn days_since_epoch(self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// The date `days` days after 1970-01-01.
+    ///
+    /// Howard Hinnant's `civil_from_days`.
+    #[must_use]
+    pub fn from_days_since_epoch(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+        CivilDate {
+            year: i32::try_from(y + i64::from(m <= 2)).expect("year in i32 range"),
+            month: u8::try_from(m).expect("month in 1..=12"),
+            day: u8::try_from(d).expect("day in 1..=31"),
+        }
+    }
+
+    /// The day of the week this date falls on.
+    #[must_use]
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 was a Thursday (index 3, Monday = 0).
+        let idx = (self.days_since_epoch() + 3).rem_euclid(7);
+        Weekday::ALL[usize::try_from(idx).expect("weekday index in 0..7")]
+    }
+
+    /// Adds `months` calendar months, clamping the day-of-month to the
+    /// target month's length (e.g. Jan 31 + 1 month = Feb 28/29).
+    ///
+    /// This is the paper's calendric-duration semantics: the physical length
+    /// of "one month" depends on the anchor date.
+    #[must_use]
+    pub fn add_months(self, months: i32) -> Self {
+        let total = i64::from(self.year) * 12 + i64::from(self.month) - 1 + i64::from(months);
+        let year = i32::try_from(total.div_euclid(12)).expect("year in i32 range");
+        let month = u8::try_from(total.rem_euclid(12) + 1).expect("month in 1..=12");
+        let day = self.day.min(days_in_month(year, month));
+        CivilDate { year, month, day }
+    }
+
+    /// Adds whole days.
+    #[must_use]
+    pub fn add_days(self, days: i64) -> Self {
+        Self::from_days_since_epoch(self.days_since_epoch() + days)
+    }
+
+    /// The first day of this date's month.
+    #[must_use]
+    pub fn first_of_month(self) -> Self {
+        CivilDate {
+            day: 1,
+            ..self
+        }
+    }
+
+    /// The first day of the following month.
+    #[must_use]
+    pub fn first_of_next_month(self) -> Self {
+        self.first_of_month().add_months(1)
+    }
+
+    /// The next business day strictly after this date (skipping Saturdays
+    /// and Sundays; holiday calendars are out of scope).
+    #[must_use]
+    pub fn next_business_day(self) -> Self {
+        let mut d = self.add_days(1);
+        while d.weekday().is_weekend() {
+            d = d.add_days(1);
+        }
+        d
+    }
+
+    /// Whether this date's year is a Gregorian leap year.
+    #[must_use]
+    pub fn is_leap_year(self) -> bool {
+        is_leap(self.year)
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+#[must_use]
+pub fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// The number of days in `month` of `year`.
+#[must_use]
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.year >= 0 {
+            write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+        } else {
+            write!(f, "-{:04}-{:02}-{:02}", -self.year, self.month, self.day)
+        }
+    }
+}
+
+impl FromStr for CivilDate {
+    type Err = TimeError;
+
+    /// Parses `YYYY-MM-DD` (with optional leading `-` on the year).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || TimeError::Parse {
+            input: s.to_string(),
+        };
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let mut parts = body.split('-');
+        let y: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u8 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        CivilDate::new(if neg { -y } else { y }, m, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_day_zero() {
+        let d = CivilDate::new(1970, 1, 1).unwrap();
+        assert_eq!(d.days_since_epoch(), 0);
+        assert_eq!(d.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_dates() {
+        // Verified against standard tables.
+        assert_eq!(CivilDate::new(2000, 3, 1).unwrap().days_since_epoch(), 11_017);
+        assert_eq!(CivilDate::new(1969, 12, 31).unwrap().days_since_epoch(), -1);
+        assert_eq!(
+            CivilDate::new(1992, 2, 12).unwrap().weekday(),
+            Weekday::Wednesday
+        );
+    }
+
+    #[test]
+    fn round_trip_wide_range() {
+        for days in (-1_000_000..1_000_000).step_by(997) {
+            let d = CivilDate::from_days_since_epoch(days);
+            assert_eq!(d.days_since_epoch(), days, "round trip failed at {days}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(2000));
+        assert!(is_leap(1992));
+        assert!(!is_leap(1900));
+        assert!(!is_leap(1991));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+
+    #[test]
+    fn add_months_clamps_day() {
+        let jan31 = CivilDate::new(1992, 1, 31).unwrap();
+        assert_eq!(jan31.add_months(1), CivilDate::new(1992, 2, 29).unwrap());
+        let jan31_93 = CivilDate::new(1993, 1, 31).unwrap();
+        assert_eq!(jan31_93.add_months(1), CivilDate::new(1993, 2, 28).unwrap());
+    }
+
+    #[test]
+    fn add_months_across_years() {
+        let d = CivilDate::new(1992, 11, 15).unwrap();
+        assert_eq!(d.add_months(3), CivilDate::new(1993, 2, 15).unwrap());
+        assert_eq!(d.add_months(-23), CivilDate::new(1990, 12, 15).unwrap());
+    }
+
+    #[test]
+    fn month_navigation() {
+        let d = CivilDate::new(1992, 12, 31).unwrap();
+        assert_eq!(d.first_of_month(), CivilDate::new(1992, 12, 1).unwrap());
+        assert_eq!(d.first_of_next_month(), CivilDate::new(1993, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn business_days_skip_weekends() {
+        // 1992-02-14 was a Friday.
+        let fri = CivilDate::new(1992, 2, 14).unwrap();
+        assert_eq!(fri.weekday(), Weekday::Friday);
+        assert_eq!(fri.next_business_day(), CivilDate::new(1992, 2, 17).unwrap());
+        let mon = CivilDate::new(1992, 2, 17).unwrap();
+        assert_eq!(mon.next_business_day(), CivilDate::new(1992, 2, 18).unwrap());
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(CivilDate::new(1992, 0, 1).is_err());
+        assert!(CivilDate::new(1992, 13, 1).is_err());
+        assert!(CivilDate::new(1992, 2, 30).is_err());
+        assert!(CivilDate::new(1991, 2, 29).is_err());
+        assert!(CivilDate::new(1992, 4, 31).is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for (y, m, d) in [(1992, 2, 12), (1, 1, 1), (9999, 12, 31)] {
+            let date = CivilDate::new(y, m, d).unwrap();
+            let s = date.to_string();
+            assert_eq!(s.parse::<CivilDate>().unwrap(), date);
+        }
+    }
+
+    #[test]
+    fn negative_year_display_parse() {
+        let date = CivilDate::from_days_since_epoch(-1_000_000);
+        assert!(date.year() < 0);
+        assert_eq!(date.to_string().parse::<CivilDate>().unwrap(), date);
+    }
+
+    #[test]
+    fn weekday_cycles() {
+        let mut d = CivilDate::new(1992, 2, 10).unwrap(); // Monday
+        assert_eq!(d.weekday(), Weekday::Monday);
+        for expect in Weekday::ALL {
+            assert_eq!(d.weekday(), expect);
+            d = d.add_days(1);
+        }
+        assert_eq!(d.weekday(), Weekday::Monday);
+    }
+}

@@ -1,0 +1,564 @@
+//! Fixed and calendric durations.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::TimeError;
+use crate::timestamp::{Timestamp, MICROS_PER_DAY, MICROS_PER_SEC};
+
+/// A signed, fixed-length duration at microsecond resolution.
+///
+/// Used for the Δt bounds of the isolated-event specializations (§3.1) and
+/// the time units of the regularity specializations (§3.2/§3.3) when those
+/// bounds are of fixed length ("e.g., 30 seconds, one day").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(i64);
+
+impl TimeDelta {
+    /// The zero duration.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+    /// The smallest positive duration (one microsecond) — the resolution of
+    /// the time line, used to convert between `<` and `<=` bounds.
+    pub const RESOLUTION: TimeDelta = TimeDelta(1);
+    /// The largest representable duration.
+    pub const MAX: TimeDelta = TimeDelta(i64::MAX / 2);
+    /// The most negative representable duration.
+    pub const MIN: TimeDelta = TimeDelta(i64::MIN / 2);
+
+    /// A duration of `micros` microseconds (clamped to the representable
+    /// range).
+    #[must_use]
+    pub const fn from_micros(micros: i64) -> Self {
+        let clamped = if micros < Self::MIN.0 {
+            Self::MIN.0
+        } else if micros > Self::MAX.0 {
+            Self::MAX.0
+        } else {
+            micros
+        };
+        TimeDelta(clamped)
+    }
+
+    /// A duration of `millis` milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: i64) -> Self {
+        Self::from_micros(millis.saturating_mul(1_000))
+    }
+
+    /// A duration of `secs` seconds.
+    #[must_use]
+    pub const fn from_secs(secs: i64) -> Self {
+        Self::from_micros(secs.saturating_mul(MICROS_PER_SEC))
+    }
+
+    /// A duration of `mins` minutes.
+    #[must_use]
+    pub const fn from_mins(mins: i64) -> Self {
+        Self::from_micros(mins.saturating_mul(60 * MICROS_PER_SEC))
+    }
+
+    /// A duration of `hours` hours.
+    #[must_use]
+    pub const fn from_hours(hours: i64) -> Self {
+        Self::from_micros(hours.saturating_mul(3_600 * MICROS_PER_SEC))
+    }
+
+    /// A duration of `days` 24-hour days.
+    #[must_use]
+    pub const fn from_days(days: i64) -> Self {
+        Self::from_micros(days.saturating_mul(MICROS_PER_DAY))
+    }
+
+    /// The raw microsecond count.
+    #[must_use]
+    pub const fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds (truncated toward zero).
+    #[must_use]
+    pub const fn secs(self) -> i64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Whether this duration is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this duration is strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Whether this duration is negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Absolute value (saturating).
+    #[must_use]
+    pub const fn abs(self) -> Self {
+        TimeDelta(self.0.saturating_abs())
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, other: TimeDelta) -> Self {
+        TimeDelta::from_micros(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: TimeDelta) -> Self {
+        TimeDelta::from_micros(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating multiplication by an integer factor.
+    #[must_use]
+    pub fn saturating_mul(self, factor: i64) -> Self {
+        TimeDelta::from_micros(self.0.saturating_mul(factor))
+    }
+
+    /// Euclidean remainder of this duration by a positive unit.
+    ///
+    /// Used by the regularity checkers (§3.2): a relation is transaction
+    /// time event regular with unit Δt iff all pairwise transaction-time
+    /// differences are ≡ 0 (mod Δt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is not strictly positive (checked by callers).
+    #[must_use]
+    pub fn rem_euclid(self, unit: TimeDelta) -> TimeDelta {
+        assert!(unit.is_positive(), "regularity unit must be positive");
+        TimeDelta(self.0.rem_euclid(unit.0))
+    }
+
+    /// Greatest common divisor of two durations' absolute values.
+    ///
+    /// The paper (§3.2) notes that a relation that is transaction time event
+    /// regular with unit Δt₁ and valid time event regular with unit Δt₂ is
+    /// temporal event regular with unit some common divisor of Δt₁ and Δt₂;
+    /// the gcd is the largest such unit.
+    #[must_use]
+    pub fn gcd(self, other: TimeDelta) -> TimeDelta {
+        let (mut a, mut b) = (self.0.saturating_abs(), other.0.saturating_abs());
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        TimeDelta(a)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    /// Formats as a signed compound of days/hours/minutes/seconds, e.g.
+    /// `2d3h`, `-30s`, `1.500000s`, `0s`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut v = self.0;
+        if v < 0 {
+            f.write_str("-")?;
+            v = -v;
+        }
+        let micros = v % MICROS_PER_SEC;
+        let mut secs = v / MICROS_PER_SEC;
+        let days = secs / 86_400;
+        secs %= 86_400;
+        let hours = secs / 3_600;
+        secs %= 3_600;
+        let mins = secs / 60;
+        secs %= 60;
+        let mut wrote = false;
+        if days > 0 {
+            write!(f, "{days}d")?;
+            wrote = true;
+        }
+        if hours > 0 {
+            write!(f, "{hours}h")?;
+            wrote = true;
+        }
+        if mins > 0 {
+            write!(f, "{mins}m")?;
+            wrote = true;
+        }
+        if micros > 0 {
+            write!(f, "{secs}.{micros:06}s")?;
+        } else if secs > 0 || !wrote {
+            write!(f, "{secs}s")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TimeDelta {
+    type Err = TimeError;
+
+    /// Parses compounds like `30s`, `2d3h`, `-1m30s`, `1.5s`, `250ms`,
+    /// `10us`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || TimeError::Parse {
+            input: s.to_string(),
+        };
+        let (neg, mut rest) = match s.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, s),
+        };
+        if rest.is_empty() {
+            return Err(bad());
+        }
+        let mut total: i64 = 0;
+        while !rest.is_empty() {
+            let num_len = rest
+                .bytes()
+                .take_while(|b| b.is_ascii_digit() || *b == b'.')
+                .count();
+            if num_len == 0 {
+                return Err(bad());
+            }
+            let (num_str, tail) = rest.split_at(num_len);
+            let unit_len = tail.bytes().take_while(u8::is_ascii_alphabetic).count();
+            if unit_len == 0 {
+                return Err(bad());
+            }
+            let (unit, tail2) = tail.split_at(unit_len);
+            let per_unit: i64 = match unit {
+                "us" => 1,
+                "ms" => 1_000,
+                "s" => MICROS_PER_SEC,
+                "m" | "min" => 60 * MICROS_PER_SEC,
+                "h" => 3_600 * MICROS_PER_SEC,
+                "d" => MICROS_PER_DAY,
+                "w" => 7 * MICROS_PER_DAY,
+                _ => return Err(bad()),
+            };
+            let micros = if let Some(dot) = num_str.find('.') {
+                let whole: i64 = num_str[..dot].parse().map_err(|_| bad())?;
+                let frac_str = &num_str[dot + 1..];
+                if frac_str.is_empty() || frac_str.contains('.') {
+                    return Err(bad());
+                }
+                let frac_num: i64 = frac_str.parse().map_err(|_| bad())?;
+                let scale = 10_i64.checked_pow(u32::try_from(frac_str.len()).map_err(|_| bad())?)
+                    .ok_or_else(bad)?;
+                whole
+                    .checked_mul(per_unit)
+                    .and_then(|w| frac_num.checked_mul(per_unit).map(|f| (w, f / scale)))
+                    .map(|(w, f)| w + f)
+                    .ok_or(TimeError::OutOfRange)?
+            } else {
+                let n: i64 = num_str.parse().map_err(|_| bad())?;
+                n.checked_mul(per_unit).ok_or(TimeError::OutOfRange)?
+            };
+            total = total.checked_add(micros).ok_or(TimeError::OutOfRange)?;
+            rest = tail2;
+        }
+        Ok(TimeDelta::from_micros(if neg { -total } else { total }))
+    }
+}
+
+impl std::ops::Add for TimeDelta {
+    type Output = TimeDelta;
+
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        self.saturating_add(rhs)
+    }
+}
+
+impl std::ops::Sub for TimeDelta {
+    type Output = TimeDelta;
+
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl std::ops::Neg for TimeDelta {
+    type Output = TimeDelta;
+
+    fn neg(self) -> TimeDelta {
+        TimeDelta::from_micros(self.0.checked_neg().unwrap_or(i64::MAX))
+    }
+}
+
+impl std::ops::Mul<i64> for TimeDelta {
+    type Output = TimeDelta;
+
+    fn mul(self, rhs: i64) -> TimeDelta {
+        self.saturating_mul(rhs)
+    }
+}
+
+/// A calendar-aware duration: months + days + a fixed remainder.
+///
+/// The paper (§3.1) allows specialization bounds to be *calendric-specific*:
+/// "An example of the latter is one month, where a month in the Gregorian
+/// calendar contains 28 to 31 days, depending on the date to which the
+/// duration is added or subtracted." A `CalendricDuration` therefore has no
+/// fixed microsecond length; it is *applied to* an anchor timestamp.
+///
+/// Components are applied in order: months (with day-of-month clamping),
+/// then days, then the fixed remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CalendricDuration {
+    /// Calendar months.
+    pub months: i32,
+    /// Calendar days (24-hour days; applied after months).
+    pub days: i32,
+    /// Fixed sub-day remainder (applied last).
+    pub rest: TimeDelta,
+}
+
+impl CalendricDuration {
+    /// A duration of whole calendar months.
+    #[must_use]
+    pub const fn months(months: i32) -> Self {
+        CalendricDuration {
+            months,
+            days: 0,
+            rest: TimeDelta::ZERO,
+        }
+    }
+
+    /// A duration of whole calendar days.
+    #[must_use]
+    pub const fn days(days: i32) -> Self {
+        CalendricDuration {
+            months: 0,
+            days,
+            rest: TimeDelta::ZERO,
+        }
+    }
+
+    /// A purely fixed calendric duration (degenerates to [`TimeDelta`]).
+    #[must_use]
+    pub const fn fixed(rest: TimeDelta) -> Self {
+        CalendricDuration {
+            months: 0,
+            days: 0,
+            rest,
+        }
+    }
+
+    /// Whether all components are zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.months == 0 && self.days == 0 && self.rest.is_zero()
+    }
+
+    /// Whether all components are non-negative and at least one is positive.
+    ///
+    /// This is the sign discipline required for calendric Δt bounds: the
+    /// paper's bounded specializations require Δt ≥ 0 and a calendric
+    /// duration with mixed signs has no consistent direction.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.months >= 0 && self.days >= 0 && !self.rest.is_negative() && !self.is_zero()
+    }
+
+    /// Whether all components are non-negative.
+    #[must_use]
+    pub fn is_non_negative(self) -> bool {
+        self.months >= 0 && self.days >= 0 && !self.rest.is_negative()
+    }
+
+    /// Adds this duration to an anchor timestamp, preserving the time of
+    /// day across the month/day arithmetic.
+    #[must_use]
+    pub fn add_to(self, anchor: Timestamp) -> Timestamp {
+        let of_day = anchor.micros_of_day();
+        let date = anchor
+            .date()
+            .add_months(self.months)
+            .add_days(i64::from(self.days));
+        Timestamp::from_micros(date.days_since_epoch() * MICROS_PER_DAY + of_day)
+            .saturating_add(self.rest)
+    }
+
+    /// Subtracts this duration from an anchor timestamp.
+    ///
+    /// Note that calendric arithmetic is not invertible in general
+    /// (`(t + 1 month) - 1 month` may differ from `t` due to day clamping);
+    /// this subtracts the components directly rather than inverting
+    /// [`Self::add_to`].
+    #[must_use]
+    pub fn sub_from(self, anchor: Timestamp) -> Timestamp {
+        CalendricDuration {
+            months: -self.months,
+            days: -self.days,
+            rest: -self.rest,
+        }
+        .add_to(anchor)
+    }
+}
+
+impl fmt::Display for CalendricDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if self.months != 0 {
+            write!(f, "{}mo", self.months)?;
+            wrote = true;
+        }
+        if self.days != 0 {
+            write!(f, "{}cd", self.days)?;
+            wrote = true;
+        }
+        if !self.rest.is_zero() || !wrote {
+            if wrote {
+                f.write_str("+")?;
+            }
+            write!(f, "{}", self.rest)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_consistent() {
+        assert_eq!(TimeDelta::from_secs(1).micros(), 1_000_000);
+        assert_eq!(TimeDelta::from_mins(2), TimeDelta::from_secs(120));
+        assert_eq!(TimeDelta::from_hours(1), TimeDelta::from_mins(60));
+        assert_eq!(TimeDelta::from_days(1), TimeDelta::from_hours(24));
+        assert_eq!(TimeDelta::from_millis(1_500).micros(), 1_500_000);
+    }
+
+    #[test]
+    fn parse_compound() {
+        assert_eq!("30s".parse::<TimeDelta>().unwrap(), TimeDelta::from_secs(30));
+        assert_eq!(
+            "2d3h".parse::<TimeDelta>().unwrap(),
+            TimeDelta::from_days(2) + TimeDelta::from_hours(3)
+        );
+        assert_eq!(
+            "-1m30s".parse::<TimeDelta>().unwrap(),
+            -(TimeDelta::from_secs(90))
+        );
+        assert_eq!("1.5s".parse::<TimeDelta>().unwrap(), TimeDelta::from_millis(1_500));
+        assert_eq!("250ms".parse::<TimeDelta>().unwrap(), TimeDelta::from_micros(250_000));
+        assert_eq!("1w".parse::<TimeDelta>().unwrap(), TimeDelta::from_days(7));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "-", "5", "s", "5x", "1.2.3s", "1.s", "5 s"] {
+            assert!(s.parse::<TimeDelta>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for d in [
+            TimeDelta::ZERO,
+            TimeDelta::from_secs(30),
+            TimeDelta::from_days(2) + TimeDelta::from_hours(3),
+            -(TimeDelta::from_mins(90)),
+            TimeDelta::from_micros(1_500_000),
+        ] {
+            let s = d.to_string();
+            assert_eq!(s.parse::<TimeDelta>().unwrap(), d, "via {s:?}");
+        }
+    }
+
+    #[test]
+    fn gcd_matches_paper_example() {
+        // §3.2: Δt1 = 28 s and Δt2 = 6 s ⇒ Δt3 = 2 s. (The paper calls 2 the
+        // "largest common divisor" of 28 and 6.)
+        let g = TimeDelta::from_secs(28).gcd(TimeDelta::from_secs(6));
+        assert_eq!(g, TimeDelta::from_secs(2));
+    }
+
+    #[test]
+    fn gcd_with_zero() {
+        let d = TimeDelta::from_secs(7);
+        assert_eq!(d.gcd(TimeDelta::ZERO), d);
+        assert_eq!(TimeDelta::ZERO.gcd(d), d);
+    }
+
+    #[test]
+    fn rem_euclid_signs() {
+        let unit = TimeDelta::from_secs(10);
+        assert!(TimeDelta::from_secs(30).rem_euclid(unit).is_zero());
+        assert!(TimeDelta::from_secs(-30).rem_euclid(unit).is_zero());
+        assert_eq!(
+            TimeDelta::from_secs(-7).rem_euclid(unit),
+            TimeDelta::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn calendric_month_lengths() {
+        // §3.1: one month is 28–31 days depending on the anchor.
+        let one_month = CalendricDuration::months(1);
+        let jan15 = Timestamp::from_date(1992, 1, 15).unwrap();
+        let feb15 = Timestamp::from_date(1992, 2, 15).unwrap();
+        assert_eq!(one_month.add_to(jan15), feb15);
+        assert_eq!(feb15 - jan15, TimeDelta::from_days(31));
+
+        let feb15_to_mar15 = one_month.add_to(feb15) - feb15;
+        assert_eq!(feb15_to_mar15, TimeDelta::from_days(29)); // 1992 is leap
+
+        let jan31 = Timestamp::from_date(1993, 1, 31).unwrap();
+        assert_eq!(
+            one_month.add_to(jan31),
+            Timestamp::from_date(1993, 2, 28).unwrap()
+        );
+    }
+
+    #[test]
+    fn calendric_preserves_time_of_day() {
+        let anchor = Timestamp::from_civil(1992, 3, 10, 14, 30, 0, 0).unwrap();
+        let moved = CalendricDuration::months(2).add_to(anchor);
+        assert_eq!(moved, Timestamp::from_civil(1992, 5, 10, 14, 30, 0, 0).unwrap());
+    }
+
+    #[test]
+    fn calendric_sub() {
+        let anchor = Timestamp::from_date(1992, 3, 31).unwrap();
+        let back = CalendricDuration::months(1).sub_from(anchor);
+        assert_eq!(back, Timestamp::from_date(1992, 2, 29).unwrap());
+    }
+
+    #[test]
+    fn calendric_sign_discipline() {
+        assert!(CalendricDuration::months(1).is_positive());
+        assert!(!CalendricDuration::months(0).is_positive());
+        assert!(CalendricDuration::months(0).is_non_negative());
+        let mixed = CalendricDuration {
+            months: 1,
+            days: -1,
+            rest: TimeDelta::ZERO,
+        };
+        assert!(!mixed.is_positive());
+        assert!(!mixed.is_non_negative());
+    }
+
+    #[test]
+    fn calendric_display() {
+        assert_eq!(CalendricDuration::months(1).to_string(), "1mo");
+        assert_eq!(CalendricDuration::days(3).to_string(), "3cd");
+        assert_eq!(
+            CalendricDuration {
+                months: 1,
+                days: 0,
+                rest: TimeDelta::from_hours(2)
+            }
+            .to_string(),
+            "1mo+2h"
+        );
+        assert_eq!(CalendricDuration::default().to_string(), "0s");
+    }
+
+    #[test]
+    fn neg_min_does_not_panic() {
+        let _ = -TimeDelta::MIN;
+        let _ = TimeDelta::MIN.abs();
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the time substrate.
+
+use std::fmt;
+
+/// Errors produced by the time substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimeError {
+    /// A civil date with out-of-range components.
+    InvalidDate {
+        /// Year component.
+        year: i32,
+        /// Month component (1–12 expected).
+        month: u8,
+        /// Day component (1–31 expected, subject to the month).
+        day: u8,
+    },
+    /// A time-of-day with out-of-range components.
+    InvalidTimeOfDay {
+        /// Hour component (0–23 expected).
+        hour: u8,
+        /// Minute component (0–59 expected).
+        minute: u8,
+        /// Second component (0–59 expected).
+        second: u8,
+        /// Microsecond component (0–999 999 expected).
+        micro: u32,
+    },
+    /// Arithmetic left the representable timestamp range.
+    OutOfRange,
+    /// A string could not be parsed as a timestamp, date, or duration.
+    Parse {
+        /// The offending input.
+        input: String,
+    },
+    /// An interval whose begin does not precede its end.
+    EmptyInterval {
+        /// Requested begin, as raw microseconds.
+        begin: i64,
+        /// Requested end, as raw microseconds.
+        end: i64,
+    },
+    /// A duration that must be non-negative (or positive) was not.
+    InvalidDuration {
+        /// Human-readable description of the constraint violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::InvalidDate { year, month, day } => {
+                write!(f, "invalid civil date {year:04}-{month:02}-{day:02}")
+            }
+            TimeError::InvalidTimeOfDay {
+                hour,
+                minute,
+                second,
+                micro,
+            } => write!(
+                f,
+                "invalid time of day {hour:02}:{minute:02}:{second:02}.{micro:06}"
+            ),
+            TimeError::OutOfRange => write!(f, "timestamp arithmetic out of representable range"),
+            TimeError::Parse { input } => write!(f, "cannot parse {input:?} as a time value"),
+            TimeError::EmptyInterval { begin, end } => write!(
+                f,
+                "interval begin ({begin}µs) must precede end ({end}µs)"
+            ),
+            TimeError::InvalidDuration { reason } => write!(f, "invalid duration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}

@@ -1,0 +1,272 @@
+//! Time-stamp granularities.
+//!
+//! §2 of the paper: "Each relation may have an individual valid time-stamp
+//! granularity, or the database system may impose a fixed granularity on all
+//! relations." The *degenerate* specialization (§3.1) is defined "within the
+//! selected granularity", so granularity-relative equality matters.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::duration::TimeDelta;
+use crate::error::TimeError;
+use crate::timestamp::{Timestamp, MICROS_PER_DAY, MICROS_PER_SEC};
+
+/// A time-stamp granularity.
+///
+/// Granularities coarser than a week require calendar arithmetic (months and
+/// years have variable length), which [`Granularity::truncate`] handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Granularity {
+    /// One microsecond — the native resolution.
+    Microsecond,
+    /// One millisecond.
+    Millisecond,
+    /// One second.
+    Second,
+    /// One minute.
+    Minute,
+    /// One hour.
+    Hour,
+    /// One 24-hour day.
+    Day,
+    /// One ISO week (weeks begin on Monday).
+    Week,
+    /// One calendar month.
+    Month,
+    /// One calendar year.
+    Year,
+}
+
+impl Granularity {
+    /// All granularities, finest first.
+    pub const ALL: [Granularity; 9] = [
+        Granularity::Microsecond,
+        Granularity::Millisecond,
+        Granularity::Second,
+        Granularity::Minute,
+        Granularity::Hour,
+        Granularity::Day,
+        Granularity::Week,
+        Granularity::Month,
+        Granularity::Year,
+    ];
+
+    /// The fixed length of one granule, if the granularity is fixed-length
+    /// (everything up to and including weeks). `None` for months and years.
+    #[must_use]
+    pub const fn fixed_unit(self) -> Option<TimeDelta> {
+        let micros = match self {
+            Granularity::Microsecond => 1,
+            Granularity::Millisecond => 1_000,
+            Granularity::Second => MICROS_PER_SEC,
+            Granularity::Minute => 60 * MICROS_PER_SEC,
+            Granularity::Hour => 3_600 * MICROS_PER_SEC,
+            Granularity::Day => MICROS_PER_DAY,
+            Granularity::Week => 7 * MICROS_PER_DAY,
+            Granularity::Month | Granularity::Year => return None,
+        };
+        Some(TimeDelta::from_micros(micros))
+    }
+
+    /// Truncates a timestamp down to the start of its granule.
+    #[must_use]
+    pub fn truncate(self, ts: Timestamp) -> Timestamp {
+        match self {
+            Granularity::Month => {
+                let first = ts.date().first_of_month();
+                Timestamp::from_micros(first.days_since_epoch() * MICROS_PER_DAY)
+            }
+            Granularity::Year => {
+                let date = ts.date();
+                let jan1 = crate::calendar::CivilDate::new(date.year(), 1, 1)
+                    .expect("January 1st is always valid");
+                Timestamp::from_micros(jan1.days_since_epoch() * MICROS_PER_DAY)
+            }
+            Granularity::Week => {
+                // 1970-01-01 was a Thursday; shift so granules start Monday.
+                let shift = 3 * MICROS_PER_DAY;
+                let unit = 7 * MICROS_PER_DAY;
+                Timestamp::from_micros((ts.micros() + shift).div_euclid(unit) * unit - shift)
+            }
+            _ => {
+                let unit = self
+                    .fixed_unit()
+                    .expect("non-calendric granularities are fixed")
+                    .micros();
+                Timestamp::from_micros(ts.micros().div_euclid(unit) * unit)
+            }
+        }
+    }
+
+    /// Whether two timestamps fall in the same granule ("identical within
+    /// the selected granularity", §3.1's degenerate specialization).
+    #[must_use]
+    pub fn same_granule(self, a: Timestamp, b: Timestamp) -> bool {
+        self.truncate(a) == self.truncate(b)
+    }
+
+    /// Whether `a` precedes `b` when both are truncated to this granularity.
+    #[must_use]
+    pub fn lt_at(self, a: Timestamp, b: Timestamp) -> bool {
+        self.truncate(a) < self.truncate(b)
+    }
+
+    /// Whether this granularity is at least as coarse as `other`.
+    ///
+    /// Defined by granule containment: every granule of `other` is contained
+    /// in a granule of `self`. The linear order on the enum matches this for
+    /// all pairs except (Week, Month) and (Week, Year), where neither
+    /// refines the other; those pairs are incomparable and this returns
+    /// `false` both ways.
+    #[must_use]
+    pub fn coarsens(self, other: Granularity) -> bool {
+        use Granularity::{Month, Week, Year};
+        if (self == Month || self == Year) && other == Week {
+            return false;
+        }
+        if self == Week && (other == Month || other == Year) {
+            return false;
+        }
+        self >= other
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Granularity::Microsecond => "microsecond",
+            Granularity::Millisecond => "millisecond",
+            Granularity::Second => "second",
+            Granularity::Minute => "minute",
+            Granularity::Hour => "hour",
+            Granularity::Day => "day",
+            Granularity::Week => "week",
+            Granularity::Month => "month",
+            Granularity::Year => "year",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for Granularity {
+    type Err = TimeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "microsecond" | "us" => Ok(Granularity::Microsecond),
+            "millisecond" | "ms" => Ok(Granularity::Millisecond),
+            "second" | "s" | "sec" => Ok(Granularity::Second),
+            "minute" | "min" => Ok(Granularity::Minute),
+            "hour" | "h" | "hr" => Ok(Granularity::Hour),
+            "day" | "d" => Ok(Granularity::Day),
+            "week" | "w" => Ok(Granularity::Week),
+            "month" | "mo" => Ok(Granularity::Month),
+            "year" | "y" | "yr" => Ok(Granularity::Year),
+            _ => Err(TimeError::Parse {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn truncate_fixed() {
+        let t = ts("1992-02-12T09:30:45.123456");
+        assert_eq!(
+            Granularity::Second.truncate(t),
+            ts("1992-02-12T09:30:45")
+        );
+        assert_eq!(Granularity::Minute.truncate(t), ts("1992-02-12T09:30:00"));
+        assert_eq!(Granularity::Hour.truncate(t), ts("1992-02-12T09:00:00"));
+        assert_eq!(Granularity::Day.truncate(t), ts("1992-02-12"));
+        assert_eq!(Granularity::Microsecond.truncate(t), t);
+    }
+
+    #[test]
+    fn truncate_calendric() {
+        let t = ts("1992-02-12T09:30:45");
+        assert_eq!(Granularity::Month.truncate(t), ts("1992-02-01"));
+        assert_eq!(Granularity::Year.truncate(t), ts("1992-01-01"));
+    }
+
+    #[test]
+    fn truncate_week_starts_monday() {
+        // 1992-02-12 was a Wednesday; that week's Monday is 1992-02-10.
+        let t = ts("1992-02-12T09:30:45");
+        let monday = Granularity::Week.truncate(t);
+        assert_eq!(monday, ts("1992-02-10"));
+        assert_eq!(monday.date().weekday(), crate::calendar::Weekday::Monday);
+        // A Monday truncates to itself.
+        assert_eq!(Granularity::Week.truncate(monday), monday);
+    }
+
+    #[test]
+    fn truncate_negative_times() {
+        let t = ts("1969-12-31T23:59:59");
+        assert_eq!(Granularity::Day.truncate(t), ts("1969-12-31"));
+        assert_eq!(Granularity::Month.truncate(t), ts("1969-12-01"));
+        assert_eq!(Granularity::Year.truncate(t), ts("1969-01-01"));
+    }
+
+    #[test]
+    fn same_granule() {
+        let a = ts("1992-02-12T09:30:45");
+        let b = ts("1992-02-12T09:30:59");
+        assert!(Granularity::Minute.same_granule(a, b));
+        assert!(!Granularity::Second.same_granule(a, b));
+        assert!(Granularity::Month.same_granule(a, ts("1992-02-01")));
+        assert!(!Granularity::Month.same_granule(a, ts("1992-03-01")));
+    }
+
+    #[test]
+    fn truncation_idempotent_and_monotone() {
+        let samples: Vec<Timestamp> = (-50..50)
+            .map(|i| Timestamp::from_micros(i * 37_000_000_123))
+            .collect();
+        for g in Granularity::ALL {
+            for &t in &samples {
+                let tr = g.truncate(t);
+                assert_eq!(g.truncate(tr), tr, "{g} not idempotent at {t}");
+                assert!(tr <= t, "{g} truncation went up at {t}");
+            }
+            for w in samples.windows(2) {
+                assert!(
+                    g.truncate(w[0]) <= g.truncate(w[1]),
+                    "{g} truncation not monotone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarsens_partial_order() {
+        assert!(Granularity::Day.coarsens(Granularity::Second));
+        assert!(Granularity::Year.coarsens(Granularity::Month));
+        assert!(!Granularity::Second.coarsens(Granularity::Day));
+        // Week vs Month are incomparable.
+        assert!(!Granularity::Week.coarsens(Granularity::Month));
+        assert!(!Granularity::Month.coarsens(Granularity::Week));
+        // Reflexive.
+        for g in Granularity::ALL {
+            assert!(g.coarsens(g));
+        }
+    }
+
+    #[test]
+    fn parse_display() {
+        for g in Granularity::ALL {
+            assert_eq!(g.to_string().parse::<Granularity>().unwrap(), g);
+        }
+        assert_eq!("MS".parse::<Granularity>().unwrap(), Granularity::Millisecond);
+        assert!("fortnight".parse::<Granularity>().is_err());
+    }
+}

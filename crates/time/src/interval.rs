@@ -1,0 +1,207 @@
+//! Half-open time intervals `[begin, end)`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::duration::TimeDelta;
+use crate::error::TimeError;
+use crate::timestamp::Timestamp;
+
+/// A non-empty half-open interval `[begin, end)` on the time line.
+///
+/// Used for interval-stamped valid time (§3.3: "the valid time is an
+/// interval, \[vt⁻, vt⁺)") and for element existence intervals
+/// `[tt_b, tt_d)` (§2). The invariant `begin < end` is enforced at
+/// construction; an interval of zero duration is represented as an *event*
+/// ([`Timestamp`]) instead, matching the paper's event/interval dichotomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    begin: Timestamp,
+    end: Timestamp,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::EmptyInterval`] unless `begin < end`.
+    pub fn new(begin: Timestamp, end: Timestamp) -> Result<Self, TimeError> {
+        if begin >= end {
+            return Err(TimeError::EmptyInterval {
+                begin: begin.micros(),
+                end: end.micros(),
+            });
+        }
+        Ok(Interval { begin, end })
+    }
+
+    /// Creates the interval `[begin, begin + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidDuration`] unless `len` is positive.
+    pub fn from_len(begin: Timestamp, len: TimeDelta) -> Result<Self, TimeError> {
+        if !len.is_positive() {
+            return Err(TimeError::InvalidDuration {
+                reason: "interval length must be positive",
+            });
+        }
+        Interval::new(begin, begin.saturating_add(len))
+    }
+
+    /// The inclusive begin (the paper's `vt⁻`).
+    #[must_use]
+    pub const fn begin(self) -> Timestamp {
+        self.begin
+    }
+
+    /// The exclusive end (the paper's `vt⁺`).
+    #[must_use]
+    pub const fn end(self) -> Timestamp {
+        self.end
+    }
+
+    /// The interval's duration, always positive.
+    #[must_use]
+    pub fn duration(self) -> TimeDelta {
+        self.end - self.begin
+    }
+
+    /// Whether the point `t` lies inside `[begin, end)`.
+    #[must_use]
+    pub fn contains(self, t: Timestamp) -> bool {
+        self.begin <= t && t < self.end
+    }
+
+    /// Whether `other` lies entirely inside this interval.
+    #[must_use]
+    pub fn encloses(self, other: Interval) -> bool {
+        self.begin <= other.begin && other.end <= self.end
+    }
+
+    /// Whether the two intervals share at least one point.
+    #[must_use]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.begin < other.end && other.begin < self.end
+    }
+
+    /// Whether this interval ends exactly where `other` begins.
+    #[must_use]
+    pub fn meets(self, other: Interval) -> bool {
+        self.end == other.begin
+    }
+
+    /// The intersection, if non-empty.
+    #[must_use]
+    pub fn intersect(self, other: Interval) -> Option<Interval> {
+        let begin = self.begin.max(other.begin);
+        let end = self.end.min(other.end);
+        Interval::new(begin, end).ok()
+    }
+
+    /// The smallest interval covering both operands.
+    #[must_use]
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            begin: self.begin.min(other.begin),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Shifts both endpoints by `delta` (saturating).
+    #[must_use]
+    pub fn shift(self, delta: TimeDelta) -> Interval {
+        Interval {
+            begin: self.begin.saturating_add(delta),
+            end: self.end.saturating_add(delta),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.begin, self.end)
+    }
+}
+
+impl FromStr for Interval {
+    type Err = TimeError;
+
+    /// Parses `[begin, end)` where begin/end are timestamp literals.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || TimeError::Parse {
+            input: s.to_string(),
+        };
+        let body = s
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(')'))
+            .ok_or_else(bad)?;
+        let (b, e) = body.split_once(',').ok_or_else(bad)?;
+        Interval::new(b.trim().parse()?, e.trim().parse()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(Timestamp::from_secs(b), Timestamp::from_secs(e)).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_inverted() {
+        let t = Timestamp::from_secs(5);
+        assert!(Interval::new(t, t).is_err());
+        assert!(Interval::new(t, Timestamp::from_secs(4)).is_err());
+        assert!(Interval::from_len(t, TimeDelta::ZERO).is_err());
+        assert!(Interval::from_len(t, TimeDelta::from_secs(-1)).is_err());
+    }
+
+    #[test]
+    fn containment_half_open() {
+        let i = iv(10, 20);
+        assert!(i.contains(Timestamp::from_secs(10)));
+        assert!(i.contains(Timestamp::from_secs(19)));
+        assert!(!i.contains(Timestamp::from_secs(20)));
+        assert!(!i.contains(Timestamp::from_secs(9)));
+    }
+
+    #[test]
+    fn overlap_and_meet() {
+        assert!(iv(0, 10).overlaps(iv(5, 15)));
+        assert!(!iv(0, 10).overlaps(iv(10, 20))); // half-open: meeting ≠ overlapping
+        assert!(iv(0, 10).meets(iv(10, 20)));
+        assert!(!iv(0, 10).meets(iv(11, 20)));
+    }
+
+    #[test]
+    fn intersect_hull() {
+        assert_eq!(iv(0, 10).intersect(iv(5, 15)), Some(iv(5, 10)));
+        assert_eq!(iv(0, 10).intersect(iv(10, 20)), None);
+        assert_eq!(iv(0, 10).hull(iv(20, 30)), iv(0, 30));
+    }
+
+    #[test]
+    fn encloses() {
+        assert!(iv(0, 10).encloses(iv(2, 8)));
+        assert!(iv(0, 10).encloses(iv(0, 10)));
+        assert!(!iv(0, 10).encloses(iv(2, 11)));
+    }
+
+    #[test]
+    fn duration_and_shift() {
+        assert_eq!(iv(3, 10).duration(), TimeDelta::from_secs(7));
+        assert_eq!(iv(3, 10).shift(TimeDelta::from_secs(5)), iv(8, 15));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let i = iv(0, 86_400);
+        let s = i.to_string();
+        assert_eq!(s.parse::<Interval>().unwrap(), i);
+        assert!("[1992-02-12, 1992-02-12)".parse::<Interval>().is_err());
+        assert!("(1992-02-12, 1992-02-13)".parse::<Interval>().is_err());
+    }
+}

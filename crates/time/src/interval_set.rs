@@ -1,0 +1,309 @@
+//! Finite unions of intervals — the paper's \[Gad88\] "temporal elements".
+//!
+//! §2 lists, among the physical representations the conceptual model
+//! admits, "tuples containing attributes time-stamped with one or more
+//! finite unions of intervals (termed temporal elements \[Gad88\],
+//! distinct from the term element used in this paper)". An
+//! [`IntervalSet`] is that stamp type: a canonical (sorted, disjoint,
+//! non-adjacent) union of half-open intervals, closed under union,
+//! intersection, difference, and complement-within-a-universe.
+
+use std::fmt;
+
+use crate::duration::TimeDelta;
+use crate::interval::Interval;
+use crate::timestamp::Timestamp;
+
+/// A finite union of half-open intervals, kept canonical: members are
+/// sorted, pairwise disjoint, and non-adjacent (touching intervals are
+/// merged). The empty set is representable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntervalSet {
+    /// Canonical members.
+    runs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        IntervalSet::default()
+    }
+
+    /// A set with a single interval.
+    #[must_use]
+    pub fn from_interval(interval: Interval) -> Self {
+        IntervalSet {
+            runs: vec![interval],
+        }
+    }
+
+    /// Builds a set from arbitrary intervals (normalizing).
+    #[must_use]
+    pub fn from_intervals(intervals: impl IntoIterator<Item = Interval>) -> Self {
+        let mut runs: Vec<Interval> = intervals.into_iter().collect();
+        runs.sort_by_key(|iv| iv.begin());
+        let mut canonical: Vec<Interval> = Vec::with_capacity(runs.len());
+        for iv in runs {
+            match canonical.last_mut() {
+                // Merge overlapping or exactly adjacent runs.
+                Some(last) if iv.begin() <= last.end() => {
+                    *last = last.hull(iv);
+                }
+                _ => canonical.push(iv),
+            }
+        }
+        IntervalSet { runs: canonical }
+    }
+
+    /// The canonical member intervals, sorted and disjoint.
+    #[must_use]
+    pub fn runs(&self) -> &[Interval] {
+        &self.runs
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of canonical runs.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total covered duration.
+    #[must_use]
+    pub fn duration(&self) -> TimeDelta {
+        self.runs
+            .iter()
+            .fold(TimeDelta::ZERO, |acc, iv| acc.saturating_add(iv.duration()))
+    }
+
+    /// Whether the set covers the instant `t`.
+    #[must_use]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        // Binary search on run begins.
+        let idx = self.runs.partition_point(|iv| iv.begin() <= t);
+        idx > 0 && self.runs[idx - 1].contains(t)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.runs.iter().chain(&other.runs).copied())
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        // Merge-walk the two sorted run lists.
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.runs.len() && j < other.runs.len() {
+            let (a, b) = (self.runs[i], other.runs[j]);
+            if let Some(x) = a.intersect(b) {
+                out.push(x);
+            }
+            if a.end() <= b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { runs: out }
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out: Vec<Interval> = Vec::new();
+        for &run in &self.runs {
+            let mut cursor = run.begin();
+            let end = run.end();
+            for &cut in &other.runs {
+                if cut.end() <= cursor {
+                    continue;
+                }
+                if cut.begin() >= end {
+                    break;
+                }
+                if cut.begin() > cursor {
+                    if let Ok(piece) = Interval::new(cursor, cut.begin().min(end)) {
+                        out.push(piece);
+                    }
+                }
+                cursor = cursor.max(cut.end());
+                if cursor >= end {
+                    break;
+                }
+            }
+            if cursor < end {
+                if let Ok(piece) = Interval::new(cursor, end) {
+                    out.push(piece);
+                }
+            }
+        }
+        IntervalSet { runs: out }
+    }
+
+    /// Complement within a universe interval.
+    #[must_use]
+    pub fn complement_within(&self, universe: Interval) -> IntervalSet {
+        IntervalSet::from_interval(universe).difference(self)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &IntervalSet) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Whether the two sets share any instant.
+    #[must_use]
+    pub fn overlaps(&self, other: &IntervalSet) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// The covering hull, if non-empty.
+    #[must_use]
+    pub fn hull(&self) -> Option<Interval> {
+        let first = self.runs.first()?;
+        let last = self.runs.last()?;
+        Some(first.hull(*last))
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.runs.is_empty() {
+            return f.write_str("∅");
+        }
+        let mut first = true;
+        for run in &self.runs {
+            if !first {
+                f.write_str(" ∪ ")?;
+            }
+            write!(f, "{run}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl From<Interval> for IntervalSet {
+    fn from(iv: Interval) -> Self {
+        IntervalSet::from_interval(iv)
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(b: i64, e: i64) -> Interval {
+        Interval::new(Timestamp::from_secs(b), Timestamp::from_secs(e)).unwrap()
+    }
+
+    fn set(pairs: &[(i64, i64)]) -> IntervalSet {
+        IntervalSet::from_intervals(pairs.iter().map(|&(b, e)| iv(b, e)))
+    }
+
+    #[test]
+    fn normalization_merges_overlaps_and_adjacency() {
+        let s = set(&[(0, 5), (5, 10), (20, 30), (8, 12), (40, 50)]);
+        assert_eq!(s.runs(), &[iv(0, 12), iv(20, 30), iv(40, 50)]);
+        assert_eq!(s.run_count(), 3);
+        assert_eq!(s.duration(), TimeDelta::from_secs(32));
+        assert_eq!(s.hull(), Some(iv(0, 50)));
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let s = set(&[(0, 10), (20, 30)]);
+        assert!(s.contains(Timestamp::from_secs(0)));
+        assert!(s.contains(Timestamp::from_secs(9)));
+        assert!(!s.contains(Timestamp::from_secs(10)));
+        assert!(!s.contains(Timestamp::from_secs(15)));
+        assert!(s.contains(Timestamp::from_secs(25)));
+        assert!(!s.contains(Timestamp::from_secs(30)));
+        assert!(!IntervalSet::empty().contains(Timestamp::EPOCH));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        assert_eq!(a.union(&b).runs(), &[iv(0, 30)]);
+        assert_eq!(a.intersect(&b).runs(), &[iv(5, 10), iv(20, 25)]);
+        assert_eq!(a.difference(&b).runs(), &[iv(0, 5), iv(25, 30)]);
+        assert_eq!(b.difference(&a).runs(), &[iv(10, 20)]);
+    }
+
+    #[test]
+    fn complement_within_universe() {
+        let a = set(&[(2, 4), (6, 8)]);
+        let c = a.complement_within(iv(0, 10));
+        assert_eq!(c.runs(), &[iv(0, 2), iv(4, 6), iv(8, 10)]);
+        // Complement twice restores (within the universe).
+        assert_eq!(
+            c.complement_within(iv(0, 10)),
+            a.intersect(&IntervalSet::from_interval(iv(0, 10)))
+        );
+    }
+
+    #[test]
+    fn subset_and_overlap() {
+        let a = set(&[(0, 10)]);
+        let b = set(&[(2, 5), (7, 9)]);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.overlaps(&b));
+        assert!(!b.overlaps(&set(&[(20, 30)])));
+        assert!(IntervalSet::empty().is_subset(&b));
+    }
+
+    #[test]
+    fn exhaustive_pointwise_laws() {
+        // Verify the boolean-algebra laws pointwise on a grid of small sets.
+        let sets = [
+            set(&[]),
+            set(&[(0, 4)]),
+            set(&[(2, 6), (8, 12)]),
+            set(&[(0, 12)]),
+            set(&[(1, 3), (5, 7), (9, 11)]),
+        ];
+        let probes: Vec<Timestamp> = (-2..14).map(Timestamp::from_secs).collect();
+        for a in &sets {
+            for b in &sets {
+                let u = a.union(b);
+                let i = a.intersect(b);
+                let d = a.difference(b);
+                for &t in &probes {
+                    assert_eq!(u.contains(t), a.contains(t) || b.contains(t), "∪ at {t}");
+                    assert_eq!(i.contains(t), a.contains(t) && b.contains(t), "∩ at {t}");
+                    assert_eq!(d.contains(t), a.contains(t) && !b.contains(t), "\\ at {t}");
+                }
+                // Canonical-form invariants.
+                for w in u.runs().windows(2) {
+                    assert!(w[0].end() < w[1].begin(), "non-canonical union");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IntervalSet::empty().to_string(), "∅");
+        let s = set(&[(0, 1), (5, 6)]);
+        assert!(s.to_string().contains('∪'));
+    }
+}

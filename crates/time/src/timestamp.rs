@@ -1,0 +1,393 @@
+//! Points on the time line.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::calendar::CivilDate;
+use crate::duration::TimeDelta;
+use crate::error::TimeError;
+
+/// Number of microseconds per second.
+pub(crate) const MICROS_PER_SEC: i64 = 1_000_000;
+/// Number of microseconds per day.
+pub(crate) const MICROS_PER_DAY: i64 = 86_400 * MICROS_PER_SEC;
+
+/// A point on the time line, at microsecond resolution.
+///
+/// Internally a count of microseconds since the Unix epoch
+/// (1970-01-01T00:00:00). Negative values denote times before the epoch;
+/// the civil interpretation uses the proleptic Gregorian calendar.
+///
+/// `Timestamp` is used for both *valid time* (when a fact is true in the
+/// modeled reality) and *transaction time* (when a fact is stored in the
+/// database). The paper (§3) assumes both are "drawn from the same domain,
+/// which must be totally ordered" — `Timestamp` is that domain. Transaction
+/// time domains that cannot be compared with valid time (e.g. bare version
+/// numbers) are deliberately not modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The least representable timestamp.
+    ///
+    /// Kept two `i64` "lanes" away from `i64::MIN` so that offset arithmetic
+    /// (`vt - tt`) in the region algebra can never overflow for in-range
+    /// values.
+    pub const MIN: Timestamp = Timestamp(i64::MIN / 4);
+    /// The greatest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX / 4);
+    /// The Unix epoch, 1970-01-01T00:00:00.
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from a raw microsecond count since the epoch.
+    ///
+    /// Values are clamped to `[Timestamp::MIN, Timestamp::MAX]`.
+    #[must_use]
+    pub const fn from_micros(micros: i64) -> Self {
+        let clamped = if micros < Self::MIN.0 {
+            Self::MIN.0
+        } else if micros > Self::MAX.0 {
+            Self::MAX.0
+        } else {
+            micros
+        };
+        Timestamp(clamped)
+    }
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    #[must_use]
+    pub const fn from_secs(secs: i64) -> Self {
+        Self::from_micros(secs.saturating_mul(MICROS_PER_SEC))
+    }
+
+    /// The raw microsecond count since the epoch.
+    #[must_use]
+    pub const fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (truncated toward negative infinity).
+    #[must_use]
+    pub const fn secs(self) -> i64 {
+        self.0.div_euclid(MICROS_PER_SEC)
+    }
+
+    /// The sub-second microsecond component, always in `0..1_000_000`.
+    #[must_use]
+    pub const fn subsec_micros(self) -> i64 {
+        self.0.rem_euclid(MICROS_PER_SEC)
+    }
+
+    /// Builds a timestamp from a civil date and a time of day.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidDate`] if the date is invalid, or
+    /// [`TimeError::InvalidTimeOfDay`] if the clock components are out of
+    /// range.
+    pub fn from_civil(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+        micro: u32,
+    ) -> Result<Self, TimeError> {
+        let date = CivilDate::new(year, month, day)?;
+        if hour > 23 || minute > 59 || second > 59 || micro > 999_999 {
+            return Err(TimeError::InvalidTimeOfDay {
+                hour,
+                minute,
+                second,
+                micro,
+            });
+        }
+        let day_micros = (i64::from(hour) * 3600 + i64::from(minute) * 60 + i64::from(second))
+            * MICROS_PER_SEC
+            + i64::from(micro);
+        Ok(Timestamp::from_micros(
+            date.days_since_epoch() * MICROS_PER_DAY + day_micros,
+        ))
+    }
+
+    /// Builds a timestamp at midnight of the given civil date.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidDate`] if the date is invalid.
+    pub fn from_date(year: i32, month: u8, day: u8) -> Result<Self, TimeError> {
+        Self::from_civil(year, month, day, 0, 0, 0, 0)
+    }
+
+    /// The civil date this timestamp falls on.
+    #[must_use]
+    pub fn date(self) -> CivilDate {
+        CivilDate::from_days_since_epoch(self.0.div_euclid(MICROS_PER_DAY))
+    }
+
+    /// Microseconds since midnight of [`Self::date`], in `0..MICROS_PER_DAY`.
+    #[must_use]
+    pub const fn micros_of_day(self) -> i64 {
+        self.0.rem_euclid(MICROS_PER_DAY)
+    }
+
+    /// Adds a fixed duration, saturating at the representable range.
+    #[must_use]
+    pub fn saturating_add(self, delta: TimeDelta) -> Self {
+        Timestamp::from_micros(self.0.saturating_add(delta.micros()))
+    }
+
+    /// Subtracts a fixed duration, saturating at the representable range.
+    #[must_use]
+    pub fn saturating_sub(self, delta: TimeDelta) -> Self {
+        Timestamp::from_micros(self.0.saturating_sub(delta.micros()))
+    }
+
+    /// Adds a fixed duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::OutOfRange`] if the result would fall outside
+    /// `[Timestamp::MIN, Timestamp::MAX]`.
+    pub fn checked_add(self, delta: TimeDelta) -> Result<Self, TimeError> {
+        let raw = self
+            .0
+            .checked_add(delta.micros())
+            .ok_or(TimeError::OutOfRange)?;
+        if !(Self::MIN.0..=Self::MAX.0).contains(&raw) {
+            return Err(TimeError::OutOfRange);
+        }
+        Ok(Timestamp(raw))
+    }
+
+    /// Subtracts a fixed duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::OutOfRange`] if the result would fall outside
+    /// the representable range.
+    pub fn checked_sub(self, delta: TimeDelta) -> Result<Self, TimeError> {
+        self.checked_add(-delta)
+    }
+
+    /// The signed duration from `other` to `self` (`self - other`).
+    ///
+    /// Never overflows: in-range timestamps are at least two lanes away from
+    /// the `i64` limits.
+    #[must_use]
+    pub fn delta_since(self, other: Timestamp) -> TimeDelta {
+        TimeDelta::from_micros(self.0 - other.0)
+    }
+
+    /// The larger of two timestamps.
+    #[must_use]
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two timestamps.
+    #[must_use]
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    /// Formats as `YYYY-MM-DDTHH:MM:SS` with a `.ffffff` suffix when the
+    /// sub-second component is non-zero.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let date = self.date();
+        let of_day = self.micros_of_day();
+        let secs = of_day / MICROS_PER_SEC;
+        let micro = of_day % MICROS_PER_SEC;
+        let (h, m, s) = (secs / 3600, (secs / 60) % 60, secs % 60);
+        write!(f, "{date}T{h:02}:{m:02}:{s:02}")?;
+        if micro != 0 {
+            write!(f, ".{micro:06}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Timestamp {
+    type Err = TimeError;
+
+    /// Parses `YYYY-MM-DD`, `YYYY-MM-DDTHH:MM:SS`, or
+    /// `YYYY-MM-DDTHH:MM:SS.ffffff` (also accepting a space instead of `T`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || TimeError::Parse {
+            input: s.to_string(),
+        };
+        let (date_part, time_part) = match s.find(['T', ' ']) {
+            Some(i) => (&s[..i], Some(&s[i + 1..])),
+            None => (s, None),
+        };
+        let date: CivilDate = date_part.parse()?;
+        let mut day_micros: i64 = 0;
+        if let Some(t) = time_part {
+            let (hms, frac) = match t.find('.') {
+                Some(i) => (&t[..i], Some(&t[i + 1..])),
+                None => (t, None),
+            };
+            let mut parts = hms.split(':');
+            let h: i64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let m: i64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let sec: i64 = match parts.next() {
+                Some(p) => p.parse().map_err(|_| bad())?,
+                None => 0,
+            };
+            if parts.next().is_some() || !(0..24).contains(&h) || !(0..60).contains(&m) || !(0..60).contains(&sec) {
+                return Err(bad());
+            }
+            day_micros = (h * 3600 + m * 60 + sec) * MICROS_PER_SEC;
+            if let Some(frac) = frac {
+                if frac.is_empty() || frac.len() > 6 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(bad());
+                }
+                let mut val: i64 = frac.parse().map_err(|_| bad())?;
+                for _ in frac.len()..6 {
+                    val *= 10;
+                }
+                day_micros += val;
+            }
+        }
+        Ok(Timestamp::from_micros(
+            date.days_since_epoch() * MICROS_PER_DAY + day_micros,
+        ))
+    }
+}
+
+impl std::ops::Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        self.saturating_add(rhs)
+    }
+}
+
+impl std::ops::Sub<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+
+    fn sub(self, rhs: TimeDelta) -> Timestamp {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl std::ops::Sub<Timestamp> for Timestamp {
+    type Output = TimeDelta;
+
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        self.delta_since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        let e = Timestamp::EPOCH;
+        assert_eq!(e.to_string(), "1970-01-01T00:00:00");
+        assert_eq!(e.date().year(), 1970);
+    }
+
+    #[test]
+    fn civil_round_trip() {
+        let ts = Timestamp::from_civil(1992, 2, 12, 9, 30, 15, 250_000).unwrap();
+        assert_eq!(ts.to_string(), "1992-02-12T09:30:15.250000");
+        let back: Timestamp = "1992-02-12T09:30:15.25".parse().unwrap();
+        assert_eq!(ts, back);
+    }
+
+    #[test]
+    fn parse_date_only() {
+        let ts: Timestamp = "2001-07-04".parse().unwrap();
+        assert_eq!(ts, Timestamp::from_date(2001, 7, 4).unwrap());
+        assert_eq!(ts.micros_of_day(), 0);
+    }
+
+    #[test]
+    fn parse_space_separator() {
+        let a: Timestamp = "1999-12-31 23:59:59".parse().unwrap();
+        let b: Timestamp = "1999-12-31T23:59:59".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "",
+            "not-a-date",
+            "1992-13-01",
+            "1992-02-30",
+            "1992-02-12T25:00:00",
+            "1992-02-12T10:61:00",
+            "1992-02-12T10:00:00.1234567",
+            "1992-02-12T10:00:00.",
+        ] {
+            assert!(s.parse::<Timestamp>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn negative_times_before_epoch() {
+        let ts = Timestamp::from_civil(1969, 12, 31, 23, 59, 59, 0).unwrap();
+        assert!(ts < Timestamp::EPOCH);
+        assert_eq!(ts.micros(), -MICROS_PER_SEC);
+        assert_eq!(ts.to_string(), "1969-12-31T23:59:59");
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = Timestamp::from_secs(100);
+        let b = Timestamp::from_secs(40);
+        assert_eq!(a - b, TimeDelta::from_secs(60));
+        assert_eq!(b + TimeDelta::from_secs(60), a);
+        assert_eq!(a - TimeDelta::from_secs(60), b);
+    }
+
+    #[test]
+    fn saturating_at_bounds() {
+        assert_eq!(Timestamp::MAX + TimeDelta::from_secs(1), Timestamp::MAX);
+        assert_eq!(Timestamp::MIN - TimeDelta::from_secs(1), Timestamp::MIN);
+        assert!(Timestamp::MAX.checked_add(TimeDelta::from_micros(1)).is_err());
+    }
+
+    #[test]
+    fn delta_between_extremes_does_not_overflow() {
+        let d = Timestamp::MAX - Timestamp::MIN;
+        assert!(d.micros() > 0);
+    }
+
+    #[test]
+    fn display_omits_zero_fraction() {
+        let ts = Timestamp::from_civil(2000, 1, 2, 3, 4, 5, 0).unwrap();
+        assert_eq!(ts.to_string(), "2000-01-02T03:04:05");
+    }
+
+    #[test]
+    fn ordering_matches_micros() {
+        let a = Timestamp::from_micros(5);
+        let b = Timestamp::from_micros(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn subsec_and_secs_euclidean() {
+        let ts = Timestamp::from_micros(-1);
+        assert_eq!(ts.secs(), -1);
+        assert_eq!(ts.subsec_micros(), 999_999);
+    }
+}

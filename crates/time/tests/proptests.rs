@@ -1,0 +1,182 @@
+//! Property-based tests for the time substrate.
+
+use proptest::prelude::*;
+
+use tempora_time::{
+    AllenRelation, AllenSet, CivilDate, Granularity, Interval, IntervalSet, TimeDelta, Timestamp,
+};
+
+/// Arbitrary in-range timestamp (kept well inside the representable range so
+/// additive strategies stay in range too).
+fn ts_strategy() -> impl Strategy<Value = Timestamp> {
+    (-4_000_000_000_000_000_i64..4_000_000_000_000_000).prop_map(Timestamp::from_micros)
+}
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (ts_strategy(), 1_i64..10_000_000_000).prop_map(|(b, len)| {
+        Interval::new(b, b + TimeDelta::from_micros(len)).expect("len > 0")
+    })
+}
+
+proptest! {
+    #[test]
+    fn timestamp_display_parse_round_trip(ts in ts_strategy()) {
+        // Display truncates below microseconds? No — micros are printed.
+        let s = ts.to_string();
+        let back: Timestamp = s.parse().expect("own display must parse");
+        prop_assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn timestamp_add_sub_inverse(ts in ts_strategy(), d in -1_000_000_000_000_i64..1_000_000_000_000) {
+        let delta = TimeDelta::from_micros(d);
+        prop_assert_eq!((ts + delta) - delta, ts);
+        prop_assert_eq!((ts + delta) - ts, delta);
+    }
+
+    #[test]
+    fn civil_round_trip(days in -1_000_000_i64..1_000_000) {
+        let d = CivilDate::from_days_since_epoch(days);
+        prop_assert_eq!(d.days_since_epoch(), days);
+        // Display/parse round trip as well.
+        let s = d.to_string();
+        prop_assert_eq!(s.parse::<CivilDate>().unwrap(), d);
+    }
+
+    #[test]
+    fn add_months_is_additive_on_first_of_month(days in -500_000_i64..500_000, m1 in -50_i32..50, m2 in -50_i32..50) {
+        // Day clamping makes add_months non-additive in general, but on the
+        // first of a month it is exact and additive.
+        let d = CivilDate::from_days_since_epoch(days).first_of_month();
+        prop_assert_eq!(d.add_months(m1).add_months(m2), d.add_months(m1 + m2));
+    }
+
+    #[test]
+    fn granularity_truncate_idempotent(ts in ts_strategy(), g_idx in 0usize..9) {
+        let g = Granularity::ALL[g_idx];
+        let t = g.truncate(ts);
+        prop_assert_eq!(g.truncate(t), t);
+        prop_assert!(t <= ts);
+        // The truncated value is in the same granule as the original.
+        prop_assert!(g.same_granule(t, ts));
+    }
+
+    #[test]
+    fn granularity_coarser_truncates_further(ts in ts_strategy(), i in 0usize..9, j in 0usize..9) {
+        let (gi, gj) = (Granularity::ALL[i], Granularity::ALL[j]);
+        if gi.coarsens(gj) {
+            // Truncating at the coarse granularity goes at least as far down.
+            prop_assert!(gi.truncate(ts) <= gj.truncate(ts));
+            // And coarse truncation is invariant under fine truncation first.
+            prop_assert_eq!(gi.truncate(gj.truncate(ts)), gi.truncate(ts));
+        }
+    }
+
+    #[test]
+    fn allen_exactly_one_relation(a in interval_strategy(), b in interval_strategy()) {
+        let holding: Vec<_> = AllenRelation::ALL
+            .into_iter()
+            .filter(|r| r.holds(a, b))
+            .collect();
+        prop_assert_eq!(holding.len(), 1);
+        prop_assert_eq!(holding[0], AllenRelation::relate(a, b));
+    }
+
+    #[test]
+    fn allen_inverse_converse(a in interval_strategy(), b in interval_strategy()) {
+        prop_assert_eq!(
+            AllenRelation::relate(a, b).inverse(),
+            AllenRelation::relate(b, a)
+        );
+    }
+
+    #[test]
+    fn allen_composition_soundness(a in interval_strategy(), b in interval_strategy(), c in interval_strategy()) {
+        let r1 = AllenRelation::relate(a, b);
+        let r2 = AllenRelation::relate(b, c);
+        let r3 = AllenRelation::relate(a, c);
+        prop_assert!(r1.compose(r2).contains(r3), "{} ∘ {} must contain {}", r1, r2, r3);
+    }
+
+    #[test]
+    fn allen_set_algebra_laws(bits1 in 0u16..0x2000, bits2 in 0u16..0x2000) {
+        let s1 = AllenSet::from_iter(AllenRelation::ALL.into_iter().filter(|r| bits1 & (1 << (*r as u8)) != 0));
+        let s2 = AllenSet::from_iter(AllenRelation::ALL.into_iter().filter(|r| bits2 & (1 << (*r as u8)) != 0));
+        // De Morgan.
+        prop_assert_eq!(
+            s1.union(s2).complement(),
+            s1.complement().intersect(s2.complement())
+        );
+        // Inverse is involutive and distributes over union.
+        prop_assert_eq!(s1.inverse().inverse(), s1);
+        prop_assert_eq!(s1.union(s2).inverse(), s1.inverse().union(s2.inverse()));
+    }
+
+    #[test]
+    fn interval_intersect_symmetric_and_contained(a in interval_strategy(), b in interval_strategy()) {
+        let ab = a.intersect(b);
+        prop_assert_eq!(ab, b.intersect(a));
+        if let Some(i) = ab {
+            prop_assert!(a.encloses(i) && b.encloses(i));
+            prop_assert!(a.overlaps(b));
+        } else {
+            prop_assert!(!a.overlaps(b));
+        }
+    }
+
+    #[test]
+    fn interval_hull_encloses_both(a in interval_strategy(), b in interval_strategy()) {
+        let h = a.hull(b);
+        prop_assert!(h.encloses(a) && h.encloses(b));
+    }
+
+    #[test]
+    fn timedelta_display_parse_round_trip(d in -1_000_000_000_000_i64..1_000_000_000_000) {
+        let delta = TimeDelta::from_micros(d);
+        let s = delta.to_string();
+        prop_assert_eq!(s.parse::<TimeDelta>().unwrap(), delta, "via {}", s);
+    }
+
+    #[test]
+    fn interval_set_boolean_laws(
+        a_raw in prop::collection::vec((-100_i64..100, 1_i64..40), 0..8),
+        b_raw in prop::collection::vec((-100_i64..100, 1_i64..40), 0..8),
+        probe in -150_i64..150,
+    ) {
+        let mk = |raw: &[(i64, i64)]| {
+            IntervalSet::from_intervals(raw.iter().map(|&(b, len)| {
+                Interval::new(Timestamp::from_secs(b), Timestamp::from_secs(b + len)).expect("len > 0")
+            }))
+        };
+        let (a, b) = (mk(&a_raw), mk(&b_raw));
+        let t = Timestamp::from_secs(probe);
+        prop_assert_eq!(a.union(&b).contains(t), a.contains(t) || b.contains(t));
+        prop_assert_eq!(a.intersect(&b).contains(t), a.contains(t) && b.contains(t));
+        prop_assert_eq!(a.difference(&b).contains(t), a.contains(t) && !b.contains(t));
+        // De Morgan within a universe.
+        let universe = Interval::new(Timestamp::from_secs(-200), Timestamp::from_secs(200)).unwrap();
+        let lhs = a.union(&b).complement_within(universe);
+        let rhs = a.complement_within(universe).intersect(&b.complement_within(universe));
+        prop_assert_eq!(lhs, rhs);
+        // Canonical form: sorted, disjoint, non-adjacent.
+        for w in a.union(&b).runs().windows(2) {
+            prop_assert!(w[0].end() < w[1].begin());
+        }
+        // Duration is additive over disjoint parts.
+        let i = a.intersect(&b);
+        let d = a.difference(&b);
+        prop_assert_eq!(
+            i.duration().saturating_add(d.duration()),
+            a.duration()
+        );
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1_i64..1_000_000_000, b in 1_i64..1_000_000_000) {
+        let (da, db) = (TimeDelta::from_micros(a), TimeDelta::from_micros(b));
+        let g = da.gcd(db);
+        prop_assert!(g.is_positive());
+        prop_assert!(da.rem_euclid(g).is_zero());
+        prop_assert!(db.rem_euclid(g).is_zero());
+    }
+}

@@ -1,0 +1,613 @@
+//! # tempora-workload — synthetic workloads for the paper's scenarios
+//!
+//! The paper motivates each specialization with a concrete application;
+//! this crate provides a deterministic, seeded generator for every one of
+//! them, each paired with the matching schema:
+//!
+//! | generator | paper scenario (§) | specialization exercised |
+//! |---|---|---|
+//! | [`monitoring`] | chemical-plant temperature/pressure sampling (§1, §3.1) | (delayed) retroactive, per-surrogate non-decreasing, tt event regular |
+//! | [`payroll`] | direct-deposit payroll tape (§1, §3.1) | early strongly predictively bounded |
+//! | [`assignments`] | employee project/weekly assignments (§3.1, §3.4) | retroactively bounded begins, per-surrogate contiguous intervals |
+//! | [`accounting`] | current month's compensating transactions (§3.1) | strongly bounded |
+//! | [`orders`] | pending orders ≤ 30 days out (§3.1) | predictively bounded |
+//! | [`archeology`] | progressively earlier excavation layers (§3.2) | globally non-increasing |
+//! | [`bank_deposits`] | deposits effective next business day (§3.1) | predictively determined |
+//! | [`general`] | unrestricted baseline | none (the general relation) |
+//!
+//! All generators return events/intervals in strictly increasing
+//! transaction-time order (the only order a relation can grow, §2) and are
+//! reproducible from the seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tempora_core::spec::bound::Bound;
+use tempora_core::spec::determined::{DeterminedSpec, NextBusinessDay};
+use tempora_core::spec::event::EventSpec;
+use tempora_core::spec::interevent::OrderingSpec;
+use tempora_core::spec::interinterval::SuccessionSpec;
+use tempora_core::spec::interval::{Endpoint, IntervalEndpointSpec};
+use tempora_core::{AttrName, Basis, ObjectId, RelationSchema, Stamping, Value};
+use tempora_time::{Interval, TimeDelta, Timestamp};
+
+/// A generated event-stamped fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenEvent {
+    /// Object surrogate the fact belongs to.
+    pub object: ObjectId,
+    /// Valid time.
+    pub vt: Timestamp,
+    /// Transaction time the loader must stamp it with.
+    pub tt: Timestamp,
+    /// Attribute values.
+    pub attrs: Vec<(AttrName, Value)>,
+}
+
+/// A generated interval-stamped fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenInterval {
+    /// Object surrogate.
+    pub object: ObjectId,
+    /// Valid interval.
+    pub valid: Interval,
+    /// Transaction time.
+    pub tt: Timestamp,
+    /// Attribute values.
+    pub attrs: Vec<(AttrName, Value)>,
+}
+
+/// An event workload: schema plus conforming data.
+#[derive(Debug, Clone)]
+pub struct EventWorkload {
+    /// The schema declaring the scenario's specializations.
+    pub schema: std::sync::Arc<RelationSchema>,
+    /// Events in strictly increasing transaction-time order.
+    pub events: Vec<GenEvent>,
+}
+
+/// An interval workload: schema plus conforming data.
+#[derive(Debug, Clone)]
+pub struct IntervalWorkload {
+    /// The schema declaring the scenario's specializations.
+    pub schema: std::sync::Arc<RelationSchema>,
+    /// Intervals in strictly increasing transaction-time order.
+    pub intervals: Vec<GenInterval>,
+}
+
+/// Sorts by transaction time and bumps ties by one microsecond each so
+/// transaction times are strictly increasing and unique (§2).
+fn normalize_tts_events(events: &mut [GenEvent]) {
+    events.sort_by_key(|e| e.tt);
+    for i in 1..events.len() {
+        if events[i].tt <= events[i - 1].tt {
+            events[i].tt = events[i - 1].tt.saturating_add(TimeDelta::RESOLUTION);
+        }
+    }
+}
+
+fn normalize_tts_intervals(intervals: &mut [GenInterval]) {
+    intervals.sort_by_key(|e| e.tt);
+    for i in 1..intervals.len() {
+        if intervals[i].tt <= intervals[i - 1].tt {
+            intervals[i].tt = intervals[i - 1].tt.saturating_add(TimeDelta::RESOLUTION);
+        }
+    }
+}
+
+/// Epoch for all workloads: 1992-02-01 (the paper's publication year).
+#[must_use]
+pub fn workload_epoch() -> Timestamp {
+    Timestamp::from_date(1992, 2, 1).expect("static date is valid")
+}
+
+/// §1/§3.1 — process monitoring: `sensors` sensors sampled every
+/// `period`, readings arriving `delay_min..=delay_max` after measurement
+/// (transmission delays). Delayed retroactive with Δt = `delay_min`.
+#[must_use]
+pub fn monitoring(
+    sensors: u64,
+    samples_per_sensor: usize,
+    period: TimeDelta,
+    delay_min: TimeDelta,
+    delay_max: TimeDelta,
+    seed: u64,
+) -> EventWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epoch = workload_epoch();
+    let mut events = Vec::with_capacity(sensors as usize * samples_per_sensor);
+    for s in 0..sensors {
+        let mut temp = 20.0 + rng.gen_range(-5.0..5.0);
+        for i in 0..samples_per_sensor {
+            let vt = epoch.saturating_add(period.saturating_mul(i64::try_from(i).unwrap_or(i64::MAX)));
+            let delay_span = (delay_max - delay_min).micros().max(1);
+            let delay = delay_min + TimeDelta::from_micros(rng.gen_range(0..delay_span));
+            temp += rng.gen_range(-0.5..0.5);
+            events.push(GenEvent {
+                object: ObjectId::new(s),
+                vt,
+                tt: vt.saturating_add(delay),
+                attrs: vec![
+                    (AttrName::new("sensor"), Value::Int(i64::try_from(s).unwrap_or(0))),
+                    (AttrName::new("temperature"), Value::Float(temp)),
+                ],
+            });
+        }
+    }
+    normalize_tts_events(&mut events);
+    let schema = RelationSchema::builder("plant_monitoring", Stamping::Event)
+        .key_attr("sensor")
+        .attr("temperature", true)
+        .event_spec(EventSpec::DelayedRetroactive {
+            delay: Bound::Fixed(delay_min),
+        })
+        .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+        .build()
+        .expect("monitoring schema is consistent");
+    EventWorkload { schema, events }
+}
+
+/// §1/§3.1 — direct-deposit payroll: monthly salary payments, valid on the
+/// first of each month, with the tape sent 3–7 days ahead ("at most one
+/// week before … at least three days in advance"). Early strongly
+/// predictively bounded with Δt₁ = 3 d, Δt₂ = 7 d.
+#[must_use]
+pub fn payroll(employees: u64, months: u32, seed: u64) -> EventWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let first = workload_epoch().date();
+    for m in 0..months {
+        let payday_date = first.add_months(i32::try_from(m).unwrap_or(i32::MAX));
+        let payday =
+            Timestamp::from_micros(payday_date.days_since_epoch() * 86_400_000_000);
+        // One tape per month: every employee's deposit shares the lead.
+        let lead_days = rng.gen_range(3..=7_i64);
+        let tt_base = payday.saturating_sub(TimeDelta::from_days(lead_days));
+        for e in 0..employees {
+            events.push(GenEvent {
+                object: ObjectId::new(e),
+                vt: payday,
+                tt: tt_base,
+                attrs: vec![
+                    (AttrName::new("employee"), Value::Int(i64::try_from(e).unwrap_or(0))),
+                    (
+                        AttrName::new("amount"),
+                        Value::Float(3_000.0 + rng.gen_range(0.0..2_000.0)),
+                    ),
+                ],
+            });
+        }
+    }
+    normalize_tts_events(&mut events);
+    let schema = RelationSchema::builder("direct_deposits", Stamping::Event)
+        .key_attr("employee")
+        .attr("amount", true)
+        .event_spec(EventSpec::EarlyStronglyPredictivelyBounded {
+            min_lead: Bound::Fixed(TimeDelta::from_days(2)),
+            max_lead: Bound::Fixed(TimeDelta::from_days(8)),
+        })
+        .build()
+        .expect("payroll schema is consistent");
+    EventWorkload { schema, events }
+}
+
+/// §3.1/§3.4 — weekly employee assignments: contiguous week-long intervals
+/// per employee, each recorded during the preceding weekend. Begins are
+/// predictive; successive intervals per surrogate meet (globally
+/// contiguous per surrogate).
+#[must_use]
+pub fn assignments(employees: u64, weeks: u32, seed: u64) -> IntervalWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epoch = workload_epoch();
+    let week = TimeDelta::from_days(7);
+    let mut intervals = Vec::new();
+    for e in 0..employees {
+        for w in 0..i64::from(weeks) {
+            let begin = epoch.saturating_add(week.saturating_mul(w));
+            let valid = Interval::from_len(begin, week).expect("week is positive");
+            // Recorded 2–40 h before the week starts (weekend data entry).
+            let lead = TimeDelta::from_hours(rng.gen_range(2..=40));
+            intervals.push(GenInterval {
+                object: ObjectId::new(e),
+                valid,
+                tt: begin.saturating_sub(lead),
+                attrs: vec![
+                    (AttrName::new("employee"), Value::Int(i64::try_from(e).unwrap_or(0))),
+                    (
+                        AttrName::new("project"),
+                        Value::str(["apollo", "borealis", "caravel"][rng.gen_range(0..3)]),
+                    ),
+                ],
+            });
+        }
+    }
+    normalize_tts_intervals(&mut intervals);
+    let schema = RelationSchema::builder("assignments", Stamping::Interval)
+        .key_attr("employee")
+        .attr("project", true)
+        .endpoint_spec(IntervalEndpointSpec::new(Endpoint::Begin, EventSpec::Predictive))
+        .succession(SuccessionSpec::GLOBALLY_CONTIGUOUS, Basis::PerObject)
+        .interval_regularity(
+            tempora_core::spec::interval::IntervalRegularitySpec::new(
+                tempora_core::spec::interval::IntervalRegularDimension::ValidTime,
+                week,
+            )
+            .strict(),
+        )
+        .build()
+        .expect("assignment schema is consistent");
+    IntervalWorkload { schema, intervals }
+}
+
+/// §3.1 — the current month's accounting relation: entries valid within
+/// ±`window` of their recording time (corrections become compensating
+/// transactions). Strongly bounded.
+#[must_use]
+pub fn accounting(entries: usize, window: TimeDelta, seed: u64) -> EventWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epoch = workload_epoch();
+    let mut events = Vec::with_capacity(entries);
+    let span = window.micros().max(2);
+    for i in 0..entries {
+        let tt = epoch.saturating_add(TimeDelta::from_mins(i64::try_from(i).unwrap_or(0) * 7));
+        let offset = TimeDelta::from_micros(rng.gen_range(-span + 1..span));
+        events.push(GenEvent {
+            object: ObjectId::new(rng.gen_range(0..50)),
+            vt: tt.saturating_add(offset),
+            tt,
+            attrs: vec![(
+                AttrName::new("amount"),
+                Value::Float(rng.gen_range(-500.0..500.0)),
+            )],
+        });
+    }
+    normalize_tts_events(&mut events);
+    let schema = RelationSchema::builder("ledger", Stamping::Event)
+        .key_attr("account")
+        .attr("amount", true)
+        .event_spec(EventSpec::StronglyBounded {
+            past: Bound::Fixed(window),
+            future: Bound::Fixed(window),
+        })
+        .build()
+        .expect("accounting schema is consistent");
+    EventWorkload { schema, events }
+}
+
+/// §3.1 — the order database: filled orders arbitrarily in the past,
+/// pending orders at most 30 days out. Predictively bounded with Δt = 30 d.
+#[must_use]
+pub fn orders(n: usize, seed: u64) -> EventWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epoch = workload_epoch();
+    let mut events = Vec::with_capacity(n);
+    for i in 0..n {
+        let tt = epoch.saturating_add(TimeDelta::from_mins(i64::try_from(i).unwrap_or(0) * 13));
+        let vt = if rng.gen_bool(0.6) {
+            // Filled order, completed some time in the past.
+            tt.saturating_sub(TimeDelta::from_hours(rng.gen_range(1..24 * 90)))
+        } else {
+            // Pending order, due within 30 days (company policy).
+            tt.saturating_add(TimeDelta::from_hours(rng.gen_range(1..24 * 30)))
+        };
+        events.push(GenEvent {
+            object: ObjectId::new(i64::try_from(i).unwrap_or(0).unsigned_abs()),
+            vt,
+            tt,
+            attrs: vec![(
+                AttrName::new("quantity"),
+                Value::Int(rng.gen_range(1..100)),
+            )],
+        });
+    }
+    normalize_tts_events(&mut events);
+    let schema = RelationSchema::builder("orders", Stamping::Event)
+        .key_attr("order_no")
+        .attr("quantity", true)
+        .event_spec(EventSpec::PredictivelyBounded {
+            bound: Bound::Fixed(TimeDelta::from_days(30)),
+        })
+        .build()
+        .expect("orders schema is consistent");
+    EventWorkload { schema, events }
+}
+
+/// §3.2 — the archeology relation: excavation uncovers progressively
+/// earlier periods. Globally non-increasing.
+#[must_use]
+pub fn archeology(layers: usize, seed: u64) -> EventWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dig_start = workload_epoch();
+    let mut vt = dig_start.saturating_sub(TimeDelta::from_days(365 * 100));
+    let mut events = Vec::with_capacity(layers);
+    for i in 0..layers {
+        let tt = dig_start.saturating_add(TimeDelta::from_days(i64::try_from(i).unwrap_or(0)));
+        // Each layer is up to a few centuries older than the previous.
+        vt = vt.saturating_sub(TimeDelta::from_days(rng.gen_range(0..365 * 300)));
+        events.push(GenEvent {
+            object: ObjectId::new(i64::try_from(i).unwrap_or(0).unsigned_abs()),
+            vt,
+            tt,
+            attrs: vec![(
+                AttrName::new("layer"),
+                Value::Int(i64::try_from(i).unwrap_or(0)),
+            )],
+        });
+    }
+    normalize_tts_events(&mut events);
+    let schema = RelationSchema::builder("excavation", Stamping::Event)
+        .key_attr("layer")
+        .ordering(OrderingSpec::GloballyNonIncreasing, Basis::PerRelation)
+        .build()
+        .expect("archeology schema is consistent");
+    EventWorkload { schema, events }
+}
+
+/// §3.1 — bank deposits effective at the start of the next business day:
+/// predictively determined with the [`NextBusinessDay`] mapping function.
+#[must_use]
+pub fn bank_deposits(n: usize, seed: u64) -> EventWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epoch = workload_epoch();
+    let mapping = NextBusinessDay;
+    let mut events = Vec::with_capacity(n);
+    for i in 0..n {
+        let tt = epoch
+            .saturating_add(TimeDelta::from_hours(i64::try_from(i).unwrap_or(0) * 5))
+            .saturating_add(TimeDelta::from_mins(rng.gen_range(0..60)));
+        // vt = m(e): start of the next business day after tt.
+        let vt = Timestamp::from_micros(
+            tt.date().next_business_day().days_since_epoch() * 86_400_000_000,
+        );
+        events.push(GenEvent {
+            object: ObjectId::new(rng.gen_range(0..100)),
+            vt,
+            tt,
+            attrs: vec![(
+                AttrName::new("amount"),
+                Value::Float(rng.gen_range(10.0..5_000.0)),
+            )],
+        });
+    }
+    normalize_tts_events(&mut events);
+    let schema = RelationSchema::builder("deposits", Stamping::Event)
+        .key_attr("account")
+        .attr("amount", true)
+        .determined(
+            DeterminedSpec::new(std::sync::Arc::new(mapping))
+                .with_constraint(EventSpec::Predictive),
+        )
+        .event_spec(EventSpec::Predictive)
+        .build()
+        .expect("deposit schema is consistent");
+    EventWorkload { schema, events }
+}
+
+/// §4 — "satellite surveillance of crops or weather": strictly periodic
+/// imaging passes. Each pass is captured on the grid (valid time at exact
+/// multiples of `period`) and downlinked with a constant ground-station
+/// delay — strict transaction-time event regularity with a constant
+/// offset, i.e. temporal event regularity in the paper's same-k sense.
+#[must_use]
+pub fn satellite(passes: usize, period: TimeDelta, downlink_delay: TimeDelta, seed: u64) -> EventWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epoch = workload_epoch();
+    let mut events = Vec::with_capacity(passes);
+    for i in 0..passes {
+        let vt = epoch.saturating_add(period.saturating_mul(i64::try_from(i).unwrap_or(0)));
+        let tt = vt.saturating_add(downlink_delay);
+        events.push(GenEvent {
+            object: ObjectId::new(0),
+            vt,
+            tt,
+            attrs: vec![(
+                AttrName::new("cloud_cover"),
+                Value::Float(rng.gen_range(0.0..1.0)),
+            )],
+        });
+    }
+    // No tie-bumping: constant offsets must be preserved exactly for
+    // temporal regularity; periods are positive so tts are already strict.
+    events.sort_by_key(|e| e.tt);
+    let schema = RelationSchema::builder("satellite_passes", Stamping::Event)
+        .key_attr("pass")
+        .attr("cloud_cover", true)
+        .event_spec(EventSpec::DelayedRetroactive {
+            delay: Bound::Fixed(downlink_delay),
+        })
+        .event_regularity(
+            tempora_core::spec::regularity::EventRegularitySpec::new(
+                tempora_core::spec::regularity::RegularDimension::Temporal,
+                period,
+            )
+            .strict(),
+            Basis::PerRelation,
+        )
+        .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerRelation)
+        .build()
+        .expect("satellite schema is consistent");
+    EventWorkload { schema, events }
+}
+
+/// An unrestricted baseline: offsets uniform in ±`spread`, no declared
+/// specialization — the *general* relation every comparison measures
+/// against.
+#[must_use]
+pub fn general(n: usize, spread: TimeDelta, seed: u64) -> EventWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epoch = workload_epoch();
+    let span = spread.micros().max(2);
+    let mut events = Vec::with_capacity(n);
+    for i in 0..n {
+        let tt = epoch.saturating_add(TimeDelta::from_mins(i64::try_from(i).unwrap_or(0)));
+        let offset = TimeDelta::from_micros(rng.gen_range(-span..span));
+        events.push(GenEvent {
+            object: ObjectId::new(rng.gen_range(0..100)),
+            vt: tt.saturating_add(offset),
+            tt,
+            attrs: Vec::new(),
+        });
+    }
+    normalize_tts_events(&mut events);
+    let schema = RelationSchema::builder("general", Stamping::Event)
+        .build()
+        .expect("general schema is consistent");
+    EventWorkload { schema, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::constraint::ConstraintEngine;
+    use tempora_core::{Element, ElementId};
+
+    /// Materializes generated events as elements and validates them against
+    /// the workload's own schema — every generator must produce conforming
+    /// data.
+    fn validate_events(workload: &EventWorkload) {
+        let elements: Vec<Element> = workload
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, ge)| {
+                let mut e = Element::new(
+                    ElementId::new(u64::try_from(i).unwrap()),
+                    ge.object,
+                    ge.vt,
+                    ge.tt,
+                );
+                e.attrs = ge.attrs.clone();
+                e
+            })
+            .collect();
+        let violations = ConstraintEngine::validate_extension(&workload.schema, &elements);
+        assert!(
+            violations.is_empty(),
+            "{}: {} violations, first: {}",
+            workload.schema.name(),
+            violations.len(),
+            violations[0]
+        );
+    }
+
+    fn validate_intervals(workload: &IntervalWorkload) {
+        let elements: Vec<Element> = workload
+            .intervals
+            .iter()
+            .enumerate()
+            .map(|(i, gi)| {
+                let mut e = Element::new(
+                    ElementId::new(u64::try_from(i).unwrap()),
+                    gi.object,
+                    gi.valid,
+                    gi.tt,
+                );
+                e.attrs = gi.attrs.clone();
+                e
+            })
+            .collect();
+        let violations = ConstraintEngine::validate_extension(&workload.schema, &elements);
+        assert!(
+            violations.is_empty(),
+            "{}: {} violations, first: {}",
+            workload.schema.name(),
+            violations.len(),
+            violations[0]
+        );
+    }
+
+    #[test]
+    fn monitoring_conforms_and_is_deterministic() {
+        let w1 = monitoring(3, 50, TimeDelta::from_secs(60), TimeDelta::from_secs(30), TimeDelta::from_secs(90), 42);
+        validate_events(&w1);
+        let w2 = monitoring(3, 50, TimeDelta::from_secs(60), TimeDelta::from_secs(30), TimeDelta::from_secs(90), 42);
+        assert_eq!(w1.events, w2.events, "same seed, same workload");
+        let w3 = monitoring(3, 50, TimeDelta::from_secs(60), TimeDelta::from_secs(30), TimeDelta::from_secs(90), 43);
+        assert_ne!(w1.events, w3.events, "different seed, different workload");
+        assert_eq!(w1.events.len(), 150);
+    }
+
+    #[test]
+    fn tts_strictly_increasing_everywhere() {
+        let w = monitoring(5, 100, TimeDelta::from_secs(60), TimeDelta::from_secs(30), TimeDelta::from_secs(90), 7);
+        for pair in w.events.windows(2) {
+            assert!(pair[0].tt < pair[1].tt);
+        }
+    }
+
+    #[test]
+    fn payroll_conforms() {
+        validate_events(&payroll(20, 12, 11));
+    }
+
+    #[test]
+    fn payroll_is_predictive_by_days() {
+        let w = payroll(5, 6, 3);
+        for e in &w.events {
+            let lead = e.vt - e.tt;
+            assert!(lead >= TimeDelta::from_days(2), "lead {lead}");
+            assert!(lead <= TimeDelta::from_days(8), "lead {lead}");
+        }
+    }
+
+    #[test]
+    fn assignments_conform() {
+        validate_intervals(&assignments(10, 8, 5));
+    }
+
+    #[test]
+    fn accounting_conforms() {
+        validate_events(&accounting(500, TimeDelta::from_hours(48), 9));
+    }
+
+    #[test]
+    fn orders_conform() {
+        validate_events(&orders(500, 13));
+    }
+
+    #[test]
+    fn archeology_conforms_and_decreases() {
+        let w = archeology(100, 17);
+        validate_events(&w);
+        for pair in w.events.windows(2) {
+            assert!(pair[0].vt >= pair[1].vt);
+        }
+    }
+
+    #[test]
+    fn bank_deposits_conform_to_mapping() {
+        validate_events(&bank_deposits(200, 23));
+    }
+
+    #[test]
+    fn satellite_conforms_and_is_temporally_regular() {
+        let w = satellite(
+            200,
+            TimeDelta::from_mins(90),
+            TimeDelta::from_mins(12),
+            19,
+        );
+        validate_events(&w);
+        // The constant offset makes it temporally regular (same k).
+        use tempora_core::inference::infer_inter_event;
+        use tempora_core::spec::interevent::EventStamp;
+        let stamps: Vec<EventStamp> = w
+            .events
+            .iter()
+            .map(|e| EventStamp::new(e.vt, e.tt))
+            .collect();
+        let inf = infer_inter_event(&stamps);
+        assert_eq!(inf.temporal_unit, Some(TimeDelta::from_mins(90)));
+        assert!(inf.strict_temporal);
+    }
+
+    #[test]
+    fn general_builds() {
+        let w = general(100, TimeDelta::from_hours(1), 31);
+        validate_events(&w);
+        assert_eq!(w.events.len(), 100);
+    }
+}

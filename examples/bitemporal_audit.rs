@@ -1,0 +1,111 @@
+//! Bitemporal audit end to end through the two-string API: schemas via
+//! DDL, queries via TQL, corrections via modification (§2), and an
+//! attribute timeline rebuilt "as of" different belief instants.
+//!
+//! The scenario: an HR department tracks salaried assignments. A clerk
+//! records a wrong project in March, discovers it in April, and corrects
+//! it — the relation remembers both what reality was and what the database
+//! *believed*, and the audit queries can tell them apart.
+//!
+//! Run with: `cargo run --example bitemporal_audit`
+
+use std::sync::Arc;
+
+use tempora::design::Database;
+use tempora::prelude::*;
+
+
+fn main() {
+    let clock = Arc::new(ManualClock::new("1992-01-01T00:00:00".parse().unwrap()));
+    let db = Database::new(clock.clone());
+
+    db.execute_ddl(
+        "CREATE TEMPORAL RELATION hr_assignments (
+             employee KEY, project VARYING
+         ) AS INTERVAL
+         WITH INTERVAL REGULAR VALID 7d STRICT",
+    )
+    .expect("valid DDL");
+    println!("{}", db.report("hr_assignments").expect("registered"));
+
+    let employee = ObjectId::new(42);
+    let week = |n: i64| -> Interval {
+        let base: Timestamp = "1992-03-02".parse().unwrap(); // a Monday
+        Interval::from_len(base + TimeDelta::from_days(n * 7), TimeDelta::from_days(7)).unwrap()
+    };
+    let attrs = |project: &str| {
+        vec![
+            (AttrName::new("employee"), Value::Int(42)),
+            (AttrName::new("project"), Value::str(project)),
+        ]
+    };
+
+    // March: the clerk records four weeks of assignments — week 2 wrongly
+    // as "apollo".
+    clock.set("1992-02-28T10:00:00".parse().unwrap());
+    let mut ids = Vec::new();
+    for (w, project) in [(0, "apollo"), (1, "apollo"), (2, "apollo"), (3, "caravel")] {
+        clock.advance(TimeDelta::from_mins(1));
+        ids.push(
+            db.insert("hr_assignments", employee, week(w), attrs(project))
+                .expect("conforming"),
+        );
+    }
+    let march_belief: Timestamp = clock.now();
+
+    // April: audit discovers week 2 was actually "borealis"; correct it.
+    clock.set("1992-04-06T09:00:00".parse().unwrap());
+    db.modify("hr_assignments", ids[2], week(2), attrs("borealis"))
+        .expect("correction applies");
+    println!("week-2 assignment corrected on {}\n", clock.now());
+
+    // ------------------------------------------------------------------
+    // TQL: the three query classes plus the bitemporal point.
+    // ------------------------------------------------------------------
+    let current = db.query("SELECT FROM hr_assignments").unwrap();
+    println!("current state           : {} assignments", current.stats.returned);
+
+    let slice = db
+        .query("SELECT FROM hr_assignments AT 1992-03-18")
+        .unwrap();
+    let project_now = slice.elements[0].attr("project").unwrap();
+    println!("reality at 1992-03-18   : {project_now} (after correction)");
+
+    let as_of = db
+        .query("SELECT FROM hr_assignments AT 1992-03-18 AS OF 1992-03-01")
+        .unwrap();
+    let project_then = as_of.elements[0].attr("project").unwrap();
+    println!("believed on 1992-03-01  : {project_then} (the original error)");
+    assert_ne!(format!("{project_now}"), format!("{project_then}"));
+
+    let history = db
+        .query("SELECT FROM hr_assignments HISTORY OF 42")
+        .unwrap();
+    println!(
+        "full life-line          : {} elements (including the superseded one)",
+        history.stats.returned
+    );
+    assert_eq!(history.stats.returned, 5);
+
+    // ------------------------------------------------------------------
+    // Timelines: the attribute as a function of valid time, per belief
+    // instant, coalescing equal adjacent weeks.
+    // ------------------------------------------------------------------
+    let march_timeline =
+        Timeline::build(&history.elements, employee, "project", march_belief);
+    let now_timeline = Timeline::build(&history.elements, employee, "project", clock.now());
+
+    println!("\ntimeline as believed in March:");
+    for seg in march_timeline.segments() {
+        println!("  {} → {}", seg.valid, seg.value);
+    }
+    println!("timeline as believed now:");
+    for seg in now_timeline.segments() {
+        println!("  {} → {}", seg.valid, seg.value);
+    }
+    // March belief: apollo coalesces over three weeks (2 segments). Now:
+    // apollo coalesces over two weeks, then borealis, then caravel (3).
+    assert_eq!(march_timeline.segments().len(), 2);
+    assert_eq!(now_timeline.segments().len(), 3);
+    assert!(march_timeline.is_contiguous() && now_timeline.is_contiguous());
+}

@@ -1,0 +1,120 @@
+//! The design methodology end to end (§4/abstract: "This taxonomy may be
+//! employed during database design"): declare schemas in the DDL, let the
+//! advisor infer specializations from sample data, audit production data
+//! against declarations, and print taxonomy reports.
+//!
+//! Run with: `cargo run --example design_advisor`
+
+use tempora::core::spec::interevent::EventStamp;
+use tempora::design::{advise_events, audit, parse_ddl, report, Catalog};
+use tempora::prelude::*;
+use tempora::workload;
+
+fn main() {
+    // --------------------------------------------------------------
+    // 1. Declare schemas in the DDL, in the paper's vocabulary.
+    // --------------------------------------------------------------
+    let catalog = Catalog::new();
+    for ddl in [
+        "CREATE TEMPORAL RELATION plant_monitoring (
+             sensor KEY, temperature VARYING
+         ) AS EVENT
+         GRANULARITY second
+         WITH DELAYED RETROACTIVE 30s
+          AND NONDECREASING PER SURROGATE",
+        "CREATE TEMPORAL RELATION project_assignments (
+             employee KEY, project VARYING
+         ) AS INTERVAL
+         WITH BEGIN RETROACTIVELY BOUNDED 1mo
+          AND CONTIGUOUS PER SURROGATE
+          AND INTERVAL REGULAR VALID 7d STRICT",
+        "CREATE TEMPORAL RELATION ledger (
+             account KEY, amount VARYING
+         ) AS EVENT
+         WITH STRONGLY BOUNDED 2d 2d",
+    ] {
+        let schema = parse_ddl(ddl).expect("DDL parses");
+        println!("registered `{}`", schema.name());
+        catalog.register(schema).expect("fresh name");
+    }
+    println!("catalog: {:?}\n", catalog.names());
+
+    // --------------------------------------------------------------
+    // 2. Taxonomy report for one schema: its place in Figure 2 and the
+    //    strategies it unlocks.
+    // --------------------------------------------------------------
+    let ledger = catalog.get("ledger").expect("registered above");
+    println!("{}", report::schema_report(&ledger));
+
+    // --------------------------------------------------------------
+    // 3. The advisor: infer a schema from sample data.
+    // --------------------------------------------------------------
+    let sample = workload::accounting(2_000, TimeDelta::from_hours(36), 99);
+    let stamps: Vec<EventStamp> = sample
+        .events
+        .iter()
+        .map(|e| EventStamp::new(e.vt, e.tt))
+        .collect();
+    let advice = advise_events("ledger_proposed", &stamps, 0.25).expect("non-empty sample");
+    println!("advisor on a 2000-entry accounting sample:");
+    println!("  observed band : {}", advice.observed.band);
+    println!("  recommendation: {}", advice.recommended);
+    for note in &advice.notes {
+        println!("  note: {note}");
+    }
+    assert_eq!(advice.recommended.kind(), EventSpecKind::StronglyBounded);
+
+    // --------------------------------------------------------------
+    // 4. Audit: validate data against the *declared* ledger schema.
+    // --------------------------------------------------------------
+    let elements: Vec<Element> = sample
+        .events
+        .iter()
+        .enumerate()
+        .map(|(i, ge)| {
+            let mut e = Element::new(
+                ElementId::new(u64::try_from(i).unwrap()),
+                ge.object,
+                ge.vt,
+                ge.tt,
+            );
+            e.attrs = ge.attrs.clone();
+            e
+        })
+        .collect();
+    let violations = audit(&ledger, &elements);
+    println!(
+        "\naudit of the sample against `ledger` (±2d declared, ±36h generated): {} violations",
+        violations.len()
+    );
+    assert!(violations.is_empty(), "36h-wide data fits the 2-day bound");
+
+    // Now audit deliberately non-conforming data: the archeology workload
+    // (valid times far in the past) against the strongly bounded ledger.
+    let dig = workload::archeology(50, 5);
+    let dig_elements: Vec<Element> = dig
+        .events
+        .iter()
+        .enumerate()
+        .map(|(i, ge)| {
+            Element::new(
+                ElementId::new(u64::try_from(i).unwrap()),
+                ge.object,
+                ge.vt,
+                ge.tt,
+            )
+        })
+        .collect();
+    let bad = audit(&ledger, &dig_elements);
+    println!(
+        "audit of excavation data against `ledger`: {} violations (as expected)",
+        bad.len()
+    );
+    assert_eq!(bad.len(), 50);
+    println!("  e.g. {}", bad[0]);
+
+    // --------------------------------------------------------------
+    // 5. The full taxonomy, derived from the region algebra (Figure 2).
+    // --------------------------------------------------------------
+    println!("\n{}", report::taxonomy_overview());
+}

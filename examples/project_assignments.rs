@@ -1,0 +1,132 @@
+//! The paper's interval scenario (§3.1/§3.3/§3.4): weekly employee
+//! assignments — contiguous week intervals per employee, recorded before
+//! each week starts, with strict 7-day interval regularity. Demonstrates
+//! the inter-interval taxonomy (Allen succession), modification semantics
+//! (§2: delete + insert under one transaction), and rollback.
+//!
+//! Run with: `cargo run --example project_assignments`
+
+use tempora::core::inference::infer_inter_interval;
+use tempora::core::spec::interinterval::IntervalStamp;
+use tempora::prelude::*;
+use tempora::workload;
+
+fn main() {
+    let w = workload::assignments(8, 10, 3);
+    let relation = tempora::load_interval_workload(&w).expect("assignments conform");
+    println!(
+        "assignments: {} week-intervals for 8 employees\n{}",
+        relation.relation().len(),
+        relation.relation().schema()
+    );
+
+    // --------------------------------------------------------------
+    // Who was assigned where in week 4?
+    // --------------------------------------------------------------
+    let week4 = workload::workload_epoch() + TimeDelta::from_days(4 * 7 + 2);
+    let slice = relation.execute(Query::Timeslice { vt: week4 });
+    println!("\nassignments covering {week4}:");
+    for e in &slice.elements {
+        println!(
+            "  {} → {}",
+            e.object,
+            e.attr("project").and_then(Value::as_str).unwrap_or("?")
+        );
+    }
+    assert_eq!(slice.stats.returned, 8);
+
+    // --------------------------------------------------------------
+    // Inter-interval inference: successive weeks meet (globally
+    // contiguous = st-meets, §3.4), per employee.
+    // --------------------------------------------------------------
+    let employee_three: Vec<IntervalStamp> = relation
+        .relation()
+        .iter()
+        .filter(|e| e.object == ObjectId::new(3))
+        .filter_map(|e| {
+            e.valid
+                .as_interval()
+                .map(|iv| IntervalStamp::new(iv, e.tt_begin))
+        })
+        .collect();
+    let inferred = infer_inter_interval(&employee_three);
+    println!(
+        "\nemployee o3's life-line Allen profile: {:?}",
+        inferred
+            .allen_profile
+            .iter()
+            .map(|r| r.name())
+            .collect::<Vec<_>>()
+    );
+    assert!(inferred
+        .successions
+        .contains(&SuccessionSpec::GLOBALLY_CONTIGUOUS));
+    assert!(inferred.strict_vt_duration, "all weeks are exactly 7 days");
+
+    // --------------------------------------------------------------
+    // A correction (§2's modification): employee 3's week-5 assignment
+    // was wrong; fix the project. The old element is logically deleted
+    // and a new one stored under one transaction time, with a fresh
+    // element surrogate.
+    // --------------------------------------------------------------
+    // Reload into a mutable relation for the correction phase.
+    let clock = std::sync::Arc::new(ManualClock::new(
+        w.intervals.first().map(|i| i.tt).unwrap(),
+    ));
+    let mut mutable = IndexedRelation::new(std::sync::Arc::clone(&w.schema), clock.clone());
+    let mut ids = Vec::new();
+    tempora::load_intervals_into(&mut mutable, &clock, &w.intervals, &mut ids)
+        .expect("assignments conform");
+
+    let week5_start = workload::workload_epoch() + TimeDelta::from_days(5 * 7);
+    let target = mutable
+        .relation()
+        .iter()
+        .find(|e| e.object == ObjectId::new(3) && e.valid.begin() == week5_start)
+        .expect("week 5 exists");
+    let (target_id, target_valid) = (target.id, target.valid);
+
+    let before_fix = clock.now();
+    clock.advance(TimeDelta::from_hours(1));
+    let correction = vec![
+        (AttrName::new("employee"), Value::Int(3)),
+        (AttrName::new("project"), Value::str("delphi")),
+    ];
+
+    // Under the declared specializations the correction is *rejected*: the
+    // re-inserted week-5 interval breaks per-surrogate contiguity (its
+    // predecessor in transaction time is week 9) and the predictive begin
+    // (week 5 already started). The paper's intensional semantics are
+    // strict — a relation typed this way admits no retroactive edits.
+    let err = mutable
+        .modify(target_id, target_valid, correction.clone())
+        .unwrap_err();
+    println!("\ndeclared specializations forbid the retroactive correction:\n  {err}");
+
+    // An administrative correction deliberately bypasses enforcement
+    // (Trust mode) — the documented escape hatch for exactly this case.
+    let mut mutable = mutable.with_enforcement(Enforcement::Trust);
+    let new_id = mutable
+        .modify(target_id, target_valid, correction)
+        .expect("trusted correction applies");
+    println!("corrected week-5 assignment under Trust mode: {target_id} superseded by {new_id}");
+    assert_ne!(target_id, new_id, "modification yields a fresh surrogate (§2)");
+
+    // Rollback before the fix still shows the original project; the
+    // current state shows the correction.
+    let old_state = mutable.execute(Query::Rollback { tt: before_fix });
+    let old_project = old_state
+        .elements
+        .iter()
+        .find(|e| e.id == target_id)
+        .and_then(|e| e.attr("project").and_then(Value::as_str).map(String::from))
+        .expect("original visible in rollback");
+    let new_project = mutable
+        .relation()
+        .get(new_id)
+        .and_then(|e| e.attr("project").and_then(Value::as_str).map(String::from))
+        .expect("correction current");
+    println!("rollback sees {old_project:?}; current sees {new_project:?}");
+    assert_eq!(new_project, "delphi");
+    assert_ne!(old_project, new_project);
+}

@@ -1,0 +1,156 @@
+//! Property-based cross-crate test: for random workloads and random
+//! probes, every physical strategy the optimizer can choose returns
+//! exactly the full-scan answer. This is the executor's core soundness
+//! property — specialization-aware plans are optimizations, never
+//! approximations.
+
+use proptest::prelude::*;
+
+use std::sync::Arc;
+
+use tempora::prelude::*;
+
+fn sorted_ids(elements: &[Element]) -> Vec<ElementId> {
+    let mut v: Vec<ElementId> = elements.iter().map(|e| e.id).collect();
+    v.sort();
+    v
+}
+
+/// A randomly parameterized bounded event relation.
+fn bounded_relation(
+    offsets: &[i64],
+    past_bound: i64,
+    future_bound: i64,
+) -> Option<IndexedRelation> {
+    let schema = RelationSchema::builder("r", Stamping::Event)
+        .event_spec(EventSpec::StronglyBounded {
+            past: Bound::secs(past_bound),
+            future: Bound::secs(future_bound),
+        })
+        .build()
+        .ok()?;
+    let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+    let mut rel = IndexedRelation::new(schema, clock.clone());
+    for (i, &off) in offsets.iter().enumerate() {
+        let tt = Timestamp::from_secs(i64::try_from(i).ok()? * 100 + 100);
+        clock.set(tt);
+        let vt = tt + TimeDelta::from_secs(off);
+        rel.insert(ObjectId::new(u64::try_from(i % 7).ok()?), vt, vec![])
+            .ok()?;
+    }
+    Some(rel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounded_plans_agree_with_full_scan(
+        offsets in prop::collection::vec(-50_i64..=80, 1..120),
+        probe in 0_i64..14_000,
+    ) {
+        let rel = bounded_relation(&offsets, 50, 80).expect("offsets conform by construction");
+        let q = Query::Timeslice { vt: Timestamp::from_secs(probe) };
+        let fast = rel.execute(q);
+        let slow = rel.execute_plan(q, Plan::FullScan);
+        prop_assert_eq!(sorted_ids(&fast.elements), sorted_ids(&slow.elements));
+        // The fast plan is genuinely a tt-window scan on this schema.
+        prop_assert_eq!(fast.stats.strategy, "tt-window-scan");
+    }
+
+    #[test]
+    fn range_plans_agree_with_full_scan(
+        offsets in prop::collection::vec(-50_i64..=80, 1..100),
+        from in 0_i64..12_000,
+        width in 1_i64..3_000,
+    ) {
+        let rel = bounded_relation(&offsets, 50, 80).expect("conforms");
+        let q = Query::TimesliceRange {
+            from: Timestamp::from_secs(from),
+            to: Timestamp::from_secs(from + width),
+        };
+        let fast = rel.execute(q);
+        let slow = rel.execute_plan(q, Plan::FullScan);
+        prop_assert_eq!(sorted_ids(&fast.elements), sorted_ids(&slow.elements));
+    }
+
+    #[test]
+    fn point_index_agrees_with_full_scan(
+        vts in prop::collection::vec(-5_000_i64..5_000, 1..120),
+        probe in -5_000_i64..5_000,
+    ) {
+        // General relation: maintained point index.
+        let schema = RelationSchema::builder("g", Stamping::Event).build().unwrap();
+        let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+        let mut rel = IndexedRelation::new(schema, clock.clone());
+        for (i, &vt) in vts.iter().enumerate() {
+            clock.set(Timestamp::from_secs(i64::try_from(i).unwrap() + 1));
+            rel.insert(ObjectId::new(1), Timestamp::from_secs(vt), vec![]).unwrap();
+        }
+        let q = Query::Timeslice { vt: Timestamp::from_secs(probe) };
+        let fast = rel.execute(q);
+        prop_assert_eq!(fast.stats.strategy, "point-probe");
+        let slow = rel.execute_plan(q, Plan::FullScan);
+        prop_assert_eq!(sorted_ids(&fast.elements), sorted_ids(&slow.elements));
+    }
+
+    #[test]
+    fn interval_tree_agrees_with_full_scan(
+        spans in prop::collection::vec((-2_000_i64..2_000, 1_i64..500), 1..80),
+        probe in -2_500_i64..2_500,
+        deletions in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+    ) {
+        let schema = RelationSchema::builder("iv", Stamping::Interval).build().unwrap();
+        let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+        let mut rel = IndexedRelation::new(schema, clock.clone());
+        let mut ids = Vec::new();
+        for (i, &(b, len)) in spans.iter().enumerate() {
+            clock.set(Timestamp::from_secs(i64::try_from(i).unwrap() + 1));
+            let valid = Interval::new(
+                Timestamp::from_secs(b),
+                Timestamp::from_secs(b + len),
+            ).unwrap();
+            ids.push(rel.insert(ObjectId::new(1), valid, vec![]).unwrap());
+        }
+        // Random logical deletions must also leave the index consistent.
+        for idx in &deletions {
+            let id = *idx.get(&ids);
+            clock.advance(TimeDelta::from_secs(1));
+            let _ = rel.delete(id); // double deletes are fine to ignore
+        }
+        let q = Query::Timeslice { vt: Timestamp::from_secs(probe) };
+        let fast = rel.execute(q);
+        prop_assert_eq!(fast.stats.strategy, "interval-probe");
+        let slow = rel.execute_plan(q, Plan::FullScan);
+        prop_assert_eq!(sorted_ids(&fast.elements), sorted_ids(&slow.elements));
+    }
+
+    #[test]
+    fn rollback_is_consistent_with_incremental_history(
+        n in 1_usize..60,
+        probe_at in any::<prop::sample::Index>(),
+    ) {
+        // Build a history while recording the current-state size after
+        // every commit; rolling back must reproduce those sizes.
+        let schema = RelationSchema::builder("h", Stamping::Event).build().unwrap();
+        let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+        let mut rel = IndexedRelation::new(schema, clock.clone());
+        let mut checkpoints: Vec<(Timestamp, usize)> = Vec::new();
+        let mut live: Vec<ElementId> = Vec::new();
+        for i in 0..n {
+            clock.set(Timestamp::from_secs(i64::try_from(i).unwrap() * 10 + 10));
+            if i % 4 == 3 && !live.is_empty() {
+                let victim = live.remove(i % live.len());
+                rel.delete(victim).unwrap();
+            } else {
+                live.push(
+                    rel.insert(ObjectId::new(1), Timestamp::from_secs(0), vec![]).unwrap(),
+                );
+            }
+            checkpoints.push((clock.now(), live.len()));
+        }
+        let (tt, expect) = *probe_at.get(&checkpoints);
+        let result = rel.execute(Query::Rollback { tt });
+        prop_assert_eq!(result.stats.returned, expect);
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end test of the `tempora-repl` binary: pipe a scripted session
+//! through stdin and check the printed results.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tempora-repl"))
+        .env("NO_PROMPT", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("repl binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let output = child.wait_with_output().expect("repl exits");
+    assert!(output.status.success(), "repl exited with {:?}", output.status);
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn scripted_session_creates_inserts_queries() {
+    let (stdout, stderr) = run_script(
+        "CREATE TEMPORAL RELATION plant (sensor KEY, temperature VARYING) AS EVENT WITH RETROACTIVE\n\
+         INSERT INTO plant OBJECT 7 VALID 1992-02-12T08:58:00 SET temperature = 19.5\n\
+         SELECT FROM plant AT 1992-02-12T08:58:00\n\
+         .relations\n\
+         .quit\n",
+    );
+    assert!(stdout.contains("created relation plant"), "{stdout}");
+    assert!(stdout.contains("inserted e0"), "{stdout}");
+    assert!(stdout.contains("returned 1"), "{stdout}");
+    assert!(stdout.contains("temperature = 19.5"), "{stdout}");
+    assert!(stdout.lines().any(|l| l.trim() == "plant"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn constraint_violations_are_reported_not_fatal() {
+    // A retroactive relation rejects a future fact; the session continues.
+    let (stdout, stderr) = run_script(
+        "CREATE TEMPORAL RELATION r (k KEY) AS EVENT WITH RETROACTIVE\n\
+         INSERT INTO r OBJECT 1 VALID 2999-01-01 SET k = 1\n\
+         SELECT FROM r\n\
+         .quit\n",
+    );
+    assert!(stderr.contains("violates retroactive"), "{stderr}");
+    assert!(stdout.contains("returned 0"), "{stdout}");
+}
+
+#[test]
+fn multi_line_statements_and_reports() {
+    let (stdout, _stderr) = run_script(
+        "CREATE TEMPORAL RELATION ledger (account KEY) \\\n\
+         AS EVENT WITH STRONGLY BOUNDED 1h 1h\n\
+         .report ledger\n\
+         .taxonomy\n\
+         .quit\n",
+    );
+    assert!(stdout.contains("created relation ledger"), "{stdout}");
+    assert!(stdout.contains("strongly bounded"), "{stdout}");
+    assert!(stdout.contains("tt-proxy"), "{stdout}");
+    assert!(stdout.contains("delayed retroactive"), "{stdout}"); // taxonomy tree
+}
+
+#[test]
+fn bad_meta_and_bad_statements_do_not_crash() {
+    let (stdout, stderr) = run_script(
+        ".bogus\n\
+         EXPLODE everything\n\
+         -- a comment line is ignored\n\
+         .help\n\
+         .quit\n",
+    );
+    assert!(stderr.contains("unknown meta-command"), "{stderr}");
+    assert!(stderr.contains("expected CREATE"), "{stderr}");
+    assert!(stdout.contains("statements:"), "{stdout}");
+}

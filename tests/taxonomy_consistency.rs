@@ -1,0 +1,199 @@
+//! Cross-module consistency of the taxonomy: the region algebra, the
+//! checkers, the lattices, and inference must all tell the same story.
+
+use proptest::prelude::*;
+
+use tempora::core::inference::infer_event_band;
+use tempora::core::lattice::event_lattice;
+use tempora::core::region::OffsetBand;
+use tempora::core::spec::interevent::EventStamp;
+use tempora::prelude::*;
+
+/// Canonical fixed instantiation used throughout.
+fn canonical(kind: EventSpecKind) -> EventSpec {
+    kind.canonical(Bound::secs(10))
+}
+
+#[test]
+fn lattice_edges_respected_by_instances() {
+    // If kind A ≤ kind B in the derived lattice, then for A's canonical
+    // instantiation there is an instantiation of B it implies — we verify
+    // with a *widened* canonical B (A's parameters fit inside B's family
+    // by subsumption, and doubling B's bounds covers the canonical
+    // offsets).
+    let lattice = event_lattice();
+    let g = Granularity::Microsecond;
+    for &a in lattice.nodes() {
+        for &b in lattice.nodes() {
+            if !lattice.is_specialization_of(a, b) {
+                continue;
+            }
+            let spec_a = canonical(a);
+            // Instantiate B at several scales; at least one must be implied.
+            let implied = [1_i64, 2, 10, 40]
+                .into_iter()
+                .map(|s| b.canonical(Bound::secs(10 * s)))
+                .chain([b.canonical(Bound::secs(5)), b.canonical(Bound::secs(10))])
+                .any(|spec_b| spec_a.implies(&spec_b));
+            assert!(implied, "{a} ≤ {b} but no instantiation of {b} is implied");
+            let _ = g;
+        }
+    }
+}
+
+#[test]
+fn boundary_parameter_identities() {
+    // §3.1's boundary cases: retroactively bounded with Δt = 0 degenerates
+    // to predictive (vt ≥ tt), and strongly retroactively bounded with
+    // Δt = 0 degenerates to the µs-granularity degenerate region.
+    let rb0 = EventSpec::RetroactivelyBounded { bound: Bound::secs(0) };
+    assert_eq!(
+        rb0.exact_band(),
+        EventSpec::Predictive.exact_band(),
+        "retroactively bounded Δt=0 ≡ predictive"
+    );
+    let srb0 = EventSpec::StronglyRetroactivelyBounded { bound: Bound::secs(0) };
+    assert_eq!(srb0.exact_band(), EventSpec::Degenerate.exact_band());
+    // And the checkers agree with the identities.
+    let g = Granularity::Microsecond;
+    for off in -5..=5_i64 {
+        let tt = Timestamp::from_secs(100);
+        let vt = tt + TimeDelta::from_secs(off);
+        assert_eq!(rb0.holds(vt, tt, g), EventSpec::Predictive.holds(vt, tt, g));
+        assert_eq!(srb0.holds(vt, tt, g), EventSpec::Degenerate.holds(vt, tt, g));
+    }
+}
+
+#[test]
+fn checkers_agree_with_bands_on_dense_grid() {
+    let g = Granularity::Microsecond;
+    let tt = Timestamp::from_secs(0);
+    for kind in EventSpecKind::ALL {
+        let spec = canonical(kind);
+        let band = spec.exact_band().expect("fixed canonical bounds");
+        for off_micros in (-25_000_000..=25_000_000_i64).step_by(499_999) {
+            let vt = Timestamp::from_micros(off_micros);
+            assert_eq!(
+                spec.holds(vt, tt, g),
+                band.contains(vt, tt),
+                "{kind} at offset {off_micros}µs"
+            );
+        }
+    }
+}
+
+#[test]
+fn inference_is_sound_and_tight() {
+    // For every kind: generate data exactly at the canonical band's
+    // extremes; inference must (a) report a band equal to the hull of the
+    // samples, (b) include the kind among satisfied kinds.
+    for kind in EventSpecKind::ALL {
+        let spec = canonical(kind);
+        let band = spec.exact_band().unwrap();
+        // Pick representable extreme offsets inside the band.
+        let lo = band.lo.unwrap_or(-30_000_000);
+        let hi = band.hi.unwrap_or(30_000_000);
+        let stamps: Vec<EventStamp> = [lo, (lo + hi) / 2, hi]
+            .iter()
+            .enumerate()
+            .map(|(i, &off)| {
+                let tt = Timestamp::from_secs(i64::try_from(i).unwrap() * 1_000);
+                EventStamp::new(tt + TimeDelta::from_micros(off), tt)
+            })
+            .collect();
+        let inf = infer_event_band(&stamps).unwrap();
+        assert_eq!(inf.band, OffsetBand::new(Some(lo), Some(hi)), "{kind}");
+        assert!(
+            inf.satisfied_kinds.contains(&kind),
+            "{kind} generated data must satisfy {kind}; got {:?}",
+            inf.satisfied_kinds
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn implies_is_sound_on_random_pairs(
+        a_idx in 0_usize..13,
+        b_idx in 0_usize..13,
+        scale_a in 1_i64..20,
+        scale_b in 1_i64..20,
+        offsets in prop::collection::vec(-400_000_000_i64..400_000_000, 1..30),
+    ) {
+        // If spec_a.implies(spec_b), every pair admitted by a is admitted
+        // by b.
+        let spec_a = EventSpecKind::ALL[a_idx].canonical(Bound::secs(scale_a));
+        let spec_b = EventSpecKind::ALL[b_idx].canonical(Bound::secs(scale_b));
+        if spec_a.implies(&spec_b) {
+            let g = Granularity::Microsecond;
+            let tt = Timestamp::from_secs(5_000);
+            for &off in &offsets {
+                let vt = tt + TimeDelta::from_micros(off);
+                if spec_a.holds(vt, tt, g) {
+                    prop_assert!(
+                        spec_b.holds(vt, tt, g),
+                        "{} admitted offset {} that {} rejects",
+                        spec_a, off, spec_b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inferred_strongest_spec_admits_its_sample(
+        raw in prop::collection::vec((-86_400_i64..86_400, 0_i64..10_000), 1..40),
+    ) {
+        let stamps: Vec<EventStamp> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(off, _))| {
+                let tt = Timestamp::from_secs(i64::try_from(i).unwrap() * 100);
+                EventStamp::new(tt + TimeDelta::from_secs(off), tt)
+            })
+            .collect();
+        let inf = infer_event_band(&stamps).unwrap();
+        inf.strongest.validate().expect("inferred specs are valid");
+        let g = Granularity::Microsecond;
+        for s in &stamps {
+            prop_assert!(
+                inf.strongest.holds(s.vt, s.tt, g),
+                "{} rejected its own sample",
+                inf.strongest
+            );
+        }
+        // And every satisfied kind's family contains the sample band.
+        for kind in &inf.satisfied_kinds {
+            prop_assert!(kind.family_shape().has_band_containing(inf.band));
+        }
+    }
+
+    #[test]
+    fn band_intersection_is_conjunction(
+        lo1 in -100_i64..100, hi1 in -100_i64..100,
+        lo2 in -100_i64..100, hi2 in -100_i64..100,
+        probe in -150_i64..150,
+    ) {
+        let b1 = OffsetBand::new(Some(lo1.min(hi1)), Some(hi1.max(lo1)));
+        let b2 = OffsetBand::new(Some(lo2.min(hi2)), Some(hi2.max(lo2)));
+        let both = b1.intersect(b2);
+        prop_assert_eq!(
+            both.contains_offset(probe),
+            b1.contains_offset(probe) && b2.contains_offset(probe)
+        );
+    }
+
+    #[test]
+    fn subset_decision_matches_pointwise(
+        lo1 in -50_i64..50, hi1 in -50_i64..50,
+        lo2 in -50_i64..50, hi2 in -50_i64..50,
+    ) {
+        let b1 = OffsetBand::new(Some(lo1), Some(hi1));
+        let b2 = OffsetBand::new(Some(lo2), Some(hi2));
+        let decided = b1.is_subset(b2);
+        let pointwise = (-60..=60_i64).all(|o| !b1.contains_offset(o) || b2.contains_offset(o));
+        prop_assert_eq!(decided, pointwise);
+    }
+}
