@@ -1,0 +1,77 @@
+//! Batched ingest throughput: sequential vs sharded-parallel constraint
+//! checking on a per-surrogate-specialized relation.
+//!
+//! The schema declares only partition-local constraints — calendric
+//! isolated-event specializations and a per-object ordering — so
+//! `apply_batch` may split the check stage across shards (§3.2's per
+//! surrogate partitioning). The 1-shard case takes the sequential path and
+//! doubles as the regression guard; 4+ shards should run the batch at a
+//! multiple of its throughput.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tempora::prelude::*;
+
+const BATCH: usize = 8_000;
+const OBJECTS: u64 = 64;
+
+/// Readings land round-robin on `OBJECTS` surrogates, one per second, each
+/// reported two months after the fact — conforming to both calendric
+/// bounds and to each object's non-decreasing valid-time order.
+fn build_batch() -> (Arc<RelationSchema>, Vec<BatchRecord>, Vec<Timestamp>) {
+    let schema = RelationSchema::builder("audit", Stamping::Event)
+        .event_spec(EventSpec::DelayedRetroactive {
+            delay: Bound::Calendric(CalendricDuration::months(1)),
+        })
+        .event_spec(EventSpec::RetroactivelyBounded {
+            bound: Bound::Calendric(CalendricDuration::months(6)),
+        })
+        .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+        .event_regularity(
+            EventRegularitySpec::new(RegularDimension::ValidTime, TimeDelta::from_secs(64)),
+            Basis::PerObject,
+        )
+        .build()
+        .expect("consistent schema");
+    let origin = Timestamp::from_date(1992, 6, 1).expect("valid date");
+    let mut records = Vec::with_capacity(BATCH);
+    let mut stamps = Vec::with_capacity(BATCH);
+    for i in 0..BATCH {
+        let tt = origin + TimeDelta::from_secs(i64::try_from(i).expect("small") + 1);
+        let vt = tt + TimeDelta::from_days(-60);
+        records.push(BatchRecord::new(ObjectId::new(i as u64 % OBJECTS), vt));
+        stamps.push(tt);
+    }
+    (schema, records, stamps)
+}
+
+fn bench_ingest_parallel(c: &mut Criterion) {
+    let (schema, records, stamps) = build_batch();
+    let mut group = c.benchmark_group("ingest_8k_batch");
+    group.sample_size(10);
+    for shards in [1_usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                let clock = Arc::new(ReplayClock::new(stamps.clone()));
+                let mut rel = TemporalRelation::new(Arc::clone(&schema), clock)
+                    .with_ingest_shards(shards);
+                let report = rel.apply_batch(records.clone());
+                assert!(report.all_accepted(), "bench batch must conform");
+                assert_eq!(report.parallel, shards > 1);
+                black_box(rel.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_ingest_parallel
+}
+criterion_main!(benches);

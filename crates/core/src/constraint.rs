@@ -20,14 +20,260 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tempora_time::{Interval, Timestamp};
+use tempora_time::{Granularity, Interval, Timestamp};
 
 use crate::element::{Element, ObjectId, ValidTime};
 use crate::error::{CoreError, Violation};
+use crate::region::OffsetBand;
 use crate::schema::{Basis, RelationSchema, Stamping, TtReference};
+use crate::spec::event::EventSpec;
 use crate::spec::interevent::{EventStamp, OrderingChecker};
 use crate::spec::interinterval::{IntervalStamp, SuccessionChecker};
 use crate::spec::regularity::RegularityChecker;
+
+/// A declared isolated-event specialization compiled to a monomorphic
+/// fast path.
+///
+/// [`EventSpec::check`] re-interprets the spec lattice per element:
+/// matching on the variant, unwrapping [`crate::spec::bound::Bound`]s and
+/// (for calendric bounds) doing calendar arithmetic. On the batched
+/// ingest hot path that interpretation cost is paid millions of times
+/// for a spec that never changes, so the engine compiles each declared
+/// spec once: fixed bounds become raw microsecond offsets compared
+/// directly against the stamp pair; only calendric bounds fall back to
+/// interpretation, and the general region test ([`CompiledCheck::Band`])
+/// remains as the uniform fallback any fixed-bound spec could use.
+///
+/// `admits` answers exactly [`EventSpec::holds`]; the engine re-runs
+/// [`EventSpec::check`] on the (rare) rejection path to reproduce the
+/// interpreter's diagnostic verbatim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompiledCheck {
+    /// `General`: every stamp pair is admitted.
+    Pass,
+    /// `Retroactive`: `vt ≤ tt`.
+    Retroactive,
+    /// `DelayedRetroactive`: `vt ≤ tt − delay` (µs).
+    DelayedRetroactive {
+        /// Minimum storage delay in microseconds.
+        delay: i64,
+    },
+    /// `Predictive`: `vt ≥ tt`.
+    Predictive,
+    /// `EarlyPredictive`: `vt ≥ tt + lead` (µs).
+    EarlyPredictive {
+        /// Minimum lead in microseconds.
+        lead: i64,
+    },
+    /// `RetroactivelyBounded`: `vt ≥ tt − bound` (µs).
+    RetroactivelyBounded {
+        /// Maximum lateness in microseconds.
+        bound: i64,
+    },
+    /// `StronglyRetroactivelyBounded`: `tt − bound ≤ vt ≤ tt` (µs).
+    StronglyRetroactivelyBounded {
+        /// Maximum lateness in microseconds.
+        bound: i64,
+    },
+    /// `DelayedStronglyRetroactivelyBounded`:
+    /// `tt − max_delay ≤ vt ≤ tt − min_delay` (µs).
+    DelayedStronglyRetroactivelyBounded {
+        /// Minimum delay in microseconds.
+        min_delay: i64,
+        /// Maximum delay in microseconds.
+        max_delay: i64,
+    },
+    /// `PredictivelyBounded`: `vt ≤ tt + bound` (µs).
+    PredictivelyBounded {
+        /// Maximum lead in microseconds.
+        bound: i64,
+    },
+    /// `StronglyPredictivelyBounded`: `tt ≤ vt ≤ tt + bound` (µs).
+    StronglyPredictivelyBounded {
+        /// Maximum lead in microseconds.
+        bound: i64,
+    },
+    /// `EarlyStronglyPredictivelyBounded`:
+    /// `tt + min_lead ≤ vt ≤ tt + max_lead` (µs).
+    EarlyStronglyPredictivelyBounded {
+        /// Minimum lead in microseconds.
+        min_lead: i64,
+        /// Maximum lead in microseconds.
+        max_lead: i64,
+    },
+    /// `StronglyBounded`: `tt − past ≤ vt ≤ tt + future` (µs).
+    StronglyBounded {
+        /// Maximum lateness in microseconds.
+        past: i64,
+        /// Maximum lead in microseconds.
+        future: i64,
+    },
+    /// `Degenerate`: `vt` and `tt` share a granule.
+    Degenerate {
+        /// The relation's stamp granularity.
+        granularity: Granularity,
+    },
+    /// General region fallback: membership of `vt − tt` in an offset
+    /// band (the uniform test every fixed-bound spec reduces to).
+    Band(OffsetBand),
+    /// Calendric bounds: the band depends on the anchor date, so the
+    /// spec is interpreted per element.
+    Interpreted {
+        /// The uncompiled specialization.
+        spec: EventSpec,
+        /// The relation's stamp granularity.
+        granularity: Granularity,
+    },
+}
+
+impl CompiledCheck {
+    /// Compiles a declared specialization for a relation with the given
+    /// stamp granularity.
+    #[must_use]
+    pub fn compile(spec: &EventSpec, granularity: Granularity) -> CompiledCheck {
+        use crate::spec::bound::Bound;
+        let fixed = |b: &Bound| b.as_fixed().map(|d| d.micros());
+        let interpreted = CompiledCheck::Interpreted {
+            spec: *spec,
+            granularity,
+        };
+        match spec {
+            EventSpec::General => CompiledCheck::Pass,
+            EventSpec::Retroactive => CompiledCheck::Retroactive,
+            EventSpec::DelayedRetroactive { delay } => match fixed(delay) {
+                Some(delay) => CompiledCheck::DelayedRetroactive { delay },
+                None => interpreted,
+            },
+            EventSpec::Predictive => CompiledCheck::Predictive,
+            EventSpec::EarlyPredictive { lead } => match fixed(lead) {
+                Some(lead) => CompiledCheck::EarlyPredictive { lead },
+                None => interpreted,
+            },
+            EventSpec::RetroactivelyBounded { bound } => match fixed(bound) {
+                Some(bound) => CompiledCheck::RetroactivelyBounded { bound },
+                None => interpreted,
+            },
+            EventSpec::StronglyRetroactivelyBounded { bound } => match fixed(bound) {
+                Some(bound) => CompiledCheck::StronglyRetroactivelyBounded { bound },
+                None => interpreted,
+            },
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => match (fixed(min_delay), fixed(max_delay)) {
+                (Some(min_delay), Some(max_delay)) => {
+                    CompiledCheck::DelayedStronglyRetroactivelyBounded {
+                        min_delay,
+                        max_delay,
+                    }
+                }
+                _ => interpreted,
+            },
+            EventSpec::PredictivelyBounded { bound } => match fixed(bound) {
+                Some(bound) => CompiledCheck::PredictivelyBounded { bound },
+                None => interpreted,
+            },
+            EventSpec::StronglyPredictivelyBounded { bound } => match fixed(bound) {
+                Some(bound) => CompiledCheck::StronglyPredictivelyBounded { bound },
+                None => interpreted,
+            },
+            EventSpec::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+                match (fixed(min_lead), fixed(max_lead)) {
+                    (Some(min_lead), Some(max_lead)) => {
+                        CompiledCheck::EarlyStronglyPredictivelyBounded { min_lead, max_lead }
+                    }
+                    _ => interpreted,
+                }
+            }
+            EventSpec::StronglyBounded { past, future } => match (fixed(past), fixed(future)) {
+                (Some(past), Some(future)) => CompiledCheck::StronglyBounded { past, future },
+                _ => interpreted,
+            },
+            EventSpec::Degenerate => CompiledCheck::Degenerate { granularity },
+        }
+    }
+
+    /// Whether the stamp pair is admitted — exactly [`EventSpec::holds`]
+    /// for the compiled spec.
+    ///
+    /// Saturating arithmetic mirrors [`crate::spec::bound::Bound`]'s
+    /// timestamp shifts, so behavior matches the interpreter even at the
+    /// representable extremes.
+    #[must_use]
+    pub fn admits(&self, vt: Timestamp, tt: Timestamp) -> bool {
+        let (v, t) = (vt.micros(), tt.micros());
+        match *self {
+            CompiledCheck::Pass => true,
+            CompiledCheck::Retroactive => v <= t,
+            CompiledCheck::DelayedRetroactive { delay } => v <= t.saturating_sub(delay),
+            CompiledCheck::Predictive => v >= t,
+            CompiledCheck::EarlyPredictive { lead } => v >= t.saturating_add(lead),
+            CompiledCheck::RetroactivelyBounded { bound } => v >= t.saturating_sub(bound),
+            CompiledCheck::StronglyRetroactivelyBounded { bound } => {
+                v >= t.saturating_sub(bound) && v <= t
+            }
+            CompiledCheck::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            } => v >= t.saturating_sub(max_delay) && v <= t.saturating_sub(min_delay),
+            CompiledCheck::PredictivelyBounded { bound } => v <= t.saturating_add(bound),
+            CompiledCheck::StronglyPredictivelyBounded { bound } => {
+                v >= t && v <= t.saturating_add(bound)
+            }
+            CompiledCheck::EarlyStronglyPredictivelyBounded { min_lead, max_lead } => {
+                v >= t.saturating_add(min_lead) && v <= t.saturating_add(max_lead)
+            }
+            CompiledCheck::StronglyBounded { past, future } => {
+                v >= t.saturating_sub(past) && v <= t.saturating_add(future)
+            }
+            CompiledCheck::Degenerate { granularity } => granularity.same_granule(vt, tt),
+            CompiledCheck::Band(band) => band.contains(vt, tt),
+            CompiledCheck::Interpreted { spec, granularity } => spec.holds(vt, tt, granularity),
+        }
+    }
+}
+
+/// Every declared isolated check of a schema, compiled once and shared
+/// (via `Arc`) by the relation's engine and all of its ingest shards.
+#[derive(Debug, Clone)]
+pub struct CompiledChecks {
+    /// Insertion-referenced event specs, paired with their source.
+    insert_events: Vec<(EventSpec, CompiledCheck)>,
+    /// Deletion-referenced event specs, paired with their source.
+    delete_events: Vec<(EventSpec, CompiledCheck)>,
+}
+
+impl CompiledChecks {
+    /// Compiles a schema's declared event specializations.
+    #[must_use]
+    pub fn compile(schema: &RelationSchema) -> Self {
+        let gran = schema.granularity();
+        let by_ref = |wanted: TtReference| {
+            schema
+                .event_specs()
+                .iter()
+                .filter(move |(_, tt_ref)| *tt_ref == wanted)
+                .map(|(spec, _)| (*spec, CompiledCheck::compile(spec, gran)))
+                .collect::<Vec<_>>()
+        };
+        CompiledChecks {
+            insert_events: by_ref(TtReference::Insertion),
+            delete_events: by_ref(TtReference::Deletion),
+        }
+    }
+
+    /// The compiled insertion-referenced checks.
+    #[must_use]
+    pub fn insert_events(&self) -> &[(EventSpec, CompiledCheck)] {
+        &self.insert_events
+    }
+
+    /// The compiled deletion-referenced checks.
+    #[must_use]
+    pub fn delete_events(&self) -> &[(EventSpec, CompiledCheck)] {
+        &self.delete_events
+    }
+}
 
 /// A partition key: the whole relation, or one object's life-line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +314,7 @@ impl<C: Clone> PartitionedState<C> {
 #[derive(Debug, Clone)]
 pub struct ConstraintEngine {
     schema: Arc<RelationSchema>,
+    compiled: Arc<CompiledChecks>,
     orderings: Vec<PartitionedState<OrderingChecker>>,
     regularities: Vec<PartitionedState<RegularityChecker>>,
     successions: Vec<PartitionedState<SuccessionChecker>>,
@@ -93,6 +340,7 @@ impl ConstraintEngine {
             .map(|(_, basis)| PartitionedState::new(*basis))
             .collect();
         ConstraintEngine {
+            compiled: Arc::new(CompiledChecks::compile(&schema)),
             schema,
             orderings,
             regularities,
@@ -104,6 +352,136 @@ impl ConstraintEngine {
     #[must_use]
     pub fn schema(&self) -> &Arc<RelationSchema> {
         &self.schema
+    }
+
+    /// The schema's isolated checks in compiled form.
+    #[must_use]
+    pub fn compiled(&self) -> &Arc<CompiledChecks> {
+        &self.compiled
+    }
+
+    /// Whether batch admission may be partitioned by object surrogate.
+    ///
+    /// The paper's inter-element specializations are declared *per
+    /// partition* — "notably per surrogate" (§3.2) — and per-object
+    /// declarations decompose into independent life-line checks, so a
+    /// hash-sharded ingest path can admit different objects on different
+    /// shards. Two declarations force sequential admission instead:
+    ///
+    /// * any inter-element spec with [`Basis::PerRelation`] — its checker
+    ///   state spans every object;
+    /// * a determined spec — its mapping function receives the element
+    ///   surrogate, which is allocated in admission order.
+    #[must_use]
+    pub fn is_shard_partitionable(&self) -> bool {
+        let relation_basis = |basis: &Basis| *basis == Basis::PerRelation;
+        !(self
+            .schema
+            .orderings()
+            .iter()
+            .any(|(_, basis)| relation_basis(basis))
+            || self
+                .schema
+                .event_regularities()
+                .iter()
+                .any(|(_, basis)| relation_basis(basis))
+            || self
+                .schema
+                .successions()
+                .iter()
+                .any(|(_, basis)| relation_basis(basis))
+            || self.schema.determined().is_some())
+    }
+
+    /// Splits the engine's per-object checker state into `shards` child
+    /// engines for parallel batch admission; `route` maps an object to
+    /// its shard index (must return values `< shards`).
+    ///
+    /// Each child carries the checkers of exactly the objects routed to
+    /// it (sharing the schema and compiled checks), so admitting a
+    /// shard's elements in transaction-time order is equivalent to the
+    /// sequential order for those objects. The parent keeps any
+    /// relation-basis checkers — callers are expected to gate on
+    /// [`Self::is_shard_partitionable`] first. Reassemble with
+    /// [`Self::absorb_shard`].
+    #[must_use]
+    pub fn split_shards(
+        &mut self,
+        shards: usize,
+        route: impl Fn(ObjectId) -> usize,
+    ) -> Vec<ConstraintEngine> {
+        let mut children: Vec<ConstraintEngine> = (0..shards)
+            .map(|_| ConstraintEngine {
+                schema: Arc::clone(&self.schema),
+                compiled: Arc::clone(&self.compiled),
+                orderings: self
+                    .orderings
+                    .iter()
+                    .map(|s| PartitionedState::new(s.basis))
+                    .collect(),
+                regularities: self
+                    .regularities
+                    .iter()
+                    .map(|s| PartitionedState::new(s.basis))
+                    .collect(),
+                successions: self
+                    .successions
+                    .iter()
+                    .map(|s| PartitionedState::new(s.basis))
+                    .collect(),
+            })
+            .collect();
+        fn deal<C>(
+            parent: &mut [PartitionedState<C>],
+            children: &mut [ConstraintEngine],
+            pick: impl Fn(&mut ConstraintEngine) -> &mut Vec<PartitionedState<C>>,
+            route: &impl Fn(ObjectId) -> usize,
+        ) {
+            for (idx, state) in parent.iter_mut().enumerate() {
+                for (part, checker) in std::mem::take(&mut state.checkers) {
+                    match part {
+                        Partition::Object(object) => {
+                            pick(&mut children[route(object)])[idx]
+                                .checkers
+                                .insert(part, checker);
+                        }
+                        Partition::Relation => {
+                            state.checkers.insert(part, checker);
+                        }
+                    }
+                }
+            }
+        }
+        deal(&mut self.orderings, &mut children, |e| &mut e.orderings, &route);
+        deal(
+            &mut self.regularities,
+            &mut children,
+            |e| &mut e.regularities,
+            &route,
+        );
+        deal(
+            &mut self.successions,
+            &mut children,
+            |e| &mut e.successions,
+            &route,
+        );
+        children
+    }
+
+    /// Merges a child engine produced by [`Self::split_shards`] back into
+    /// the parent. Shards hold disjoint object partitions, so the merge
+    /// is a plain union; the child's entries win for any key it carries.
+    pub fn absorb_shard(&mut self, shard: ConstraintEngine) {
+        debug_assert!(Arc::ptr_eq(&self.schema, &shard.schema), "foreign shard");
+        for (state, child) in self.orderings.iter_mut().zip(shard.orderings) {
+            state.checkers.extend(child.checkers);
+        }
+        for (state, child) in self.regularities.iter_mut().zip(shard.regularities) {
+            state.checkers.extend(child.checkers);
+        }
+        for (state, child) in self.successions.iter_mut().zip(shard.successions) {
+            state.checkers.extend(child.checkers);
+        }
     }
 
     /// Checks an element about to be inserted; on success the engine's
@@ -148,11 +526,15 @@ impl ConstraintEngine {
         // Isolated-element checks (stateless).
         match element.valid {
             ValidTime::Event(vt) => {
-                for (spec, tt_ref) in self.schema.event_specs() {
-                    if *tt_ref == TtReference::Insertion {
-                        if let Err(detail) = spec.check(vt, tt, gran) {
-                            violations.push(make(spec.to_string(), detail));
-                        }
+                // Compiled fast paths: `admits` is a branch on two i64s for
+                // every fixed-offset specialization; the interpreter is only
+                // re-entered on failure, to produce the diagnostic text.
+                for (spec, check) in self.compiled.insert_events() {
+                    if !check.admits(vt, tt) {
+                        let detail = spec.check(vt, tt, gran).err().unwrap_or_else(|| {
+                            "compiled check rejected an element the interpreter admits".into()
+                        });
+                        violations.push(make(spec.to_string(), detail));
                     }
                 }
                 if let Some(det) = self.schema.determined() {
@@ -272,11 +654,12 @@ impl ConstraintEngine {
         };
         match element.valid {
             ValidTime::Event(vt) => {
-                for (spec, tt_ref) in self.schema.event_specs() {
-                    if *tt_ref == TtReference::Deletion {
-                        if let Err(detail) = spec.check(vt, tt_d, gran) {
-                            violations.push(make(format!("{spec} [deletion]"), detail));
-                        }
+                for (spec, check) in self.compiled.delete_events() {
+                    if !check.admits(vt, tt_d) {
+                        let detail = spec.check(vt, tt_d, gran).err().unwrap_or_else(|| {
+                            "compiled check rejected an element the interpreter admits".into()
+                        });
+                        violations.push(make(format!("{spec} [deletion]"), detail));
                     }
                 }
             }
@@ -600,5 +983,88 @@ mod tests {
             CoreError::Violations(vs) => assert_eq!(vs.len(), 2),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn compiled_checks_cover_fixed_and_calendric_specs() {
+        let gran = Granularity::Microsecond;
+        let fixed = CompiledCheck::compile(
+            &EventSpec::DelayedRetroactive {
+                delay: Bound::secs(30),
+            },
+            gran,
+        );
+        assert_eq!(
+            fixed,
+            CompiledCheck::DelayedRetroactive {
+                delay: TimeDelta::from_secs(30).micros()
+            }
+        );
+        let calendric = CompiledCheck::compile(
+            &EventSpec::DelayedRetroactive {
+                delay: Bound::Calendric(tempora_time::CalendricDuration::months(1)),
+            },
+            gran,
+        );
+        assert!(matches!(calendric, CompiledCheck::Interpreted { .. }));
+        // Both must agree with the interpreter on a borderline element.
+        for (vt, tt) in [(60, 100), (70, 100), (71, 100), (100, 100)] {
+            for check in [&fixed, &calendric] {
+                if let CompiledCheck::Interpreted { spec, .. } = check {
+                    assert_eq!(
+                        check.admits(ts(vt), ts(tt)),
+                        spec.check(ts(vt), ts(tt), gran).is_ok()
+                    );
+                }
+            }
+            assert_eq!(
+                fixed.admits(ts(vt), ts(tt)),
+                EventSpec::DelayedRetroactive {
+                    delay: Bound::secs(30)
+                }
+                .check(ts(vt), ts(tt), gran)
+                .is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_partitionability_follows_schema() {
+        let per_object = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+            .build()
+            .unwrap();
+        assert!(ConstraintEngine::new(per_object).is_shard_partitionable());
+
+        let per_relation = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .build()
+            .unwrap();
+        assert!(!ConstraintEngine::new(per_relation).is_shard_partitionable());
+    }
+
+    #[test]
+    fn split_and_absorb_round_trip_checker_state() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(schema);
+        engine.admit_insert(&ev(1, 1, 100, 1)).unwrap();
+        engine.admit_insert(&ev(2, 2, 200, 2)).unwrap();
+
+        let route = |o: ObjectId| (o.raw() % 2) as usize;
+        let mut shards = engine.split_shards(2, route);
+        // Object 1 routed to shard 1, object 2 to shard 0; each shard
+        // enforces its object's life line from the pre-split state.
+        assert!(shards[1].admit_insert(&ev(3, 1, 99, 3)).is_err());
+        assert!(shards[0].admit_insert(&ev(4, 2, 250, 4)).is_ok());
+        for shard in shards {
+            engine.absorb_shard(shard);
+        }
+        // The merged engine sees shard 0's accepted element (vt 250).
+        assert!(engine.admit_insert(&ev(5, 2, 240, 5)).is_err());
+        assert!(engine.admit_insert(&ev(6, 2, 260, 6)).is_ok());
     }
 }

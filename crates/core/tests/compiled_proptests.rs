@@ -1,0 +1,154 @@
+//! Property tests for the compiled constraint fast paths.
+//!
+//! [`CompiledCheck`] monomorphizes each isolated-event specialization into
+//! a branch on two `i64`s (or an interpreter fallback for calendric
+//! bounds). These properties pin the fast paths to the two existing
+//! sources of truth for arbitrary `(vt, tt)` stamps, across all eleven
+//! parameterized event specializations plus general/degenerate:
+//!
+//! * the interpreter, [`EventSpec::check`];
+//! * the region algebra, `region.rs` containment via
+//!   [`EventSpec::exact_band`] (exact whenever every bound is fixed).
+//!
+//! Determined specializations have no `(vt, tt)`-only fast path — the
+//! mapping reads the element, including its admission-order surrogate — so
+//! the batch pipeline routes them sequentially; the last property pins
+//! their semantics to [`DeterminedSpec::check`] through the engine.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tempora_core::constraint::{CompiledCheck, ConstraintEngine};
+use tempora_core::spec::bound::Bound;
+use tempora_core::spec::determined::{DeterminedSpec, FixedDelay};
+use tempora_core::spec::event::EventSpec;
+use tempora_core::{Element, ElementId, ObjectId, RelationSchema, Stamping};
+use tempora_time::{CalendricDuration, Granularity, TimeDelta, Timestamp};
+
+/// Bounds mix fixed offsets (compiled to band arithmetic) and calendric
+/// durations (compiled to the interpreter fallback).
+fn bound_strategy() -> impl Strategy<Value = Bound> {
+    prop_oneof![
+        (0_i64..400_000_000).prop_map(|micros| Bound::Fixed(TimeDelta::from_micros(micros))),
+        (1_i32..24).prop_map(|months| Bound::Calendric(CalendricDuration::months(months))),
+    ]
+}
+
+/// All thirteen isolated-event specialization shapes.
+fn spec_strategy() -> impl Strategy<Value = EventSpec> {
+    let b = bound_strategy;
+    prop_oneof![
+        Just(EventSpec::General),
+        Just(EventSpec::Retroactive),
+        b().prop_map(|delay| EventSpec::DelayedRetroactive { delay }),
+        Just(EventSpec::Predictive),
+        b().prop_map(|lead| EventSpec::EarlyPredictive { lead }),
+        b().prop_map(|bound| EventSpec::RetroactivelyBounded { bound }),
+        b().prop_map(|bound| EventSpec::StronglyRetroactivelyBounded { bound }),
+        (b(), b()).prop_map(|(min_delay, max_delay)| {
+            EventSpec::DelayedStronglyRetroactivelyBounded {
+                min_delay,
+                max_delay,
+            }
+        }),
+        b().prop_map(|bound| EventSpec::PredictivelyBounded { bound }),
+        b().prop_map(|bound| EventSpec::StronglyPredictivelyBounded { bound }),
+        (b(), b()).prop_map(|(min_lead, max_lead)| EventSpec::EarlyStronglyPredictivelyBounded {
+            min_lead,
+            max_lead,
+        }),
+        (b(), b()).prop_map(|(past, future)| EventSpec::StronglyBounded { past, future }),
+        Just(EventSpec::Degenerate),
+    ]
+}
+
+fn granularity_strategy() -> impl Strategy<Value = Granularity> {
+    prop_oneof![
+        Just(Granularity::Microsecond),
+        Just(Granularity::Second),
+        Just(Granularity::Day),
+    ]
+}
+
+/// Stamps dense near the origin (where region boundaries cluster for the
+/// generated bounds) but reaching far enough out to cross calendar months.
+fn stamp_strategy() -> impl Strategy<Value = Timestamp> {
+    prop_oneof![
+        (-500_000_000_i64..500_000_000).prop_map(Timestamp::from_micros),
+        (-100_000_000_000_000_i64..100_000_000_000_000).prop_map(Timestamp::from_micros),
+    ]
+}
+
+proptest! {
+    /// The compiled fast path accepts exactly the stamps the interpreter
+    /// accepts, for every specialization shape, bound kind, and
+    /// granularity.
+    #[test]
+    fn compiled_agrees_with_interpreter(
+        spec in spec_strategy(),
+        gran in granularity_strategy(),
+        vt in stamp_strategy(),
+        tt in stamp_strategy(),
+    ) {
+        let compiled = CompiledCheck::compile(&spec, gran);
+        prop_assert_eq!(
+            compiled.admits(vt, tt),
+            spec.check(vt, tt, gran).is_ok(),
+            "spec {} at ({:?}, {:?})", spec, vt, tt
+        );
+    }
+
+    /// Whenever the specialization denotes an exact region (all bounds
+    /// fixed; degenerate at microsecond granularity), the compiled check
+    /// accepts exactly the band's `(vt, tt)` pairs — the general
+    /// `region.rs` containment test.
+    #[test]
+    fn compiled_agrees_with_region_containment(
+        spec in spec_strategy(),
+        vt in stamp_strategy(),
+        tt in stamp_strategy(),
+    ) {
+        let gran = Granularity::Microsecond;
+        let compiled = CompiledCheck::compile(&spec, gran);
+        if let Some(band) = spec.exact_band() {
+            prop_assert_eq!(
+                compiled.admits(vt, tt),
+                band.contains(vt, tt),
+                "spec {} vs band {:?} at ({:?}, {:?})", spec, band, vt, tt
+            );
+        } else {
+            // Calendric bounds have no exact band; the fallback must be
+            // the interpreter itself.
+            prop_assert!(matches!(compiled, CompiledCheck::Interpreted { .. }));
+        }
+    }
+
+    /// Determined specializations are enforced via the element-level
+    /// mapping check, not a `(vt, tt)` fast path: the engine's verdict
+    /// matches `DeterminedSpec::check` directly, and schemas declaring one
+    /// are never shard-partitionable.
+    #[test]
+    fn determined_routes_through_sequential_engine(
+        delta in -3_600_i64..3_600,
+        vt in -10_000_i64..10_000,
+        tt in 0_i64..10_000,
+    ) {
+        let det = DeterminedSpec::new(Arc::new(FixedDelay(TimeDelta::from_secs(delta))));
+        let schema = RelationSchema::builder("det", Stamping::Event)
+            .determined(det.clone())
+            .build()
+            .unwrap();
+        let mut engine = ConstraintEngine::new(Arc::clone(&schema));
+        prop_assert!(!engine.is_shard_partitionable());
+
+        let element = Element::new(
+            ElementId::new(0),
+            ObjectId::new(1),
+            Timestamp::from_secs(vt),
+            Timestamp::from_secs(tt),
+        );
+        let direct = det.check(&element, Timestamp::from_secs(vt), schema.granularity());
+        prop_assert_eq!(engine.admit_insert(&element).is_ok(), direct.is_ok());
+    }
+}

@@ -33,6 +33,7 @@ use parking_lot::RwLock;
 use tempora_core::spec::chain::ChainSpec;
 use tempora_core::{AttrName, CoreError, ElementId, ObjectId, RelationSchema, ValidTime, Value};
 use tempora_query::{parse_tql, IndexedRelation, QueryResult, TqlError};
+use tempora_storage::{BatchRecord, BatchReport};
 use tempora_time::{Timestamp, TransactionClock};
 
 use crate::ddl::{parse_ddl, DdlError};
@@ -197,6 +198,41 @@ impl Database {
             .get_mut(relation)
             .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
         Ok(rel.modify(id, valid, attrs)?)
+    }
+
+    /// Applies an insertion batch through the sharded ingest pipeline
+    /// (see `TemporalRelation::apply_batch`), maintaining the relation's
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRelation`]; per-record constraint
+    /// rejections are reported inside the [`BatchReport`], not as an
+    /// error.
+    pub fn apply_batch(
+        &self,
+        relation: &str,
+        records: Vec<BatchRecord>,
+    ) -> Result<BatchReport, DbError> {
+        let mut relations = self.relations.write();
+        let rel = relations
+            .get_mut(relation)
+            .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
+        Ok(rel.apply_batch(records))
+    }
+
+    /// Sets a relation's ingest shard count (used by [`Self::apply_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::UnknownRelation`].
+    pub fn set_ingest_shards(&self, relation: &str, shards: usize) -> Result<(), DbError> {
+        let mut relations = self.relations.write();
+        let rel = relations
+            .get_mut(relation)
+            .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
+        rel.set_ingest_shards(shards);
+        Ok(())
     }
 
     /// Executes a TQL `SELECT` statement.

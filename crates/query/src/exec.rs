@@ -9,7 +9,7 @@ use tempora_core::{
     AttrName, CoreError, Element, ElementId, ObjectId, RelationSchema, Stamping, ValidTime, Value,
 };
 use tempora_index::{select_index, IndexChoice, IntervalIndex, PointIndex};
-use tempora_storage::{Enforcement, TemporalRelation};
+use tempora_storage::{BatchRecord, BatchReport, Enforcement, TemporalRelation};
 
 use crate::optimizer::plan_query;
 use crate::plan::{Plan, Query};
@@ -78,6 +78,19 @@ impl IndexedRelation {
         self
     }
 
+    /// Sets the ingest shard count used by [`Self::apply_batch`] (builder
+    /// style; see [`TemporalRelation::set_ingest_shards`]).
+    #[must_use]
+    pub fn with_ingest_shards(mut self, shards: usize) -> Self {
+        self.relation = self.relation.with_ingest_shards(shards);
+        self
+    }
+
+    /// Sets the ingest shard count used by [`Self::apply_batch`].
+    pub fn set_ingest_shards(&mut self, shards: usize) {
+        self.relation.set_ingest_shards(shards);
+    }
+
     /// The underlying relation.
     #[must_use]
     pub fn relation(&self) -> &TemporalRelation {
@@ -107,6 +120,27 @@ impl IndexedRelation {
         let id = self.relation.insert(object, valid, attrs)?;
         self.index_add(valid, id);
         Ok(id)
+    }
+
+    /// Applies an insertion batch (see [`TemporalRelation::apply_batch`],
+    /// including the sharded-parallel checking it performs when the schema
+    /// permits) and maintains the index for every accepted record.
+    pub fn apply_batch(&mut self, records: Vec<BatchRecord>) -> BatchReport {
+        let valids: Vec<ValidTime> = records.iter().map(|r| r.valid).collect();
+        let report = self.relation.apply_batch(records);
+        let rejected: std::collections::BTreeSet<usize> =
+            report.rejected.iter().map(|(idx, _)| *idx).collect();
+        // Accepted surrogates line up with the non-rejected batch indices,
+        // in batch order.
+        let mut accepted = report.accepted.iter();
+        for (idx, valid) in valids.into_iter().enumerate() {
+            if !rejected.contains(&idx) {
+                if let Some(&id) = accepted.next() {
+                    self.index_add(valid, id);
+                }
+            }
+        }
+        report
     }
 
     /// Logically deletes an element and unindexes it.

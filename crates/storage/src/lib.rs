@@ -22,7 +22,11 @@
 //! * [`TemporalRelation`] — the façade that couples a schema, the
 //!   constraint engine, a transaction clock, and a chosen representation:
 //!   insert / logical delete / modify (= delete + insert, §2), rollback and
-//!   valid-timeslice reads, and specialization-aware vacuuming.
+//!   valid-timeslice reads, and specialization-aware vacuuming;
+//! * [`ingest`] — batched, sharded ingest: update batches are partitioned
+//!   by object surrogate and constraint-checked in parallel when the
+//!   declared specializations are partition-local (§3.2's per-surrogate
+//!   basis), via [`TemporalRelation::apply_batch`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ mod append_log;
 mod attribute_store;
 mod backlog;
 mod cache;
+pub mod ingest;
 mod relation;
 mod tuple_store;
 pub mod vacuum;
@@ -39,5 +44,6 @@ pub use append_log::AppendLog;
 pub use attribute_store::{AttributeHistory, AttributeStore};
 pub use backlog::{Backlog, BacklogKind, BacklogOp};
 pub use cache::StateCache;
+pub use ingest::{BatchRecord, BatchReport};
 pub use relation::{Enforcement, RelationStats, TemporalRelation};
 pub use tuple_store::TupleStore;

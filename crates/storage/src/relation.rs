@@ -12,7 +12,26 @@ use tempora_core::{
 
 use crate::append_log::AppendLog;
 use crate::backlog::Backlog;
+use crate::ingest::{BatchRecord, BatchReport};
 use crate::tuple_store::TupleStore;
+
+/// Re-addresses a rejection's diagnostics to the surrogate the sequential
+/// path would have attempted the element under.
+fn rebrand(err: CoreError, id: ElementId) -> CoreError {
+    match err {
+        CoreError::Violations(mut vs) => {
+            for v in &mut vs {
+                v.element = id;
+            }
+            CoreError::Violations(vs)
+        }
+        CoreError::ElementMismatch { reason, .. } => CoreError::ElementMismatch {
+            element: id,
+            reason,
+        },
+        other => other,
+    }
+}
 
 /// Whether declared specializations are enforced on update.
 ///
@@ -28,7 +47,7 @@ pub enum Enforcement {
 }
 
 /// Update counters, exposed for benches and monitoring.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationStats {
     /// Successful inserts.
     pub inserts: u64,
@@ -38,6 +57,26 @@ pub struct RelationStats {
     pub modifications: u64,
     /// Updates rejected by the constraint engine.
     pub rejections: u64,
+    /// Configured ingest shard count (see
+    /// [`TemporalRelation::with_ingest_shards`]).
+    pub shards: usize,
+    /// Constraint rejections attributed to each ingest shard by the batch
+    /// router ([`crate::ingest::shard_of`]); `rejections` is always the sum
+    /// of this vector. Reset when the shard count is reconfigured.
+    pub shard_rejections: Vec<u64>,
+}
+
+impl Default for RelationStats {
+    fn default() -> Self {
+        RelationStats {
+            inserts: 0,
+            deletes: 0,
+            modifications: 0,
+            rejections: 0,
+            shards: 1,
+            shard_rejections: vec![0],
+        }
+    }
 }
 
 /// The physical representation, selected from the schema's declared
@@ -66,6 +105,7 @@ pub struct TemporalRelation {
     store: Store,
     backlog: Option<Backlog>,
     enforcement: Enforcement,
+    ingest_shards: usize,
     next_element: u64,
     stats: RelationStats,
 }
@@ -89,6 +129,7 @@ impl TemporalRelation {
             store,
             backlog: None,
             enforcement: Enforcement::Enforce,
+            ingest_shards: 1,
             next_element: 0,
             stats: RelationStats::default(),
         }
@@ -109,6 +150,30 @@ impl TemporalRelation {
         self
     }
 
+    /// Sets the ingest shard count used by [`Self::apply_batch`] (builder
+    /// form of [`Self::set_ingest_shards`]).
+    #[must_use]
+    pub fn with_ingest_shards(mut self, shards: usize) -> Self {
+        self.set_ingest_shards(shards);
+        self
+    }
+
+    /// Sets the ingest shard count used by [`Self::apply_batch`]. A count
+    /// of 1 (the default) keeps batches on the sequential path. Resets the
+    /// per-shard rejection counters to match the new count.
+    pub fn set_ingest_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        self.ingest_shards = shards;
+        self.stats.shards = shards;
+        self.stats.shard_rejections = vec![0; shards];
+    }
+
+    /// The configured ingest shard count.
+    #[must_use]
+    pub fn ingest_shards(&self) -> usize {
+        self.ingest_shards
+    }
+
     /// The relation's schema.
     #[must_use]
     pub fn schema(&self) -> &Arc<RelationSchema> {
@@ -118,7 +183,7 @@ impl TemporalRelation {
     /// Update counters.
     #[must_use]
     pub fn stats(&self) -> RelationStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Whether the relation uses the append-only representation.
@@ -155,15 +220,35 @@ impl TemporalRelation {
         attrs: Vec<(AttrName, Value)>,
     ) -> Result<ElementId, CoreError> {
         let tt = self.clock.tick();
+        self.insert_stamped(object, valid.into(), attrs, tt)
+    }
+
+    /// [`Self::insert`] with the transaction time already drawn from the
+    /// clock — the shared tail of the single-insert and batch paths.
+    fn insert_stamped(
+        &mut self,
+        object: ObjectId,
+        valid: ValidTime,
+        attrs: Vec<(AttrName, Value)>,
+        tt: Timestamp,
+    ) -> Result<ElementId, CoreError> {
         let id = ElementId::new(self.next_element);
         let mut element = Element::new(id, object, valid, tt);
         element.attrs = attrs;
         if self.enforcement == Enforcement::Enforce {
             if let Err(e) = self.engine.admit_insert(&element) {
-                self.stats.rejections += 1;
+                self.note_rejection(object);
                 return Err(e);
             }
         }
+        self.store_admitted(element)?;
+        self.next_element += 1;
+        self.stats.inserts += 1;
+        Ok(id)
+    }
+
+    /// Writes an already-admitted element to the store and backlog.
+    fn store_admitted(&mut self, element: Element) -> Result<(), CoreError> {
         match &mut self.store {
             Store::Tuple(s) => s.insert(element.clone())?,
             Store::Append(s) => s.append(element.clone())?,
@@ -171,9 +256,167 @@ impl TemporalRelation {
         if let Some(log) = &mut self.backlog {
             log.log_insert(element)?;
         }
-        self.next_element += 1;
-        self.stats.inserts += 1;
-        Ok(id)
+        Ok(())
+    }
+
+    /// Counts a constraint rejection, attributing it to the shard the
+    /// batch router would send `object` to.
+    fn note_rejection(&mut self, object: ObjectId) {
+        self.stats.rejections += 1;
+        let shard = crate::ingest::shard_of(object, self.stats.shard_rejections.len());
+        self.stats.shard_rejections[shard] += 1;
+    }
+
+    /// Applies a batch of insertions, sharding constraint checks across
+    /// threads when the schema permits.
+    ///
+    /// Semantically this is exactly `for r in records { self.insert(...) }`
+    /// — same transaction stamps, same surrogate assignment, same per-record
+    /// accept/reject decisions and counters — reported per record instead of
+    /// short-circuiting. The parallel stage runs when all of these hold:
+    ///
+    /// * more than one ingest shard is configured
+    ///   ([`Self::set_ingest_shards`]) and the batch outnumbers the shards;
+    /// * the relation is in [`Enforcement::Enforce`] mode (under `Trust`
+    ///   there is no per-element check worth parallelizing);
+    /// * every declared inter-element specialization is partition-local and
+    ///   no determined spec is declared
+    ///   ([`ConstraintEngine::is_shard_partitionable`]) — otherwise
+    ///   admission order across objects is semantically significant and the
+    ///   whole batch takes the sequential stage.
+    ///
+    /// Records are hash-partitioned by object surrogate
+    /// ([`crate::ingest::shard_of`]); each shard checks its records in
+    /// batch order against the engine state split off for its objects, and
+    /// the main thread then applies the decisions — surrogate assignment,
+    /// store and backlog writes, counters — in batch order.
+    pub fn apply_batch(&mut self, records: Vec<BatchRecord>) -> BatchReport {
+        let shards = self.ingest_shards;
+        // One clock tick per record, drawn up front and consumed whether or
+        // not the record is accepted — identical to sequential insertion.
+        let stamps: Vec<Timestamp> = records.iter().map(|_| self.clock.tick()).collect();
+        let parallel = shards > 1
+            && records.len() > shards
+            && self.enforcement == Enforcement::Enforce
+            && self.engine.is_shard_partitionable();
+        if !parallel {
+            let mut accepted = Vec::new();
+            let mut rejected = Vec::new();
+            for (idx, (record, tt)) in records.into_iter().zip(stamps).enumerate() {
+                match self.insert_stamped(record.object, record.valid, record.attrs, tt) {
+                    Ok(id) => accepted.push(id),
+                    Err(e) => rejected.push((idx, e)),
+                }
+            }
+            return BatchReport {
+                accepted,
+                rejected,
+                shards_used: 1,
+                parallel: false,
+            };
+        }
+
+        // Check stage: partition by object, check each shard in parallel
+        // against its split-off slice of the engine's per-object state.
+        let objects: Vec<ObjectId> = records.iter().map(|r| r.object).collect();
+        let mut work: Vec<Vec<(usize, BatchRecord, Timestamp)>> = vec![Vec::new(); shards];
+        for (idx, (record, tt)) in records.into_iter().zip(stamps).enumerate() {
+            work[crate::ingest::shard_of(record.object, shards)].push((idx, record, tt));
+        }
+        let engines = self.engine.split_shards(shards, |o| crate::ingest::shard_of(o, shards));
+        let base = self.next_element;
+        let mut decisions: Vec<Option<Result<Element, CoreError>>> =
+            (0..objects.len()).map(|_| None).collect();
+        // Shard count is a constraint-partitioning choice; thread count is a
+        // host-capability choice. Worker threads each drain a round-robin
+        // share of the shard engines, so 8 shards on a 2-core box costs two
+        // spawns, not eight, and a single-core box checks inline.
+        let workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(shards);
+        let check_shard = move |(mut engine, shard_work): (
+            ConstraintEngine,
+            Vec<(usize, BatchRecord, Timestamp)>,
+        )| {
+            let mut out = Vec::with_capacity(shard_work.len());
+            for (idx, record, tt) in shard_work {
+                // Provisional surrogate: surrogates are assigned in batch
+                // order during the apply stage; the admission decision
+                // cannot observe them (that is what
+                // `is_shard_partitionable` guarantees), only violation
+                // diagnostics can, and those are re-branded below.
+                let provisional = ElementId::new(base + idx as u64);
+                let mut element = Element::new(provisional, record.object, record.valid, tt);
+                element.attrs = record.attrs;
+                let decision = engine.admit_insert(&element).map(|()| element);
+                out.push((idx, decision));
+            }
+            (engine, out)
+        };
+        let pairs: Vec<_> = engines.into_iter().zip(work).collect();
+        let checked: Vec<_> = if workers <= 1 {
+            pairs.into_iter().map(check_shard).collect()
+        } else {
+            let mut buckets: Vec<Vec<_>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, pair) in pairs.into_iter().enumerate() {
+                buckets[i % workers].push(pair);
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket.into_iter().map(check_shard).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("ingest worker panicked"))
+                    .collect()
+            })
+        };
+        for (engine, out) in checked {
+            self.engine.absorb_shard(engine);
+            for (idx, decision) in out {
+                decisions[idx] = Some(decision);
+            }
+        }
+
+        // Apply stage: batch order, exactly the sequential tail.
+        let mut accepted = Vec::new();
+        let mut rejected = Vec::new();
+        for (idx, decision) in decisions.into_iter().enumerate() {
+            match decision.expect("every record carries a decision") {
+                Ok(mut element) => {
+                    let id = ElementId::new(self.next_element);
+                    element.id = id;
+                    if let Err(e) = self.store_admitted(element) {
+                        // Storage invariant failure, not a constraint
+                        // rejection: reported but not counted, as in the
+                        // sequential path.
+                        rejected.push((idx, e));
+                        continue;
+                    }
+                    self.next_element += 1;
+                    self.stats.inserts += 1;
+                    accepted.push(id);
+                }
+                Err(e) => {
+                    self.note_rejection(objects[idx]);
+                    // Sequential insertion would have attempted this record
+                    // with the *current* next surrogate; fix diagnostics up
+                    // to match.
+                    rejected.push((idx, rebrand(e, ElementId::new(self.next_element))));
+                }
+            }
+        }
+        BatchReport {
+            accepted,
+            rejected,
+            shards_used: shards,
+            parallel: true,
+        }
     }
 
     /// Logically deletes an element at a fresh transaction time. Returns
@@ -193,7 +436,7 @@ impl TemporalRelation {
         let tt_d = self.clock.tick();
         if self.enforcement == Enforcement::Enforce {
             if let Err(e) = self.engine.admit_delete(&element, tt_d) {
-                self.stats.rejections += 1;
+                self.note_rejection(element.object);
                 return Err(e);
             }
         }
@@ -241,7 +484,7 @@ impl TemporalRelation {
                 .admit_delete(&old, tt)
                 .and_then(|()| scratch.admit_insert(&element))
             {
-                self.stats.rejections += 1;
+                self.note_rejection(old.object);
                 return Err(e);
             }
             self.engine = scratch;

@@ -85,9 +85,27 @@ fn handle_meta(meta: &str, db: &Database) -> bool {
             None => eprintln!("usage: .report <relation>"),
         },
         "taxonomy" => println!("{}", report::taxonomy_overview()),
+        "shards" => {
+            let relation = parts.next();
+            let shards = parts.next().and_then(|n| n.parse::<usize>().ok());
+            match (relation, shards) {
+                (Some(relation), Some(shards)) => {
+                    match db.set_ingest_shards(relation, shards) {
+                        // Shard counts clamp to at least one; report the
+                        // effective value.
+                        Ok(()) => println!(
+                            "{relation}: batched ingest uses {} shard(s)",
+                            shards.max(1)
+                        ),
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+                _ => eprintln!("usage: .shards <relation> <count>"),
+            }
+        }
         "help" => {
             println!(
-                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .taxonomy  .quit"
+                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .shards <r> <n>  .taxonomy  .quit"
             );
         }
         other => eprintln!("unknown meta-command .{other} (try .help)"),

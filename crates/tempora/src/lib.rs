@@ -64,7 +64,8 @@ use std::sync::Arc;
 
 use tempora_core::{CoreError, ElementId};
 use tempora_query::IndexedRelation;
-use tempora_time::ManualClock;
+use tempora_storage::BatchReport;
+use tempora_time::{ManualClock, ReplayClock};
 use tempora_workload::{EventWorkload, GenEvent, GenInterval, IntervalWorkload};
 
 /// The commonly needed types in one import.
@@ -83,10 +84,10 @@ pub mod prelude {
     pub use tempora_index::IndexChoice;
     pub use tempora_query::timeline::Timeline;
     pub use tempora_query::{parse_tql, IndexedRelation, Plan, Query, TqlStatement};
-    pub use tempora_storage::{Enforcement, TemporalRelation};
+    pub use tempora_storage::{BatchRecord, BatchReport, Enforcement, TemporalRelation};
     pub use tempora_time::{
         AllenRelation, CalendricDuration, Granularity, Interval, ManualClock, MonotoneClock,
-        SystemClock, TimeDelta, Timestamp, TransactionClock,
+        ReplayClock, SystemClock, TimeDelta, Timestamp, TransactionClock,
     };
 }
 
@@ -131,6 +132,33 @@ pub fn load_events_into(
         ids.push(id);
     }
     Ok(())
+}
+
+/// Builds an [`IndexedRelation`] and loads an event workload as one batch
+/// through the sharded ingest pipeline
+/// ([`TemporalRelation::apply_batch`](tempora_storage::TemporalRelation::apply_batch)):
+/// per-partition constraint checks run on `shards` threads when the
+/// schema's declarations permit, and a [`ReplayClock`] reproduces the
+/// generator's transaction stamps, so the loaded relation is identical to
+/// [`load_event_workload`]'s.
+///
+/// # Errors
+///
+/// Returns the first constraint violation — generated workloads conform to
+/// their own schemas, so any rejection indicates a bug worth surfacing.
+pub fn load_event_workload_batched(
+    workload: &EventWorkload,
+    shards: usize,
+) -> Result<IndexedRelation, CoreError> {
+    let (records, stamps) = workload.batch();
+    let clock = Arc::new(ReplayClock::new(stamps));
+    let mut relation = IndexedRelation::new(Arc::clone(&workload.schema), clock)
+        .with_ingest_shards(shards);
+    let report: BatchReport = relation.apply_batch(records);
+    match report.rejected.into_iter().next() {
+        None => Ok(relation),
+        Some((_, err)) => Err(err),
+    }
 }
 
 /// Builds and loads an interval workload (see [`load_event_workload`]).
@@ -192,6 +220,29 @@ mod tests {
         let probe = w.events[40].vt;
         let result = relation.execute(Query::Timeslice { vt: probe });
         assert!(result.stats.returned >= 1);
+    }
+
+    #[test]
+    fn batched_load_equals_sequential_load() {
+        let w = tempora_workload::monitoring(
+            8,
+            50,
+            TimeDelta::from_secs(60),
+            TimeDelta::from_secs(30),
+            TimeDelta::from_secs(90),
+            7,
+        );
+        let sequential = load_event_workload(&w).expect("workload conforms");
+        let batched = load_event_workload_batched(&w, 4).expect("workload conforms");
+        assert_eq!(batched.relation().len(), sequential.relation().len());
+        let a: Vec<Element> = sequential.relation().iter().cloned().collect();
+        let b: Vec<Element> = batched.relation().iter().cloned().collect();
+        assert_eq!(a, b, "batched load must reproduce the sequential store");
+        // The maintained index answers probes identically.
+        let probe = w.events[123].vt;
+        let seq = sequential.execute(Query::Timeslice { vt: probe });
+        let bat = batched.execute(Query::Timeslice { vt: probe });
+        assert_eq!(seq.stats.returned, bat.stats.returned);
     }
 
     #[test]

@@ -69,6 +69,27 @@ pub struct EventWorkload {
     pub events: Vec<GenEvent>,
 }
 
+impl EventWorkload {
+    /// The workload as one batch for
+    /// [`TemporalRelation::apply_batch`](tempora_storage::TemporalRelation::apply_batch),
+    /// with the generator's intended transaction stamps alongside (in batch
+    /// order) — feed those to a
+    /// [`ReplayClock`](tempora_time::ReplayClock) so the batch is stamped
+    /// exactly as the sequential loader would stamp it.
+    #[must_use]
+    pub fn batch(&self) -> (Vec<tempora_storage::BatchRecord>, Vec<Timestamp>) {
+        let records = self
+            .events
+            .iter()
+            .map(|e| {
+                tempora_storage::BatchRecord::with_attrs(e.object, e.vt, e.attrs.clone())
+            })
+            .collect();
+        let stamps = self.events.iter().map(|e| e.tt).collect();
+        (records, stamps)
+    }
+}
+
 /// An interval workload: schema plus conforming data.
 #[derive(Debug, Clone)]
 pub struct IntervalWorkload {
@@ -218,7 +239,7 @@ pub fn assignments(employees: u64, weeks: u32, seed: u64) -> IntervalWorkload {
                     (AttrName::new("employee"), Value::Int(i64::try_from(e).unwrap_or(0))),
                     (
                         AttrName::new("project"),
-                        Value::str(["apollo", "borealis", "caravel"][rng.gen_range(0..3)]),
+                        Value::str(["apollo", "borealis", "caravel"][rng.gen_range(0..3_usize)]),
                     ),
                 ],
             });

@@ -1,0 +1,330 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crate registry, so the workspace vendors
+//! the slice of the `criterion` API its benches use: [`Criterion`] with
+//! builder-style config, [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is wall-clock via `std::time::Instant`: each benchmark is
+//! calibrated, warmed up, then timed for the configured measurement
+//! window, and the mean ns/iteration is printed — no statistics engine,
+//! no HTML reports, but stable enough to compare alternatives in the
+//! same process.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output to amortize per timing batch in
+/// [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Exactly one input per timing measurement.
+    PerIteration,
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(150),
+            measurement: Duration::from_millis(500),
+            sample_size: 100,
+        }
+    }
+}
+
+/// The benchmark driver (`criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the warm-up duration (builder style).
+    #[must_use]
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.settings.warm_up = dur;
+        self
+    }
+
+    /// Sets the measurement window (builder style).
+    #[must_use]
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.settings.measurement = dur;
+        self
+    }
+
+    /// Sets the nominal sample count (builder style; accepted for
+    /// API compatibility — measurement is time-window based here).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().id, self.settings, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the nominal sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.measurement = dur;
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.warm_up = dur;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_bench(&label, self.settings, &mut f);
+        self
+    }
+
+    /// Ends the group (report already printed per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, f: &mut F) {
+    let mut bencher = Bencher {
+        settings,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label:<50} (no measurement)");
+        return;
+    }
+    let ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    println!(
+        "{label:<50} {:>14} ns/iter ({} iterations)",
+        format_ns(ns),
+        bencher.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    settings: Settings,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a calibrated number of iterations inside the
+    /// configured measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find a batch size taking ≳1ms so timer overhead
+        // stays negligible, spending at most the warm-up budget.
+        let calib_start = Instant::now();
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(1)
+                || calib_start.elapsed() >= self.settings.warm_up
+                || batch >= 1 << 24
+            {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.settings.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let per_batch: u64 = match size {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput | BatchSize::PerIteration => 1,
+        };
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        // Bound by wall-clock and by sample count: batched setups are
+        // often expensive, so cap total routine invocations.
+        let max_iters = (self.settings.sample_size as u64).max(10);
+        while total < self.settings.measurement && iters < max_iters {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            total += t.elapsed();
+            iters += per_batch;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+/// Defines a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("sum", 8), |b| {
+            b.iter_batched(
+                || (0..8u64).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            );
+        });
+        group.finish();
+    }
+}
