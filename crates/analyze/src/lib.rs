@@ -1,0 +1,831 @@
+//! # tempora-analyze — static analysis over the specialization lattice
+//!
+//! The paper positions its taxonomy as a *design-time* artifact: the
+//! designer declares specializations in the schema, and those declarations
+//! "may be utilized … for improving the performance of query processing"
+//! (§4). This crate is the design-time half of that bargain — a static
+//! analyzer that runs at DDL time and at plan time:
+//!
+//! * **Schema analysis** ([`analyze_schema`]): intersects the declared
+//!   isolated-event/endpoint bands in the region algebra to detect
+//!   *unsatisfiable* schemas (empty admissible region), *contradictory*
+//!   combinations (strict regularity against a declared ordering, interval
+//!   endpoint bands implying non-positive durations), and *redundant*
+//!   declarations (a spec implied by another declared spec — the dead
+//!   constraints `CompiledChecks` elides from the hot admission path).
+//! * **Predicate proofs** ([`predicate`]): a small entailment engine that
+//!   classifies a plan predicate as always-true (drop it), always-false
+//!   (prove the query empty and short-circuit the plan), or contingent.
+//!   The query optimizer consumes these verdicts.
+//! * **Diagnostics** ([`Diagnostic`]): structured `TS0xx` findings with a
+//!   severity, the offending declarations, a fix-it hint (the nearest
+//!   satisfiable lattice generalization), and JSON rendering for CI.
+//!
+//! Soundness contract: every Error-level diagnostic is a *proof* — an
+//! unsatisfiable verdict means the constraint engine will reject every
+//! insert, and a redundancy verdict means dropping the implied spec admits
+//! exactly the same records. The differential proptests in the workspace
+//! pin these claims to runtime behavior.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use tempora_core::constraint::redundant_spec_indices;
+use tempora_core::lattice::{event_lattice, ordering_lattice, OrderingNode};
+use tempora_core::region::OffsetBand;
+use tempora_core::spec::event::{EventSpec, EventSpecKind};
+use tempora_core::spec::interevent::OrderingSpec;
+use tempora_core::spec::interval::Endpoint;
+use tempora_core::spec::regularity::RegularDimension;
+use tempora_core::{Basis, RelationSchema, Stamping, TtReference};
+
+pub mod predicate;
+
+/// Diagnostic severity. `Error` findings are proofs that the schema (or a
+/// part of its update interface) admits nothing; `Warn` findings are
+/// correct-but-wasteful declarations; `Note` findings are observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational observation.
+    Note,
+    /// Redundant or suspicious declaration; the schema still works.
+    Warn,
+    /// The schema (or its deletion interface) is unsatisfiable or
+    /// self-contradictory.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// The analyzer's diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `TS001`: the insertion-referenced specializations jointly admit an
+    /// empty offset region — every insert will be rejected.
+    UnsatisfiableInsertion,
+    /// `TS002`: the deletion-referenced specializations jointly admit an
+    /// empty offset region — every deletion will be rejected.
+    UnsatisfiableDeletion,
+    /// `TS003`: a strict temporal regularity forces valid times to advance,
+    /// contradicting a declared non-increasing ordering on an overlapping
+    /// partition basis.
+    ContradictoryOrdering,
+    /// `TS004`: the interval endpoint bands imply non-positive valid-
+    /// interval durations — no legal interval stamp exists.
+    NegativeDuration,
+    /// `TS005`: an event specialization is implied by another declared
+    /// spec; dead-constraint elimination drops it from the admission path.
+    RedundantSpec,
+    /// `TS006`: an ordering declaration is implied (via the Figure 3
+    /// lattice) by another declared ordering.
+    RedundantOrdering,
+    /// `TS007`: the declared bands pin `vt − tt` to a single offset — the
+    /// relation is degenerate up to a constant shift.
+    PinnedOffset,
+}
+
+impl Code {
+    /// The `TS0xx` code string.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Code::UnsatisfiableInsertion => "TS001",
+            Code::UnsatisfiableDeletion => "TS002",
+            Code::ContradictoryOrdering => "TS003",
+            Code::NegativeDuration => "TS004",
+            Code::RedundantSpec => "TS005",
+            Code::RedundantOrdering => "TS006",
+            Code::PinnedOffset => "TS007",
+        }
+    }
+
+    /// The severity this code always carries.
+    #[must_use]
+    pub const fn severity(self) -> Severity {
+        match self {
+            Code::UnsatisfiableInsertion
+            | Code::UnsatisfiableDeletion
+            | Code::ContradictoryOrdering
+            | Code::NegativeDuration => Severity::Error,
+            Code::RedundantSpec | Code::RedundantOrdering => Severity::Warn,
+            Code::PinnedOffset => Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The diagnostic code.
+    pub code: Code,
+    /// Severity (always [`Code::severity`] of `code`).
+    pub severity: Severity,
+    /// What is wrong, naming the offending declarations.
+    pub message: String,
+    /// The offending declarations, rendered.
+    pub specs: Vec<String>,
+    /// A fix-it suggestion, when one can be computed (e.g. the nearest
+    /// satisfiable lattice generalization).
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    fn new(code: Code, message: String, specs: Vec<String>, hint: Option<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message,
+            specs,
+            hint,
+        }
+    }
+
+    /// Renders the diagnostic as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let specs = self
+            .specs
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let hint = match &self.hint {
+            Some(h) => format!("\"{}\"", json_escape(h)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"specs\":[{}],\"hint\":{}}}",
+            self.code,
+            self.severity,
+            json_escape(&self.message),
+            specs,
+            hint
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.code, self.severity, self.message)?;
+        if let Some(hint) = &self.hint {
+            write!(f, "\n  hint: {hint}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The analyzer's verdict on one schema: its findings, in declaration
+/// order per check, Errors first across checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// The analyzed relation's name.
+    pub relation: String,
+    /// The findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// Whether any Error-level finding was produced — the schema (or its
+    /// deletion interface) admits nothing and should be rejected.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the analyzer found nothing at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The Error-level findings.
+    #[must_use]
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    /// One rendered line per finding — the design advisor appends these to
+    /// its `Advice::notes`.
+    #[must_use]
+    pub fn notes(&self) -> Vec<String> {
+        self.diagnostics
+            .iter()
+            .map(|d| format!("{} {}: {}", d.code, d.severity, d.message))
+            .collect()
+    }
+
+    /// Renders the analysis as a JSON object (for `tempora-lint --json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let body = self
+            .diagnostics
+            .iter()
+            .map(Diagnostic::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"relation\":\"{}\",\"diagnostics\":[{}]}}",
+            json_escape(&self.relation),
+            body
+        )
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "{}: clean (no diagnostics)", self.relation);
+        }
+        writeln!(f, "{}:", self.relation)?;
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The nearest satisfiable generalization of `kind` relative to a band a
+/// conflicting declaration admits: the most-specialized strict ancestor in
+/// the Figure 2 lattice whose band family can still cover a point of
+/// `other` (so *some* instantiation of the suggested kind intersects the
+/// conflicting declaration). Falls back to the general relation, whose
+/// full-plane band always qualifies.
+#[must_use]
+pub fn nearest_satisfiable_generalization(kind: EventSpecKind, other: OffsetBand) -> EventSpecKind {
+    let lattice = event_lattice();
+    // A representative admissible offset of the conflicting declaration.
+    let point = other.lo.or(other.hi).unwrap_or(0);
+    let probe = OffsetBand::new(Some(point), Some(point));
+    let mut candidates = lattice.ancestors(kind);
+    // Most specialized first: deeper nodes have more ancestors.
+    candidates.sort_by_key(|k| std::cmp::Reverse(lattice.ancestors(*k).len()));
+    candidates
+        .into_iter()
+        .find(|k| k.family_shape().has_band_containing(probe))
+        .unwrap_or(EventSpecKind::General)
+}
+
+/// Analyzes a schema, producing structured diagnostics (most severe
+/// first).
+///
+/// Works on any schema produced by `SchemaBuilder::build_unchecked` —
+/// in particular on unsatisfiable ones, which `build` refuses to
+/// construct.
+#[must_use]
+pub fn analyze_schema(schema: &RelationSchema) -> Analysis {
+    let mut diagnostics = Vec::new();
+    check_satisfiability(schema, TtReference::Insertion, &mut diagnostics);
+    check_satisfiability(schema, TtReference::Deletion, &mut diagnostics);
+    check_ordering_contradiction(schema, &mut diagnostics);
+    check_negative_durations(schema, &mut diagnostics);
+    check_redundant_specs(schema, &mut diagnostics);
+    check_redundant_orderings(schema, &mut diagnostics);
+    check_pinned_offset(schema, &mut diagnostics);
+    diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    Analysis {
+        relation: schema.name().to_string(),
+        diagnostics,
+    }
+}
+
+/// The isolated-element specializations referencing `tt_ref`, rendered
+/// with their source declaration. For interval relations these are the
+/// begin-endpoint constraints (which is what [`RelationSchema::
+/// insertion_band`] intersects).
+fn banded_specs(schema: &RelationSchema, tt_ref: TtReference) -> Vec<(EventSpec, String)> {
+    match schema.stamping() {
+        Stamping::Event => schema
+            .event_specs()
+            .iter()
+            .filter(|(_, r)| *r == tt_ref)
+            .map(|(s, _)| (*s, s.to_string()))
+            .collect(),
+        Stamping::Interval => schema
+            .endpoint_specs()
+            .iter()
+            .filter(|(s, r)| {
+                *r == tt_ref && matches!(s.endpoint, Endpoint::Begin | Endpoint::Both)
+            })
+            .map(|(s, _)| (s.spec, s.to_string()))
+            .collect(),
+    }
+}
+
+fn check_satisfiability(
+    schema: &RelationSchema,
+    tt_ref: TtReference,
+    out: &mut Vec<Diagnostic>,
+) {
+    let specs = banded_specs(schema, tt_ref);
+    let joint = specs
+        .iter()
+        .fold(OffsetBand::FULL, |b, (s, _)| b.intersect(s.conservative_band()));
+    if !joint.is_empty() {
+        return;
+    }
+    // Offset bands are intervals, so (1-d Helly) an empty conjunction
+    // always contains an empty pair; name the first one.
+    let mut witness = None;
+    'outer: for (i, (a, _)) in specs.iter().enumerate() {
+        for (b, _) in specs.iter().skip(i + 1) {
+            if a.conservative_band().intersect(b.conservative_band()).is_empty() {
+                witness = Some((*a, *b));
+                break 'outer;
+            }
+        }
+    }
+    let (code, action) = match tt_ref {
+        TtReference::Insertion => (Code::UnsatisfiableInsertion, "insert"),
+        TtReference::Deletion => (Code::UnsatisfiableDeletion, "delet"),
+    };
+    if let Some((a, b)) = witness {
+        let (ab, bb) = (a.conservative_band(), b.conservative_band());
+        let fix = nearest_satisfiable_generalization(b.kind(), ab);
+        out.push(Diagnostic::new(
+            code,
+            format!(
+                "'{a}' and '{b}' admit disjoint offset bands ({ab} ∩ {bb} = ∅); \
+                 every {action}ion will be rejected"
+            ),
+            vec![a.to_string(), b.to_string()],
+            Some(format!(
+                "replace '{b}' with a {} variant — the nearest generalization in the \
+                 specialization lattice whose band can meet '{a}'",
+                fix.name()
+            )),
+        ));
+    } else {
+        // Unreachable by the Helly argument, but stay total.
+        out.push(Diagnostic::new(
+            code,
+            format!(
+                "the declared {tt_ref}-referenced specializations are jointly \
+                 unsatisfiable (empty region); every {action}ion will be rejected"
+            ),
+            specs.iter().map(|(_, s)| s.clone()).collect(),
+            None,
+        ));
+    }
+}
+
+fn check_ordering_contradiction(schema: &RelationSchema, out: &mut Vec<Diagnostic>) {
+    // A *strict temporal* regularity forces each successor element one
+    // unit forward in valid time; a non-increasing ordering on an
+    // overlapping basis forbids exactly that. (Strict vt-regularity alone
+    // does not contradict: its lattice of valid times may be filled in
+    // either direction.)
+    let overlaps = |a: Basis, b: Basis| a == Basis::PerRelation || b == Basis::PerRelation || a == b;
+    for (reg, reg_basis) in schema.event_regularities() {
+        if !(reg.strict && reg.dimension == RegularDimension::Temporal) {
+            continue;
+        }
+        for (ord, ord_basis) in schema.orderings() {
+            if *ord == OrderingSpec::GloballyNonIncreasing && overlaps(*reg_basis, *ord_basis) {
+                out.push(Diagnostic::new(
+                    Code::ContradictoryOrdering,
+                    format!(
+                        "'{reg}' [{reg_basis}] forces valid times one unit forward per \
+                         element, but '{ord}' [{ord_basis}] forbids any increase: no \
+                         partition can ever hold a second element"
+                    ),
+                    vec![reg.to_string(), ord.to_string()],
+                    Some(
+                        "drop the non-increasing ordering, or relax the regularity to its \
+                         non-strict form"
+                            .to_string(),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_negative_durations(schema: &RelationSchema, out: &mut Vec<Diagnostic>) {
+    if schema.stamping() != Stamping::Interval {
+        return;
+    }
+    let band_for = |wanted: fn(Endpoint) -> bool| {
+        schema
+            .endpoint_specs()
+            .iter()
+            .filter(|(s, r)| *r == TtReference::Insertion && wanted(s.endpoint))
+            .fold(OffsetBand::FULL, |b, (s, _)| {
+                b.intersect(s.spec.conservative_band())
+            })
+    };
+    let begin = band_for(|e| matches!(e, Endpoint::Begin | Endpoint::Both));
+    let end = band_for(|e| matches!(e, Endpoint::End | Endpoint::Both));
+    // Offsets: vt⁻ − tt ≥ begin.lo and vt⁺ − tt ≤ end.hi, so the duration
+    // vt⁺ − vt⁻ ≤ end.hi − begin.lo. Intervals need a positive duration.
+    if let (Some(lo), Some(hi)) = (begin.lo, end.hi) {
+        let max_duration = hi.saturating_sub(lo);
+        if max_duration <= 0 {
+            let specs: Vec<String> = schema
+                .endpoint_specs()
+                .iter()
+                .filter(|(_, r)| *r == TtReference::Insertion)
+                .map(|(s, _)| s.to_string())
+                .collect();
+            out.push(Diagnostic::new(
+                Code::NegativeDuration,
+                format!(
+                    "the endpoint bands force vt⁻ − tt ≥ {lo}µs but vt⁺ − tt ≤ {hi}µs, \
+                     so every valid interval would have duration ≤ {max_duration}µs; \
+                     intervals require positive duration"
+                ),
+                specs,
+                Some(
+                    "widen the end-endpoint bound (or tighten the begin-endpoint one) so \
+                     the maximum duration is positive"
+                        .to_string(),
+                ),
+            ));
+        }
+    }
+}
+
+fn check_redundant_specs(schema: &RelationSchema, out: &mut Vec<Diagnostic>) {
+    if schema.stamping() != Stamping::Event {
+        return;
+    }
+    for tt_ref in [TtReference::Insertion, TtReference::Deletion] {
+        let declared: Vec<EventSpec> = schema
+            .event_specs()
+            .iter()
+            .filter(|(_, r)| *r == tt_ref)
+            .map(|(s, _)| *s)
+            .collect();
+        for (dead, implied_by) in redundant_spec_indices(&declared) {
+            let (a, b) = (declared[dead], declared[implied_by]);
+            out.push(Diagnostic::new(
+                Code::RedundantSpec,
+                format!(
+                    "'{a}' [{tt_ref}] is implied by '{b}': every stamp pair the latter \
+                     admits satisfies the former, so the check is dead work \
+                     (dead-constraint elimination drops it from the admission path)"
+                ),
+                vec![a.to_string(), b.to_string()],
+                Some(format!("drop the redundant '{a}' declaration")),
+            ));
+        }
+    }
+}
+
+fn ordering_node(spec: OrderingSpec) -> OrderingNode {
+    match spec {
+        OrderingSpec::GloballySequential => OrderingNode::Sequential,
+        OrderingSpec::GloballyNonDecreasing => OrderingNode::NonDecreasing,
+        OrderingSpec::GloballyNonIncreasing => OrderingNode::NonIncreasing,
+    }
+}
+
+fn check_redundant_orderings(schema: &RelationSchema, out: &mut Vec<Diagnostic>) {
+    let lattice = ordering_lattice();
+    let declared = schema.orderings();
+    // (node_j, basis_j) implies (node_i, basis_i) when the node is at
+    // least as specialized (Figure 3) and the basis at least as wide — a
+    // relation-wide ordering restricts to every partition.
+    let covers = |j: usize, i: usize| {
+        let (oj, bj) = declared[j];
+        let (oi, bi) = declared[i];
+        lattice.is_specialization_of(ordering_node(oj), ordering_node(oi))
+            && (bj == Basis::PerRelation || bj == bi)
+    };
+    for i in 0..declared.len() {
+        let witness = (0..declared.len()).find(|&j| j != i && covers(j, i) && (j < i || !covers(i, j)));
+        if let Some(j) = witness {
+            let (oi, bi) = declared[i];
+            let (oj, bj) = declared[j];
+            out.push(Diagnostic::new(
+                Code::RedundantOrdering,
+                format!(
+                    "ordering '{oi}' [{bi}] is implied by the declared '{oj}' [{bj}] \
+                     (Figure 3 lattice)"
+                ),
+                vec![format!("{oi} [{bi}]"), format!("{oj} [{bj}]")],
+                Some(format!("drop the redundant '{oi}' [{bi}] declaration")),
+            ));
+        }
+    }
+}
+
+fn check_pinned_offset(schema: &RelationSchema, out: &mut Vec<Diagnostic>) {
+    let band = schema.insertion_band();
+    if let (Some(lo), Some(hi)) = (band.lo, band.hi) {
+        if lo == hi && !schema.is_degenerate() {
+            out.push(Diagnostic::new(
+                Code::PinnedOffset,
+                format!(
+                    "the declared bands pin vt − tt to exactly {lo}µs: the relation is \
+                     degenerate up to a constant shift, and valid time needs no storage \
+                     beyond the transaction stamp"
+                ),
+                Vec::new(),
+                Some(
+                    "consider declaring the relation degenerate at a suitable granularity \
+                     if the offset is an artifact"
+                        .to_string(),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempora_core::constraint::CompiledChecks;
+    use tempora_core::spec::bound::Bound;
+    use tempora_core::spec::interval::IntervalEndpointSpec;
+    use tempora_core::spec::regularity::EventRegularitySpec;
+    use tempora_time::TimeDelta;
+
+    fn event_schema(specs: &[EventSpec]) -> Arc<RelationSchema> {
+        let mut b = RelationSchema::builder("r", Stamping::Event);
+        for s in specs {
+            b = b.event_spec(*s);
+        }
+        b.build_unchecked().unwrap()
+    }
+
+    #[test]
+    fn clean_schema_has_no_diagnostics() {
+        let analysis = analyze_schema(&event_schema(&[EventSpec::Retroactive]));
+        assert!(analysis.is_clean(), "{analysis}");
+        assert!(!analysis.has_errors());
+    }
+
+    #[test]
+    fn disjoint_bands_yield_ts001_with_fixit() {
+        let schema = event_schema(&[
+            EventSpec::DelayedRetroactive {
+                delay: Bound::secs(10),
+            },
+            EventSpec::EarlyPredictive {
+                lead: Bound::secs(10),
+            },
+        ]);
+        let analysis = analyze_schema(&schema);
+        assert!(analysis.has_errors());
+        let d = &analysis.diagnostics[0];
+        assert_eq!(d.code, Code::UnsatisfiableInsertion);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("delayed retroactive"), "{}", d.message);
+        assert!(d.message.contains("early predictive"), "{}", d.message);
+        assert_eq!(d.specs.len(), 2);
+        // The nearest generalization of early predictive whose band can
+        // reach the retroactive side is retroactively bounded.
+        let hint = d.hint.as_deref().unwrap();
+        assert!(hint.contains("retroactively bounded"), "{hint}");
+    }
+
+    #[test]
+    fn deletion_reference_unsatisfiability_is_ts002() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec_for(
+                EventSpec::DelayedRetroactive {
+                    delay: Bound::secs(10),
+                },
+                TtReference::Deletion,
+            )
+            .event_spec_for(EventSpec::Predictive, TtReference::Deletion)
+            .build_unchecked()
+            .unwrap();
+        let analysis = analyze_schema(&schema);
+        assert_eq!(analysis.diagnostics[0].code, Code::UnsatisfiableDeletion);
+        assert!(analysis.has_errors());
+    }
+
+    #[test]
+    fn strict_temporal_regularity_vs_non_increasing_is_ts003() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_regularity(
+                EventRegularitySpec::new(RegularDimension::Temporal, TimeDelta::from_secs(60))
+                    .strict(),
+                Basis::PerObject,
+            )
+            .ordering(OrderingSpec::GloballyNonIncreasing, Basis::PerRelation)
+            .build_unchecked()
+            .unwrap();
+        let analysis = analyze_schema(&schema);
+        assert_eq!(analysis.diagnostics[0].code, Code::ContradictoryOrdering);
+        // Non-strict regularity does not contradict.
+        let ok = RelationSchema::builder("r", Stamping::Event)
+            .event_regularity(
+                EventRegularitySpec::new(RegularDimension::Temporal, TimeDelta::from_secs(60)),
+                Basis::PerObject,
+            )
+            .ordering(OrderingSpec::GloballyNonIncreasing, Basis::PerRelation)
+            .build_unchecked()
+            .unwrap();
+        assert!(analyze_schema(&ok).is_clean());
+    }
+
+    #[test]
+    fn endpoint_bands_implying_negative_durations_are_ts004() {
+        // Begin at least 10 s *after* tt, end at most at tt: duration < 0.
+        let schema = RelationSchema::builder("r", Stamping::Interval)
+            .endpoint_spec(IntervalEndpointSpec::new(
+                Endpoint::Begin,
+                EventSpec::EarlyPredictive {
+                    lead: Bound::secs(10),
+                },
+            ))
+            .endpoint_spec(IntervalEndpointSpec::new(
+                Endpoint::End,
+                EventSpec::Retroactive,
+            ))
+            .build_unchecked()
+            .unwrap();
+        let analysis = analyze_schema(&schema);
+        assert!(analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::NegativeDuration));
+        assert!(analysis.has_errors());
+    }
+
+    #[test]
+    fn redundant_spec_warns_and_matches_compiled_elision() {
+        let schema = event_schema(&[
+            EventSpec::DelayedRetroactive {
+                delay: Bound::secs(30),
+            },
+            EventSpec::Retroactive,
+        ]);
+        let analysis = analyze_schema(&schema);
+        let warn = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::RedundantSpec)
+            .expect("redundancy diagnostic");
+        assert_eq!(warn.severity, Severity::Warn);
+        assert!(warn.message.contains("retroactive"), "{}", warn.message);
+        assert!(!analysis.has_errors());
+        // The analyzer's verdict and the compiler's elision are the same
+        // computation; they can never drift.
+        let compiled = CompiledChecks::compile(&schema);
+        assert_eq!(compiled.elided_insert_events(), &[EventSpec::Retroactive]);
+    }
+
+    #[test]
+    fn redundant_ordering_warns() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerRelation)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+            .build_unchecked()
+            .unwrap();
+        let analysis = analyze_schema(&schema);
+        assert_eq!(analysis.diagnostics[0].code, Code::RedundantOrdering);
+        // Incomparable orderings do not warn.
+        let ok = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerObject)
+            .ordering(OrderingSpec::GloballyNonIncreasing, Basis::PerObject)
+            .build_unchecked()
+            .unwrap();
+        assert!(analyze_schema(&ok).is_clean());
+    }
+
+    #[test]
+    fn pinned_offset_notes() {
+        let schema = event_schema(&[
+            EventSpec::Retroactive,
+            EventSpec::Predictive,
+        ]);
+        let analysis = analyze_schema(&schema);
+        let note = analysis
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::PinnedOffset)
+            .expect("pinned-offset note");
+        assert_eq!(note.severity, Severity::Note);
+        // A declared degenerate relation is the intended spelling; no note.
+        let deg = analyze_schema(&event_schema(&[EventSpec::Degenerate]));
+        assert!(deg.is_clean(), "{deg}");
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_enough_for_ci() {
+        let schema = event_schema(&[
+            EventSpec::DelayedRetroactive {
+                delay: Bound::secs(10),
+            },
+            EventSpec::Predictive,
+        ]);
+        let json = analyze_schema(&schema).to_json();
+        assert!(json.starts_with("{\"relation\":\"r\""), "{json}");
+        assert!(json.contains("\"code\":\"TS001\""), "{json}");
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(!json.contains('\n'), "single-line output for CI: {json}");
+    }
+
+    #[test]
+    fn nearest_generalization_falls_back_to_general() {
+        // Nothing below general covers the far-predictive side from
+        // degenerate's ancestors chain when the conflicting band is huge…
+        let kind = nearest_satisfiable_generalization(
+            EventSpecKind::Degenerate,
+            OffsetBand::at_least(1),
+        );
+        // …but degenerate's ancestors do include predictive, which covers
+        // positive offsets.
+        assert_ne!(kind, EventSpecKind::Degenerate);
+        assert!(EventSpecKind::ALL.contains(&kind));
+    }
+
+    /// The lattice-edge regression matrix: every pairwise combination of
+    /// the thirteen §3.1 kinds (canonical 10 s instantiations) through the
+    /// satisfiability checker, pinned to what the region algebra and
+    /// `FamilyShape::subsumes_into` predict. Locks Figure 2 against
+    /// analyzer drift.
+    #[test]
+    fn pairwise_verdict_matrix_matches_region_algebra() {
+        let unit = Bound::secs(10);
+        for a in EventSpecKind::ALL {
+            for b in EventSpecKind::ALL {
+                let (sa, sb) = (a.canonical(unit), b.canonical(unit));
+                let schema = event_schema(&[sa, sb]);
+                let analysis = analyze_schema(&schema);
+                // Region-algebra prediction: fixed canonical bounds make
+                // exact bands available.
+                let (ba, bb) = (sa.exact_band().unwrap(), sb.exact_band().unwrap());
+                let expect_unsat = ba.intersect(bb).is_empty();
+                assert_eq!(
+                    analysis
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == Code::UnsatisfiableInsertion),
+                    expect_unsat,
+                    "satisfiability verdict drifted for ({a}, {b})"
+                );
+                assert_eq!(analysis.has_errors(), expect_unsat, "({a}, {b})");
+                // Redundancy verdict is exactly instance implication (with
+                // the keep-first tie-break).
+                let expect_redundant = sb.implies(&sa) || sa.implies(&sb);
+                assert_eq!(
+                    analysis
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == Code::RedundantSpec),
+                    expect_redundant,
+                    "redundancy verdict drifted for ({a}, {b})"
+                );
+                // Lattice edge ⇒ the generalization's family covers the
+                // specialization's canonical band (Figure 2 soundness).
+                if a.family_shape().subsumes_into(b.family_shape()) {
+                    assert!(
+                        b.family_shape().has_band_containing(ba),
+                        "({a} ≤ {b}) edge contradicts the band families"
+                    );
+                }
+                // Instance implication must respect the lattice: implied
+                // bands are witnesses of family subsumption edges.
+                if sa.implies(&sb) {
+                    assert!(
+                        b.family_shape().has_band_containing(ba),
+                        "instance implication ({a} ⇒ {b}) without a covering band"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Predicate proofs: entailment of plan predicates against the declared
+//! specializations.
+//!
+//! §4 of the paper argues that declared specializations let the DBMS
+//! *prove* things about queries before touching data. This module is that
+//! prover for the three refutation shapes the optimizer can exploit:
+//! a timeslice at a valid time the schema's periodicity excludes, a
+//! bitemporal point outside the admissible offset band, and an inverted
+//! (empty) valid-time window. Each function returns `Some(proof)` — a
+//! human-readable justification string — when the predicate is *always
+//! false* for every element the constraint engine could have admitted, or
+//! `None` when it is contingent on the data.
+//!
+//! Soundness caveat, stated once: these proofs quantify over elements the
+//! **enforced** constraints admitted. A relation loaded in trust mode may
+//! hold violating stamps, which is exactly the paper's premise in reverse:
+//! no enforcement, no rewriting.
+
+use tempora_core::{RelationSchema, Stamping};
+use tempora_time::Timestamp;
+
+/// How the analyzer classifies a predicate against the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entailment {
+    /// The predicate holds for every admissible element; the residual
+    /// check can be dropped.
+    AlwaysTrue,
+    /// The predicate fails for every admissible element; the query is
+    /// provably empty. Carries the proof.
+    AlwaysFalse(String),
+    /// Neither provable: evaluate per element.
+    Contingent,
+}
+
+impl Entailment {
+    /// The proof string, if the predicate is refuted.
+    #[must_use]
+    pub fn proof(&self) -> Option<&str> {
+        match self {
+            Entailment::AlwaysFalse(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Attempts to refute a valid-time point predicate `valid covers vt`
+/// (timeslice / the valid-time half of a bitemporal probe).
+///
+/// Sound for both stampings: events lie *in* the declared periodic
+/// pattern, and intervals are *covered by* it, so a valid time outside
+/// every pattern window can belong to no admissible element.
+#[must_use]
+pub fn refute_timeslice(schema: &RelationSchema, vt: Timestamp) -> Option<String> {
+    let pattern = schema.vt_pattern()?;
+    if pattern.contains(vt) {
+        return None;
+    }
+    Some(format!(
+        "valid time {vt} falls outside the declared periodic pattern {pattern}; \
+         no admissible element can cover it"
+    ))
+}
+
+/// Attempts to refute a bitemporal point probe `(tt, vt)`.
+///
+/// Two independent proofs are tried: the periodicity proof of
+/// [`refute_timeslice`], and — for event-stamped relations only — the
+/// offset-band proof: every admitted event satisfies
+/// `vt ≤ tt_begin + hi ≤ tt + hi` for any transaction time `tt` at which
+/// it exists, so a probe with `vt − tt` above the band's upper bound is
+/// empty. (Interval stamps only constrain the *begin* endpoint this way,
+/// so the band proof does not transfer.)
+#[must_use]
+pub fn refute_bitemporal(schema: &RelationSchema, tt: Timestamp, vt: Timestamp) -> Option<String> {
+    if let Some(proof) = refute_timeslice(schema, vt) {
+        return Some(proof);
+    }
+    if schema.stamping() != Stamping::Event {
+        return None;
+    }
+    let band = schema.insertion_band();
+    if let Some(hi) = band.hi {
+        if vt.micros() > tt.micros().saturating_add(hi) {
+            return Some(format!(
+                "the declared specializations bound vt − tt ≤ {hi}µs at insertion, \
+                 but the probe asks for vt − tt = {}µs; no element visible at {tt} \
+                 can carry valid time {vt}",
+                vt.micros() - tt.micros()
+            ));
+        }
+    }
+    None
+}
+
+/// Attempts to refute a valid-time range predicate `[from, to)`.
+///
+/// Only event stamps are refutable this way: an event's begin equals its
+/// end, so an inverted window (`to ≤ from`) matches nothing. An interval
+/// can still straddle an inverted window's residual predicate (`begin <
+/// to && end > from` holds for e.g. `[3, 20)` against `from = 10, to =
+/// 5`), so for interval stamping this returns `None`.
+#[must_use]
+pub fn refute_range(schema: &RelationSchema, from: Timestamp, to: Timestamp) -> Option<String> {
+    if schema.stamping() == Stamping::Event && to <= from {
+        return Some(format!(
+            "event-stamped valid times are points, and the window [{from}, {to}) \
+             is empty"
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tempora_core::spec::bound::Bound;
+    use tempora_core::spec::event::EventSpec;
+    use tempora_core::spec::periodicity::PeriodicPattern;
+
+    fn ts(secs: i64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn pattern_refutes_timeslice_outside_windows() {
+        let schema = Arc::clone(
+            &RelationSchema::builder("r", Stamping::Event)
+                .vt_pattern(PeriodicPattern::business_hours())
+                .build()
+                .unwrap(),
+        );
+        // 1993-01-03 is a Sunday: outside business hours.
+        let sunday = Timestamp::from_date(1993, 1, 3).unwrap();
+        assert!(refute_timeslice(&schema, sunday).is_some());
+        // A Monday 10:00 is inside; contingent.
+        let monday = Timestamp::from_date(1993, 1, 4)
+            .unwrap()
+            .saturating_add(tempora_time::TimeDelta::from_secs(10 * 3600));
+        assert!(refute_timeslice(&schema, monday).is_none());
+    }
+
+    #[test]
+    fn band_refutes_bitemporal_beyond_upper_bound() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::PredictivelyBounded {
+                bound: Bound::secs(30),
+            })
+            .build()
+            .unwrap();
+        // vt 100 s ahead of tt, but the band caps the offset at +30 s.
+        let proof = refute_bitemporal(&schema, ts(1_000), ts(1_100));
+        assert!(proof.is_some(), "should refute");
+        // 20 s ahead is admissible: contingent.
+        assert!(refute_bitemporal(&schema, ts(1_000), ts(1_020)).is_none());
+        // Unbounded schema: nothing to prove.
+        let general = RelationSchema::builder("g", Stamping::Event)
+            .build()
+            .unwrap();
+        assert!(refute_bitemporal(&general, ts(0), ts(1_000_000)).is_none());
+    }
+
+    #[test]
+    fn band_refutation_does_not_apply_to_interval_stamps() {
+        let schema = RelationSchema::builder("r", Stamping::Interval)
+            .build()
+            .unwrap();
+        assert!(refute_bitemporal(&schema, ts(1_000), ts(9_999)).is_none());
+    }
+
+    #[test]
+    fn inverted_range_is_empty_only_for_events() {
+        let event = RelationSchema::builder("e", Stamping::Event)
+            .build()
+            .unwrap();
+        assert!(refute_range(&event, ts(10), ts(5)).is_some());
+        assert!(refute_range(&event, ts(10), ts(10)).is_some());
+        assert!(refute_range(&event, ts(5), ts(10)).is_none());
+        let interval = RelationSchema::builder("i", Stamping::Interval)
+            .build()
+            .unwrap();
+        assert!(refute_range(&interval, ts(10), ts(5)).is_none());
+    }
+}

@@ -7,11 +7,17 @@
 //! surrogate partitioning). The 1-shard case takes the sequential path and
 //! doubles as the regression guard; 4+ shards should run the batch at a
 //! multiple of its throughput.
+//!
+//! The second group measures dead-constraint elimination on the admission
+//! path: the same conforming batch checked by a pruned engine (implied
+//! specs elided, the analyzer's TS005 verdict) vs an unpruned engine that
+//! checks every declared spec.
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use tempora::core::constraint::ConstraintEngine;
 use tempora::prelude::*;
 
 const BATCH: usize = 8_000;
@@ -67,11 +73,76 @@ fn bench_ingest_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// A redundancy-laden schema with fixed bounds: the tight
+/// delayed-strongly-retroactively-bounded declaration implies the other
+/// three, so the compiled fast path keeps one live check out of four.
+/// (Fixed bounds matter: calendric implications are conservatively
+/// unprovable, so nothing would be elided.)
+fn redundant_schema() -> Arc<RelationSchema> {
+    RelationSchema::builder("audit", Stamping::Event)
+        .event_spec(EventSpec::DelayedStronglyRetroactivelyBounded {
+            min_delay: Bound::secs(30),
+            max_delay: Bound::secs(3_600),
+        })
+        .event_spec(EventSpec::Retroactive)
+        .event_spec(EventSpec::DelayedRetroactive { delay: Bound::secs(1) })
+        .event_spec(EventSpec::RetroactivelyBounded { bound: Bound::secs(7_200) })
+        .build()
+        .expect("consistent schema")
+}
+
+fn bench_dead_constraint_elimination(c: &mut Criterion) {
+    let schema = redundant_schema();
+    let origin = Timestamp::from_secs(100_000);
+    let elements: Vec<Element> = (0..BATCH)
+        .map(|i| {
+            let tt = origin + TimeDelta::from_secs(i64::try_from(i).expect("small") + 1);
+            Element::new(
+                ElementId::new(i as u64),
+                ObjectId::new(i as u64 % OBJECTS),
+                tt + TimeDelta::from_secs(-60),
+                tt,
+            )
+        })
+        .collect();
+    // The pruned engine must actually elide the three implied specs —
+    // otherwise both sides of the comparison measure the same thing.
+    assert_eq!(
+        ConstraintEngine::new(Arc::clone(&schema))
+            .compiled()
+            .elided_insert_events()
+            .len(),
+        3,
+        "redundant specs must be elided"
+    );
+
+    let mut group = c.benchmark_group("admit_8k_redundant_specs");
+    group.sample_size(10);
+    for (name, unpruned) in [("after_elision", false), ("before_elision", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = if unpruned {
+                    ConstraintEngine::new_unpruned(Arc::clone(&schema))
+                } else {
+                    ConstraintEngine::new(Arc::clone(&schema))
+                };
+                let mut admitted = 0_usize;
+                for element in &elements {
+                    engine.admit_insert(element).expect("batch conforms");
+                    admitted += 1;
+                }
+                black_box(admitted)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_ingest_parallel
+    targets = bench_ingest_parallel, bench_dead_constraint_elimination
 }
 criterion_main!(benches);

@@ -233,32 +233,102 @@ impl CompiledCheck {
     }
 }
 
+/// The redundant declarations in a list of specs sharing one transaction-
+/// time reference: pairs `(redundant, implied_by)` of indices such that
+/// `specs[implied_by]` admits every stamp pair `specs[redundant]` admits
+/// — checking the former makes checking the latter dead work.
+///
+/// Decided by [`EventSpec::implies`], so a reported redundancy is always
+/// sound (calendric bounds may hide some). On mutual implication
+/// (duplicates, equivalent parameterizations) the earliest declaration is
+/// kept and the later ones reported. Because implication is transitive,
+/// every reported spec is implied by some *kept* spec, so dropping all
+/// reported specs at once preserves the admitted region exactly.
+#[must_use]
+pub fn redundant_spec_indices(specs: &[EventSpec]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let witness = specs.iter().enumerate().find(|&(j, other)| {
+            j != i && other.implies(spec) && (j < i || !spec.implies(other))
+        });
+        if let Some((j, _)) = witness {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
 /// Every declared isolated check of a schema, compiled once and shared
 /// (via `Arc`) by the relation's engine and all of its ingest shards.
+///
+/// Compilation performs *dead-constraint elimination*: a declared spec
+/// implied by another declared spec of the same transaction-time reference
+/// ([`redundant_spec_indices`]) is dropped from the hot admission path and
+/// recorded in the elided lists instead. The admitted region is unchanged
+/// — the implying check subsumes the elided one.
 #[derive(Debug, Clone)]
 pub struct CompiledChecks {
     /// Insertion-referenced event specs, paired with their source.
     insert_events: Vec<(EventSpec, CompiledCheck)>,
     /// Deletion-referenced event specs, paired with their source.
     delete_events: Vec<(EventSpec, CompiledCheck)>,
+    /// Insertion-referenced specs elided as dead constraints.
+    elided_inserts: Vec<EventSpec>,
+    /// Deletion-referenced specs elided as dead constraints.
+    elided_deletes: Vec<EventSpec>,
 }
 
 impl CompiledChecks {
-    /// Compiles a schema's declared event specializations.
+    /// Compiles a schema's declared event specializations, eliding
+    /// redundant ones.
     #[must_use]
     pub fn compile(schema: &RelationSchema) -> Self {
+        Self::compile_inner(schema, true)
+    }
+
+    /// Compiles without dead-constraint elimination — every declared spec
+    /// is checked. Exists so benches and differential tests can measure
+    /// the elimination against the naive check stage.
+    #[must_use]
+    pub fn compile_unpruned(schema: &RelationSchema) -> Self {
+        Self::compile_inner(schema, false)
+    }
+
+    fn compile_inner(schema: &RelationSchema, prune: bool) -> Self {
         let gran = schema.granularity();
         let by_ref = |wanted: TtReference| {
-            schema
+            let declared: Vec<EventSpec> = schema
                 .event_specs()
                 .iter()
-                .filter(move |(_, tt_ref)| *tt_ref == wanted)
-                .map(|(spec, _)| (*spec, CompiledCheck::compile(spec, gran)))
-                .collect::<Vec<_>>()
+                .filter(|(_, tt_ref)| *tt_ref == wanted)
+                .map(|(spec, _)| *spec)
+                .collect();
+            let dead: Vec<usize> = if prune {
+                redundant_spec_indices(&declared)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut live = Vec::with_capacity(declared.len());
+            let mut elided = Vec::new();
+            for (i, spec) in declared.into_iter().enumerate() {
+                if dead.contains(&i) {
+                    elided.push(spec);
+                } else {
+                    live.push((spec, CompiledCheck::compile(&spec, gran)));
+                }
+            }
+            (live, elided)
         };
+        let (insert_events, elided_inserts) = by_ref(TtReference::Insertion);
+        let (delete_events, elided_deletes) = by_ref(TtReference::Deletion);
         CompiledChecks {
-            insert_events: by_ref(TtReference::Insertion),
-            delete_events: by_ref(TtReference::Deletion),
+            insert_events,
+            delete_events,
+            elided_inserts,
+            elided_deletes,
         }
     }
 
@@ -272,6 +342,18 @@ impl CompiledChecks {
     #[must_use]
     pub fn delete_events(&self) -> &[(EventSpec, CompiledCheck)] {
         &self.delete_events
+    }
+
+    /// Insertion-referenced specs dropped by dead-constraint elimination.
+    #[must_use]
+    pub fn elided_insert_events(&self) -> &[EventSpec] {
+        &self.elided_inserts
+    }
+
+    /// Deletion-referenced specs dropped by dead-constraint elimination.
+    #[must_use]
+    pub fn elided_delete_events(&self) -> &[EventSpec] {
+        &self.elided_deletes
     }
 }
 
@@ -324,6 +406,24 @@ impl ConstraintEngine {
     /// Creates an engine for a schema.
     #[must_use]
     pub fn new(schema: Arc<RelationSchema>) -> Self {
+        Self::with_compiled(schema, CompiledChecks::compile)
+    }
+
+    /// Creates an engine whose check stage skips dead-constraint
+    /// elimination — every declared spec is checked on every admission.
+    ///
+    /// Admission decisions are identical to [`Self::new`]; only the work
+    /// per element differs. Benches and differential tests use this as the
+    /// before-elimination baseline.
+    #[must_use]
+    pub fn new_unpruned(schema: Arc<RelationSchema>) -> Self {
+        Self::with_compiled(schema, CompiledChecks::compile_unpruned)
+    }
+
+    fn with_compiled(
+        schema: Arc<RelationSchema>,
+        compile: impl FnOnce(&RelationSchema) -> CompiledChecks,
+    ) -> Self {
         let orderings = schema
             .orderings()
             .iter()
@@ -340,7 +440,7 @@ impl ConstraintEngine {
             .map(|(_, basis)| PartitionedState::new(*basis))
             .collect();
         ConstraintEngine {
-            compiled: Arc::new(CompiledChecks::compile(&schema)),
+            compiled: Arc::new(compile(&schema)),
             schema,
             orderings,
             regularities,
@@ -797,6 +897,62 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn dead_constraints_are_elided_from_the_hot_path() {
+        // retroactive is implied by delayed retroactive: dead work.
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive {
+                delay: Bound::secs(30),
+            })
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let compiled = CompiledChecks::compile(&schema);
+        assert_eq!(compiled.insert_events().len(), 1);
+        assert_eq!(
+            compiled.elided_insert_events(),
+            &[EventSpec::Retroactive]
+        );
+        let unpruned = CompiledChecks::compile_unpruned(&schema);
+        assert_eq!(unpruned.insert_events().len(), 2);
+        assert!(unpruned.elided_insert_events().is_empty());
+        // Admission decisions agree.
+        let mut pruned = ConstraintEngine::new(Arc::clone(&schema));
+        let mut naive = ConstraintEngine::new_unpruned(schema);
+        for (id, (vt, tt)) in [(10, 100), (70, 100), (90, 100), (110, 100)]
+            .into_iter()
+            .enumerate()
+        {
+            let e = ev(id as u64, 1, vt, tt);
+            assert_eq!(
+                pruned.admit_insert(&e).is_ok(),
+                naive.admit_insert(&e).is_ok(),
+                "vt {vt} tt {tt}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_specs_keep_first_declaration() {
+        let specs = [
+            EventSpec::Retroactive,
+            EventSpec::Retroactive,
+            EventSpec::Retroactive,
+        ];
+        assert_eq!(redundant_spec_indices(&specs), vec![(1, 0), (2, 0)]);
+        // Deletion-referenced groups are pruned independently.
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .event_spec_for(EventSpec::Retroactive, TtReference::Deletion)
+            .build()
+            .unwrap();
+        let compiled = CompiledChecks::compile(&schema);
+        assert_eq!(compiled.insert_events().len(), 1);
+        assert_eq!(compiled.delete_events().len(), 1);
+        assert!(compiled.elided_insert_events().is_empty());
+        assert!(compiled.elided_delete_events().is_empty());
     }
 
     #[test]

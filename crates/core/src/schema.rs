@@ -463,6 +463,39 @@ impl SchemaBuilder {
     /// combinations whose conjunction is unsatisfiable (empty region),
     /// since the paper's definitions quantify over non-empty extensions.
     pub fn build(self) -> Result<Arc<RelationSchema>, CoreError> {
+        let s = self.validated()?;
+        // Unsatisfiable conjunctions (e.g. delayed retroactive ∧ predictive)
+        // admit no element at all; reject them at design time.
+        let band = s.insertion_band();
+        if band.is_empty() {
+            return Err(CoreError::InvalidSchema {
+                reason: format!(
+                    "declared insertion-referenced specializations are jointly unsatisfiable (empty region {band})"
+                ),
+            });
+        }
+        Ok(Arc::new(s))
+    }
+
+    /// Validates and finishes the schema *without* the joint-satisfiability
+    /// check that [`Self::build`] performs.
+    ///
+    /// Every per-spec and stamping-consistency check still runs; only the
+    /// final empty-region rejection is skipped. This is the entry point for
+    /// static analysis (the analyzer must be able to hold an unsatisfiable
+    /// schema to diagnose it) and for forced creation of a relation the
+    /// analyzer has flagged.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::build`], minus the unsatisfiable-conjunction case.
+    pub fn build_unchecked(self) -> Result<Arc<RelationSchema>, CoreError> {
+        self.validated().map(Arc::new)
+    }
+
+    /// The shared validation tail: stamping consistency and per-spec
+    /// parameter preconditions.
+    fn validated(self) -> Result<RelationSchema, CoreError> {
         let s = self.inner;
         let schema_err = |reason: String| Err(CoreError::InvalidSchema { reason });
         match s.stamping {
@@ -525,15 +558,7 @@ impl SchemaBuilder {
         if let Some(d) = &s.determined {
             d.constraint().validate()?;
         }
-        // Unsatisfiable conjunctions (e.g. delayed retroactive ∧ predictive)
-        // admit no element at all; reject them at design time.
-        let band = s.insertion_band();
-        if band.is_empty() {
-            return schema_err(format!(
-                "declared insertion-referenced specializations are jointly unsatisfiable (empty region {band})"
-            ));
-        }
-        Ok(Arc::new(s))
+        Ok(s)
     }
 }
 
@@ -617,6 +642,31 @@ mod tests {
             .event_spec(EventSpec::Predictive)
             .build();
         assert!(matches!(res, Err(CoreError::InvalidSchema { .. })));
+    }
+
+    #[test]
+    fn build_unchecked_admits_unsatisfiable_conjunctions() {
+        // The analyzer needs to hold the schema to diagnose it.
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive {
+                delay: Bound::secs(10),
+            })
+            .event_spec(EventSpec::Predictive)
+            .build_unchecked()
+            .unwrap();
+        assert!(schema.insertion_band().is_empty());
+        // Per-spec parameter validation still runs.
+        assert!(RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive {
+                delay: Bound::secs(-5)
+            })
+            .build_unchecked()
+            .is_err());
+        // Stamping consistency still runs.
+        assert!(RelationSchema::builder("r", Stamping::Interval)
+            .event_spec(EventSpec::Retroactive)
+            .build_unchecked()
+            .is_err());
     }
 
     #[test]

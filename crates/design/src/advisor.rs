@@ -103,6 +103,7 @@ pub fn advise_events(name: &str, stamps: &[EventStamp], slack: f64) -> Option<Ad
         .expect("advisor-assembled schemas are consistent by construction");
     let index = select_index(&schema);
     notes.push(format!("index strategy unlocked: {index:?}"));
+    notes.extend(tempora_analyze::analyze_schema(&schema).notes());
     Some(Advice {
         observed,
         inter,
@@ -211,6 +212,9 @@ pub fn advise_events_partitioned(
         .build()
         .expect("advisor-assembled schemas are consistent");
     advice.index = select_index(&advice.schema);
+    advice
+        .notes
+        .extend(tempora_analyze::analyze_schema(&advice.schema).notes());
     Some(advice)
 }
 
@@ -292,6 +296,7 @@ pub fn advise_intervals(
         .expect("advisor-assembled interval schemas are consistent");
     let index = select_index(&schema);
     notes.push(format!("index strategy unlocked: {index:?}"));
+    notes.extend(tempora_analyze::analyze_schema(&schema).notes());
     Some(IntervalAdvice {
         observed,
         schema,

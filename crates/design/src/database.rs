@@ -30,13 +30,14 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use tempora_analyze::{analyze_schema, Analysis, Diagnostic};
 use tempora_core::spec::chain::ChainSpec;
 use tempora_core::{AttrName, CoreError, ElementId, ObjectId, RelationSchema, ValidTime, Value};
-use tempora_query::{parse_tql, IndexedRelation, QueryResult, TqlError};
+use tempora_query::{parse_tql, AnnotatedPlan, IndexedRelation, QueryResult, TqlError};
 use tempora_storage::{BatchRecord, BatchReport};
 use tempora_time::{Timestamp, TransactionClock};
 
-use crate::ddl::{parse_ddl, DdlError};
+use crate::ddl::{parse_ddl_unchecked, DdlError};
 
 /// Errors from the database façade.
 #[derive(Debug)]
@@ -58,6 +59,13 @@ pub enum DbError {
         /// The clashing name.
         String,
     ),
+    /// The static analyzer rejected the schema: it is unsatisfiable or
+    /// self-contradictory (Error-level diagnostics). Create with
+    /// [`Database::execute_ddl_forced`] to override.
+    Analysis(
+        /// The analyzer's findings (errors first).
+        Vec<Diagnostic>,
+    ),
 }
 
 impl fmt::Display for DbError {
@@ -68,6 +76,15 @@ impl fmt::Display for DbError {
             DbError::Core(e) => write!(f, "{e}"),
             DbError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
             DbError::DuplicateRelation(name) => write!(f, "relation {name:?} already exists"),
+            DbError::Analysis(diagnostics) => {
+                write!(f, "schema rejected by static analysis:")?;
+                for d in diagnostics {
+                    for line in d.to_string().lines() {
+                        write!(f, "\n  {line}")?;
+                    }
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -115,12 +132,42 @@ impl Database {
     /// Executes a `CREATE TEMPORAL RELATION` statement, creating the
     /// relation with its specialization-selected representation and index.
     ///
+    /// The schema first passes through the static analyzer
+    /// ([`tempora_analyze::analyze_schema`]); Error-level findings — an
+    /// unsatisfiable conjunction, a contradictory ordering, impossible
+    /// interval durations — reject the statement with the full diagnostics
+    /// (offending declarations and fix-it hint included). Warn/Note
+    /// findings do not block creation; surface them via [`Self::lint`].
+    ///
     /// # Errors
     ///
-    /// Returns [`DbError::Ddl`] on parse/validation failure or
-    /// [`DbError::DuplicateRelation`] on a name clash.
+    /// Returns [`DbError::Ddl`] on parse/validation failure,
+    /// [`DbError::Analysis`] when the analyzer proves the schema broken,
+    /// or [`DbError::DuplicateRelation`] on a name clash.
     pub fn execute_ddl(&self, ddl: &str) -> Result<Arc<RelationSchema>, DbError> {
-        let schema = parse_ddl(ddl)?;
+        self.create_relation(ddl, false)
+    }
+
+    /// [`Self::execute_ddl`] without the analyzer gate (`--force`): the
+    /// relation is created even if every insert is doomed to rejection.
+    /// Per-clause validation (bad parameters, stamping mismatches) still
+    /// applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Ddl`] or [`DbError::DuplicateRelation`].
+    pub fn execute_ddl_forced(&self, ddl: &str) -> Result<Arc<RelationSchema>, DbError> {
+        self.create_relation(ddl, true)
+    }
+
+    fn create_relation(&self, ddl: &str, force: bool) -> Result<Arc<RelationSchema>, DbError> {
+        let schema = parse_ddl_unchecked(ddl)?;
+        if !force {
+            let analysis = analyze_schema(&schema);
+            if analysis.has_errors() {
+                return Err(DbError::Analysis(analysis.diagnostics));
+            }
+        }
         let mut relations = self.relations.write();
         if relations.contains_key(schema.name()) {
             return Err(DbError::DuplicateRelation(schema.name().to_string()));
@@ -130,6 +177,23 @@ impl Database {
             IndexedRelation::new(Arc::clone(&schema), Arc::clone(&self.clock)),
         );
         Ok(schema)
+    }
+
+    /// Runs the static analyzer over one registered relation's schema.
+    #[must_use]
+    pub fn lint(&self, relation: &str) -> Option<Analysis> {
+        self.schema(relation).map(|s| analyze_schema(&s))
+    }
+
+    /// Runs the static analyzer over every registered relation, in name
+    /// order.
+    #[must_use]
+    pub fn lint_all(&self) -> Vec<Analysis> {
+        self.relations
+            .read()
+            .values()
+            .map(|r| analyze_schema(r.relation().schema()))
+            .collect()
     }
 
     /// The registered relation names.
@@ -253,6 +317,25 @@ impl Database {
             result.stats.returned = result.elements.len();
         }
         Ok(result)
+    }
+
+    /// Explains how a TQL `SELECT` would run, without executing it: the
+    /// chosen access path plus the analyzer's predicate-proof annotation —
+    /// an always-false predicate plans an empty scan, an always-true
+    /// residual reduces to the currency check (see
+    /// [`tempora_query::plan_query_annotated`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Tql`] on parse failure or
+    /// [`DbError::UnknownRelation`].
+    pub fn explain(&self, tql: &str) -> Result<AnnotatedPlan, DbError> {
+        let statement = parse_tql(tql)?;
+        let relations = self.relations.read();
+        let rel = relations
+            .get(&statement.relation)
+            .ok_or_else(|| DbError::UnknownRelation(statement.relation.clone()))?;
+        Ok(rel.explain(statement.query))
     }
 
     /// A design report for one relation (see [`crate::report`]).
@@ -509,6 +592,95 @@ mod tests {
         assert!(matches!(
             db.execute_ddl("CREATE TEMPORAL RELATION r (k KEY) AS EVENT"),
             Err(DbError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_schema_rejected_with_diagnostics() {
+        let (db, _) = db_at(0);
+        let err = db
+            .execute_ddl(
+                "CREATE TEMPORAL RELATION r (k KEY) AS EVENT
+                 WITH DELAYED RETROACTIVE 10s AND EARLY PREDICTIVE 10s",
+            )
+            .unwrap_err();
+        let DbError::Analysis(diagnostics) = &err else {
+            panic!("expected analysis rejection, got {err}");
+        };
+        let d = &diagnostics[0];
+        assert_eq!(d.code.as_str(), "TS001");
+        // Names both offending declarations and suggests the nearest
+        // satisfiable lattice generalization.
+        assert!(d.message.contains("delayed retroactive"), "{}", d.message);
+        assert!(d.message.contains("early predictive"), "{}", d.message);
+        assert!(
+            d.hint.as_deref().unwrap().contains("retroactively bounded"),
+            "{:?}",
+            d.hint
+        );
+        assert!(err.to_string().contains("TS001"));
+        assert!(db.relation_names().is_empty(), "nothing created");
+    }
+
+    #[test]
+    fn forced_creation_bypasses_the_gate_but_not_enforcement() {
+        let (db, clock) = db_at(0);
+        let ddl = "CREATE TEMPORAL RELATION r (k KEY) AS EVENT
+                   WITH DELAYED RETROACTIVE 10s AND EARLY PREDICTIVE 10s";
+        db.execute_ddl_forced(ddl).unwrap();
+        assert_eq!(db.relation_names(), vec!["r"]);
+        // The constraints remain enforced: every insert is rejected, as
+        // the analyzer proved.
+        clock.set(Timestamp::from_secs(1_000));
+        for vt in [0_i64, 990, 1_000, 1_010, 2_000] {
+            assert!(
+                db.insert("r", ObjectId::new(1), Timestamp::from_secs(vt), vec![]).is_err(),
+                "vt {vt} must be rejected"
+            );
+        }
+        // lint surfaces the same verdict on the live relation.
+        let analysis = db.lint("r").unwrap();
+        assert!(analysis.has_errors());
+        assert!(db.lint("ghost").is_none());
+    }
+
+    #[test]
+    fn warnings_do_not_block_creation() {
+        let (db, _) = db_at(0);
+        db.execute_ddl(
+            "CREATE TEMPORAL RELATION r (k KEY) AS EVENT
+             WITH DELAYED RETROACTIVE 30s AND RETROACTIVE",
+        )
+        .unwrap();
+        let analysis = db.lint("r").unwrap();
+        assert!(!analysis.has_errors());
+        assert!(analysis.diagnostics.iter().any(|d| d.code.as_str() == "TS005"));
+        let all = db.lint_all();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].relation, "r");
+    }
+
+    #[test]
+    fn explain_surfaces_predicate_proofs() {
+        let (db, _) = db_at(0);
+        db.execute_ddl(
+            "CREATE TEMPORAL RELATION r (k KEY) AS EVENT WITH PREDICTIVELY BOUNDED 30s",
+        )
+        .unwrap();
+        // Probing a valid time beyond tt + 30 s is refutable: empty scan.
+        let refuted = db
+            .explain("SELECT FROM r AT 1970-01-01T00:10:00 AS OF 1970-01-01T00:00:00")
+            .unwrap();
+        assert_eq!(refuted.plan.strategy_name(), "empty-scan");
+        assert!(refuted.proof.as_deref().unwrap().contains("vt − tt"));
+        // A contingent probe keeps its real access path.
+        let contingent = db
+            .explain("SELECT FROM r AT 1970-01-01T00:00:10 AS OF 1970-01-01T00:00:00")
+            .unwrap();
+        assert_ne!(contingent.plan.strategy_name(), "empty-scan");
+        assert!(matches!(
+            db.explain("SELECT FROM ghost"),
+            Err(DbError::UnknownRelation(_))
         ));
     }
 

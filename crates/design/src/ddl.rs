@@ -89,11 +89,31 @@ impl From<CoreError> for DdlError {
 /// [`DdlError::Schema`] when the declared specializations are invalid or
 /// inconsistent.
 pub fn parse_ddl(input: &str) -> Result<std::sync::Arc<RelationSchema>, DdlError> {
+    let builder = parse_ddl_builder(input)?;
+    Ok(builder.build()?)
+}
+
+/// Parses one `CREATE TEMPORAL RELATION` statement, performing every
+/// per-clause validation but *skipping* the final joint-satisfiability
+/// rejection, so the static analyzer can inspect contradictory schemas
+/// and explain them instead of merely refusing them.
+///
+/// # Errors
+///
+/// Returns [`DdlError::Syntax`] for malformed input and
+/// [`DdlError::Schema`] when an individual clause is invalid (bad
+/// parameters, stamping mismatch).
+pub fn parse_ddl_unchecked(input: &str) -> Result<std::sync::Arc<RelationSchema>, DdlError> {
+    let builder = parse_ddl_builder(input)?;
+    Ok(builder.build_unchecked()?)
+}
+
+fn parse_ddl_builder(input: &str) -> Result<SchemaBuilder, DdlError> {
     let tokens = tokenize(input);
     let mut p = Parser { tokens, pos: 0 };
-    let schema = p.statement()?;
+    let builder = p.statement()?;
     p.expect_end()?;
-    Ok(schema)
+    Ok(builder)
 }
 
 fn tokenize(input: &str) -> Vec<String> {
@@ -187,7 +207,7 @@ impl Parser {
         }
     }
 
-    fn statement(&mut self) -> Result<std::sync::Arc<RelationSchema>, DdlError> {
+    fn statement(&mut self) -> Result<SchemaBuilder, DdlError> {
         self.expect("CREATE")?;
         self.expect("TEMPORAL")?;
         self.expect("RELATION")?;
@@ -249,7 +269,7 @@ impl Parser {
                 }
             }
         }
-        Ok(builder.build()?)
+        Ok(builder)
     }
 
     fn basis(&mut self) -> Basis {
@@ -893,6 +913,22 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err2, DdlError::Schema(_)), "{err2}");
+    }
+
+    #[test]
+    fn unchecked_parse_admits_unsatisfiable_schemas() {
+        let src = "CREATE TEMPORAL RELATION r (k KEY) AS EVENT
+                   WITH DELAYED RETROACTIVE 10s AND PREDICTIVE";
+        // Checked parse refuses; unchecked hands the schema over for the
+        // analyzer to explain.
+        assert!(parse_ddl(src).is_err());
+        let schema = parse_ddl_unchecked(src).unwrap();
+        assert!(schema.insertion_band().is_empty());
+        // Per-clause validation still applies.
+        assert!(parse_ddl_unchecked(
+            "CREATE TEMPORAL RELATION r (k KEY) AS EVENT WITH DELAYED RETROACTIVE -3s"
+        )
+        .is_err());
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub use advisor::{
 };
 pub use catalog::Catalog;
 pub use database::{Database, DbError, ExecOutcome};
-pub use ddl::{parse_ddl, render_ddl, DdlError};
+pub use ddl::{parse_ddl, parse_ddl_unchecked, render_ddl, DdlError};
 pub use dml::{parse_dml, DmlStatement};
 pub use dump::{dump, restore};

@@ -66,6 +66,18 @@ pub fn schema_report(schema: &RelationSchema) -> String {
             IndexChoice::IntervalTree => "interval tree".to_string(),
         }
     );
+
+    let analysis = tempora_analyze::analyze_schema(schema);
+    if analysis.is_clean() {
+        let _ = writeln!(out, "  static analysis: clean");
+    } else {
+        let _ = writeln!(out, "  static analysis:");
+        for d in &analysis.diagnostics {
+            for line in d.to_string().lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+    }
     out
 }
 
@@ -114,6 +126,20 @@ mod tests {
         assert!(report.contains("inherits"));
         assert!(report.contains("retroactively bounded"));
         assert!(report.contains("tt-proxy"));
+        assert!(report.contains("static analysis: clean"));
+    }
+
+    #[test]
+    fn report_includes_analyzer_findings() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive {
+                delay: Bound::secs(30),
+            })
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let report = schema_report(&schema);
+        assert!(report.contains("TS005"), "{report}");
     }
 
     #[test]

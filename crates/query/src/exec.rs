@@ -11,8 +11,8 @@ use tempora_core::{
 use tempora_index::{select_index, IndexChoice, IntervalIndex, PointIndex};
 use tempora_storage::{BatchRecord, BatchReport, Enforcement, TemporalRelation};
 
-use crate::optimizer::plan_query;
-use crate::plan::{Plan, Query};
+use crate::optimizer::plan_query_annotated;
+use crate::plan::{AnnotatedPlan, Plan, Query, Residual};
 
 /// Execution statistics: the asymptotic story benches report alongside
 /// wall-clock time.
@@ -217,21 +217,41 @@ impl IndexedRelation {
         tempora_storage::vacuum::vacuum(&mut self.relation, policy, now)
     }
 
-    /// Plans and executes a query.
+    /// Plans and executes a query, applying the static analyzer's
+    /// predicate proofs: provably empty queries short-circuit without
+    /// touching the store, and proven-true valid-time residuals are
+    /// dropped.
     #[must_use]
     pub fn execute(&self, query: Query) -> QueryResult {
-        let plan = plan_query(self.relation.schema(), query);
-        self.execute_plan(query, plan)
+        let annotated = plan_query_annotated(self.relation.schema(), query);
+        self.run(query, annotated.plan, annotated.residual)
     }
 
-    /// Executes a query with an explicitly chosen plan (benches use this
-    /// to compare strategies on the same data).
+    /// Explains how [`Self::execute`] would answer a query: the chosen
+    /// plan, the residual predicate strength, and the analyzer's proof
+    /// when one rewrote the plan.
+    #[must_use]
+    pub fn explain(&self, query: Query) -> AnnotatedPlan {
+        plan_query_annotated(self.relation.schema(), query)
+    }
+
+    /// Executes a query with an explicitly chosen plan and the full
+    /// residual predicate (benches use this to compare strategies on the
+    /// same data; it also serves as the unoptimized oracle the
+    /// differential tests compare [`Self::execute`] against).
     #[must_use]
     pub fn execute_plan(&self, query: Query, plan: Plan) -> QueryResult {
+        self.run(query, plan, Residual::Full)
+    }
+
+    fn run(&self, query: Query, plan: Plan, residual: Residual) -> QueryResult {
         let strategy = plan.strategy_name();
         let mut examined = 0usize;
         let mut elements: Vec<Element> = Vec::new();
-        let predicate = query_predicate(query);
+        let predicate: Box<dyn Fn(&Element) -> bool> = match residual {
+            Residual::Full => query_predicate(query),
+            Residual::CurrencyOnly => Box::new(Element::is_current),
+        };
 
         match plan {
             Plan::FullScan => {
@@ -328,6 +348,7 @@ impl IndexedRelation {
                     }
                 }
             }
+            Plan::EmptyScan => {}
         }
         let returned = elements.len();
         QueryResult {
@@ -614,6 +635,66 @@ mod tests {
             vt,
         });
         assert!(!earlier.elements.iter().any(|x| x.id == e.id));
+    }
+
+    #[test]
+    fn refuted_query_short_circuits_without_touching_the_store() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::PredictivelyBounded {
+                bound: Bound::secs(30),
+            })
+            .build()
+            .unwrap();
+        let clock = clock_at(0);
+        let mut rel = IndexedRelation::new(schema, clock.clone());
+        for i in 0..200_i64 {
+            clock.set(ts(i * 10));
+            rel.insert(ObjectId::new(1), ts(i * 10 + 20), vec![]).unwrap();
+        }
+        // vt 1000 s beyond tt: outside the +30 s band.
+        let q = Query::Bitemporal { tt: ts(100), vt: ts(1_100) };
+        let fast = rel.execute(q);
+        assert_eq!(fast.stats.strategy, "empty-scan");
+        assert_eq!(fast.stats.examined, 0, "proof means zero elements touched");
+        // The oracle agrees the answer is empty.
+        let slow = rel.execute_plan(q, Plan::FullScan);
+        assert_eq!(slow.stats.returned, 0);
+        assert_eq!(slow.stats.examined, 200);
+        // The explanation carries the proof.
+        let explain = rel.explain(q);
+        assert_eq!(explain.plan, Plan::EmptyScan);
+        assert!(explain.proof.as_deref().unwrap().contains("vt − tt"));
+    }
+
+    #[test]
+    fn dropped_vt_residual_matches_full_predicate() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerRelation)
+            .build()
+            .unwrap();
+        let clock = clock_at(0);
+        let mut rel = IndexedRelation::new(schema, clock.clone());
+        let mut ids = Vec::new();
+        for i in 0..300_i64 {
+            clock.set(ts(i * 10 + 5));
+            ids.push(rel.insert(ObjectId::new(1), ts(i * 10), vec![]).unwrap());
+        }
+        // Delete a few inside the probe window: the currency check must
+        // still filter them even with the valid-time residual dropped.
+        clock.set(ts(10_000));
+        rel.delete(ids[105]).unwrap();
+        rel.delete(ids[107]).unwrap();
+        let q = Query::TimesliceRange { from: ts(1_000), to: ts(1_200) };
+        let fast = rel.execute(q);
+        assert_eq!(fast.stats.strategy, "append-order-search");
+        let slow = rel.execute_plan(q, Plan::FullScan);
+        assert_eq!(sorted_ids(&fast.elements), sorted_ids(&slow.elements));
+        assert_eq!(fast.stats.returned, 18); // 20 in window minus 2 deleted
+        let point = rel.execute(Query::Timeslice { vt: ts(1_050) });
+        assert_eq!(
+            sorted_ids(&point.elements),
+            sorted_ids(&rel.execute_plan(Query::Timeslice { vt: ts(1_050) }, Plan::FullScan).elements)
+        );
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod timeline;
 pub mod tql;
 
 pub use exec::{ExecStats, IndexedRelation, QueryResult};
-pub use optimizer::plan_query;
-pub use plan::{Plan, Query};
+pub use optimizer::{plan_query, plan_query_annotated};
+pub use plan::{AnnotatedPlan, Plan, Query, Residual};
 pub use tql::{parse_tql, TqlError, TqlStatement};

@@ -20,12 +20,62 @@
 
 use tempora_time::{TimeDelta, Timestamp};
 
+use tempora_analyze::predicate;
 use tempora_core::{RelationSchema, Stamping};
 use tempora_index::{select_index, IndexChoice};
 
-use crate::plan::{Plan, Query};
+use crate::plan::{AnnotatedPlan, Plan, Query, Residual};
 
-/// Plans a query against a schema.
+/// Plans a query against a schema, consulting the static analyzer's
+/// predicate prover first.
+///
+/// An always-false predicate (a valid time outside the declared periodic
+/// pattern, a bitemporal probe outside the admissible offset band, an
+/// inverted event window) short-circuits to [`Plan::EmptyScan`]; an
+/// always-true valid-time residual (an ordered event search whose slice
+/// *is* the predicate) is demoted to a currency-only check. Both carry
+/// their proof for `.explain`.
+#[must_use]
+pub fn plan_query_annotated(schema: &RelationSchema, query: Query) -> AnnotatedPlan {
+    let refutation = match query {
+        Query::Timeslice { vt } => predicate::refute_timeslice(schema, vt),
+        Query::TimesliceRange { from, to } => predicate::refute_range(schema, from, to),
+        Query::Bitemporal { tt, vt } => predicate::refute_bitemporal(schema, tt, vt),
+        Query::Current | Query::Rollback { .. } | Query::ObjectHistory { .. } => None,
+    };
+    if let Some(proof) = refutation {
+        return AnnotatedPlan::empty(proof);
+    }
+    let plan = plan_query(schema, query);
+    // Always-true residual: an append-order search over an event-stamped
+    // relation yields exactly the elements with begin ∈ [from, to), and an
+    // event's valid time *is* its begin — when the search window equals
+    // the query window the valid-time predicate is proven true for every
+    // yielded element, leaving only the currency check. (Bitemporal
+    // queries keep the full residual: the as-of check is independent.)
+    let window = match query {
+        Query::Timeslice { vt } => Some((vt, vt.saturating_add(TimeDelta::RESOLUTION))),
+        Query::TimesliceRange { from, to } => Some((from, to)),
+        _ => None,
+    };
+    if let (Some((qf, qt)), Plan::AppendOrderSearch { from, to }) = (window, plan) {
+        if schema.stamping() == Stamping::Event && from == qf && to == qt {
+            return AnnotatedPlan {
+                plan,
+                residual: Residual::CurrencyOnly,
+                proof: Some(format!(
+                    "append-order slice [{qf}, {qt}) equals the valid-time predicate \
+                     for event stamps; residual reduced to the currency check"
+                )),
+            };
+        }
+    }
+    AnnotatedPlan::plain(plan)
+}
+
+/// Plans a query against a schema (the access-path choice alone; see
+/// [`plan_query_annotated`] for the prover-aware entry point — this
+/// function never returns [`Plan::EmptyScan`]).
 #[must_use]
 pub fn plan_query(schema: &RelationSchema, query: Query) -> Plan {
     match query {
@@ -216,6 +266,71 @@ mod tests {
             plan_query(&schema, Query::TimesliceRange { from: ts(0), to: ts(10) }),
             Plan::AppendOrderSearch { .. }
         ));
+    }
+
+    #[test]
+    fn refuted_bitemporal_probe_plans_empty_scan() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::PredictivelyBounded {
+                bound: Bound::secs(30),
+            })
+            .build()
+            .unwrap();
+        // vt runs 100 s ahead of tt but the band caps the lead at 30 s.
+        let ap = plan_query_annotated(&schema, Query::Bitemporal { tt: ts(0), vt: ts(100) });
+        assert_eq!(ap.plan, Plan::EmptyScan);
+        assert!(ap.proof.is_some());
+        // An admissible probe plans normally.
+        let ok = plan_query_annotated(&schema, Query::Bitemporal { tt: ts(0), vt: ts(10) });
+        assert_ne!(ok.plan, Plan::EmptyScan);
+    }
+
+    #[test]
+    fn inverted_event_window_plans_empty_scan() {
+        let schema = RelationSchema::builder("r", Stamping::Event).build().unwrap();
+        let ap = plan_query_annotated(
+            &schema,
+            Query::TimesliceRange { from: ts(10), to: ts(5) },
+        );
+        assert_eq!(ap.plan, Plan::EmptyScan);
+        // Interval stamps can straddle an inverted residual window.
+        let iv = RelationSchema::builder("i", Stamping::Interval).build().unwrap();
+        let ap = plan_query_annotated(&iv, Query::TimesliceRange { from: ts(10), to: ts(5) });
+        assert_ne!(ap.plan, Plan::EmptyScan);
+    }
+
+    #[test]
+    fn ordered_event_search_drops_vt_residual() {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerRelation)
+            .build()
+            .unwrap();
+        let ap = plan_query_annotated(
+            &schema,
+            Query::TimesliceRange { from: ts(0), to: ts(10) },
+        );
+        assert!(matches!(ap.plan, Plan::AppendOrderSearch { .. }));
+        assert_eq!(ap.residual, crate::plan::Residual::CurrencyOnly);
+        assert!(ap.proof.is_some());
+        // Bitemporal queries keep the full residual (the as-of check).
+        let bi = plan_query_annotated(&schema, Query::Bitemporal { tt: ts(5), vt: ts(3) });
+        assert_eq!(bi.residual, crate::plan::Residual::Full);
+        // Interval-stamped ordered relations keep the full residual too:
+        // the widened slice over-approximates the window.
+        let weeks = RelationSchema::builder("weeks", Stamping::Interval)
+            .succession(SuccessionSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .interval_regularity(
+                IntervalRegularitySpec::new(
+                    IntervalRegularDimension::ValidTime,
+                    TimeDelta::from_days(7),
+                )
+                .strict(),
+            )
+            .build()
+            .unwrap();
+        let wp = plan_query_annotated(&weeks, Query::Timeslice { vt: ts(1_000_000) });
+        assert!(matches!(wp.plan, Plan::AppendOrderSearch { .. }));
+        assert_eq!(wp.residual, crate::plan::Residual::Full);
     }
 
     #[test]

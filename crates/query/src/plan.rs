@@ -110,6 +110,9 @@ pub enum Plan {
         /// The object surrogate.
         object: ObjectId,
     },
+    /// Touch nothing: the analyzer proved the predicate always-false
+    /// against the declared specializations, so the result is empty.
+    EmptyScan,
 }
 
 impl Plan {
@@ -124,6 +127,7 @@ impl Plan {
             Plan::PointProbe { .. } => "point-probe",
             Plan::IntervalProbe { .. } => "interval-probe",
             Plan::ObjectScan { .. } => "object-scan",
+            Plan::EmptyScan => "empty-scan",
         }
     }
 }
@@ -142,7 +146,76 @@ impl fmt::Display for Plan {
             Plan::PointProbe { from, to } => write!(f, "point-probe([{from}, {to}))"),
             Plan::IntervalProbe { from, to } => write!(f, "interval-probe([{from}, {to}))"),
             Plan::ObjectScan { object } => write!(f, "object-scan({object})"),
+            Plan::EmptyScan => f.write_str("empty-scan"),
         }
+    }
+}
+
+/// How much of the query predicate must still be evaluated per element
+/// after the chosen access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residual {
+    /// Apply the full query predicate to every fetched element.
+    Full,
+    /// The analyzer proved the valid-time part of the predicate always
+    /// true for every element the access path yields; only the currency
+    /// check (is the element undeleted?) remains.
+    CurrencyOnly,
+}
+
+impl fmt::Display for Residual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Residual::Full => "full predicate",
+            Residual::CurrencyOnly => "currency check only",
+        })
+    }
+}
+
+/// A physical plan plus what the static analyzer proved about it: the
+/// residual predicate strength, and — when the plan was rewritten on the
+/// strength of a proof (an always-false predicate short-circuited to
+/// [`Plan::EmptyScan`], or an always-true residual dropped) — the proof
+/// itself, rendered for `.explain`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotatedPlan {
+    /// The physical strategy.
+    pub plan: Plan,
+    /// How much of the predicate still runs per element.
+    pub residual: Residual,
+    /// The analyzer's justification, when a proof changed the plan.
+    pub proof: Option<String>,
+}
+
+impl AnnotatedPlan {
+    /// An unannotated plan: full residual, no proof.
+    #[must_use]
+    pub fn plain(plan: Plan) -> Self {
+        AnnotatedPlan {
+            plan,
+            residual: Residual::Full,
+            proof: None,
+        }
+    }
+
+    /// The provably-empty plan, carrying its proof.
+    #[must_use]
+    pub fn empty(proof: String) -> Self {
+        AnnotatedPlan {
+            plan: Plan::EmptyScan,
+            residual: Residual::CurrencyOnly,
+            proof: Some(proof),
+        }
+    }
+}
+
+impl fmt::Display for AnnotatedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.plan, self.residual)?;
+        if let Some(proof) = &self.proof {
+            write!(f, "\n  proof: {proof}")?;
+        }
+        Ok(())
     }
 }
 

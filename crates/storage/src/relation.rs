@@ -57,6 +57,11 @@ pub struct RelationStats {
     pub modifications: u64,
     /// Updates rejected by the constraint engine.
     pub rejections: u64,
+    /// Per-spec checks skipped across all admitted updates because
+    /// dead-constraint elimination proved them implied by another declared
+    /// spec (see `tempora_core::constraint::CompiledChecks`): the
+    /// admission work the static analyzer's TS005 verdict saved.
+    pub checks_elided: u64,
     /// Configured ingest shard count (see
     /// [`TemporalRelation::with_ingest_shards`]).
     pub shards: usize,
@@ -73,6 +78,7 @@ impl Default for RelationStats {
             deletes: 0,
             modifications: 0,
             rejections: 0,
+            checks_elided: 0,
             shards: 1,
             shard_rejections: vec![0],
         }
@@ -244,6 +250,8 @@ impl TemporalRelation {
         self.store_admitted(element)?;
         self.next_element += 1;
         self.stats.inserts += 1;
+        self.stats.checks_elided +=
+            u64::try_from(self.engine.compiled().elided_insert_events().len()).unwrap_or(0);
         Ok(id)
     }
 
@@ -400,6 +408,10 @@ impl TemporalRelation {
                     }
                     self.next_element += 1;
                     self.stats.inserts += 1;
+                    self.stats.checks_elided += u64::try_from(
+                        self.engine.compiled().elided_insert_events().len(),
+                    )
+                    .unwrap_or(0);
                     accepted.push(id);
                 }
                 Err(e) => {
@@ -448,6 +460,8 @@ impl TemporalRelation {
             log.log_delete(id, tt_d)?;
         }
         self.stats.deletes += 1;
+        self.stats.checks_elided +=
+            u64::try_from(self.engine.compiled().elided_delete_events().len()).unwrap_or(0);
         Ok(tt_d)
     }
 
@@ -685,6 +699,33 @@ mod tests {
         let mut trusting =
             TemporalRelation::new(schema2, clock_at(100)).with_enforcement(Enforcement::Trust);
         assert!(trusting.insert(ObjectId::new(1), ts(500), vec![]).is_ok());
+    }
+
+    #[test]
+    fn dead_constraint_elimination_counts_elided_checks() {
+        // 'delayed retroactive 30s' implies 'retroactive', so the compiled
+        // checks drop the latter; every admitted update skips one check.
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive {
+                delay: Bound::secs(30),
+            })
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let mut rel = TemporalRelation::new(schema, clock_at(1_000));
+        for i in 0..5 {
+            rel.insert(ObjectId::new(i), ts(900 + i as i64), vec![]).unwrap();
+        }
+        assert_eq!(rel.stats().checks_elided, 5);
+
+        // Without a redundant spec there is nothing to elide.
+        let lone = RelationSchema::builder("s", Stamping::Event)
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let mut lone_rel = TemporalRelation::new(lone, clock_at(1_000));
+        lone_rel.insert(ObjectId::new(1), ts(900), vec![]).unwrap();
+        assert_eq!(lone_rel.stats().checks_elided, 0);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! `tempora-lint` — batch static analysis over schema files: the CI face
+//! of `tempora-analyze`.
+//!
+//! ```text
+//! $ tempora-lint examples/schemas
+//! examples/schemas/monitoring.ddl: plant: clean (no diagnostics)
+//! $ tempora-lint --json examples/schemas | tee lint.json
+//! ```
+//!
+//! Usage: `tempora-lint [--json] <file.ddl | directory>…`
+//!
+//! Each `.ddl` file holds one or more `CREATE TEMPORAL RELATION`
+//! statements separated by `;`; lines starting with `--` are comments.
+//! Directories are scanned (non-recursively) for `.ddl` files. Statements
+//! are parsed without the builder's satisfiability gate so the analyzer
+//! sees broken schemas too and can explain *why* they are broken.
+//!
+//! Exit status: 0 when every schema is clean or carries only
+//! warnings/notes, 1 when any schema fails to parse or has an Error-level
+//! diagnostic (TS001–TS004) — wire it into CI as a gate.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tempora::analyze::analyze_schema;
+use tempora::design::parse_ddl_unchecked;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: tempora-lint [--json] <file.ddl | directory>…");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: tempora-lint [--json] <file.ddl | directory>…");
+        return ExitCode::from(2);
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            match collect_ddl_files(&path) {
+                Ok(found) => files.extend(found),
+                Err(e) => {
+                    eprintln!("error: cannot read directory {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(path);
+        }
+    }
+    files.sort();
+
+    let mut failed = false;
+    let mut entries: Vec<String> = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        for statement in statements(&text) {
+            match parse_ddl_unchecked(&statement) {
+                Ok(schema) => {
+                    let analysis = analyze_schema(&schema);
+                    failed |= analysis.has_errors();
+                    if json {
+                        entries.push(format!(
+                            "{{\"file\":\"{}\",\"analysis\":{}}}",
+                            escape(&file.display().to_string()),
+                            analysis.to_json()
+                        ));
+                    } else {
+                        println!("{}: {analysis}", file.display());
+                    }
+                }
+                Err(e) => {
+                    failed = true;
+                    if json {
+                        entries.push(format!(
+                            "{{\"file\":\"{}\",\"error\":\"{}\"}}",
+                            escape(&file.display().to_string()),
+                            escape(&e.to_string())
+                        ));
+                    } else {
+                        eprintln!("{}: parse error: {e}", file.display());
+                    }
+                }
+            }
+        }
+    }
+    if json {
+        println!("[{}]", entries.join(",\n "));
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The `.ddl` files directly inside `dir`.
+fn collect_ddl_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "ddl") {
+            found.push(path);
+        }
+    }
+    Ok(found)
+}
+
+/// Splits a schema file into statements: `--` comment lines are dropped,
+/// `;` separates statements, blank chunks are skipped.
+fn statements(text: &str) -> Vec<String> {
+    let stripped: String = text
+        .lines()
+        .filter(|line| !line.trim_start().starts_with("--"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    stripped
+        .split(';')
+        .map(str::trim)
+        .filter(|chunk| !chunk.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Minimal JSON string escaping for file names and error messages.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

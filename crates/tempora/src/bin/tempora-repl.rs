@@ -12,8 +12,9 @@
 //!   e0[o7] vt=1992-02-12T08:58:00 tt=[…]
 //! ```
 //!
-//! Meta-commands: `.relations`, `.report <relation>`, `.taxonomy`,
-//! `.help`, `.quit`. Statements may span lines by ending a line with `\`.
+//! Meta-commands: `.relations`, `.report <relation>`, `.lint [relation]`,
+//! `.explain SELECT …`, `.taxonomy`, `.help`, `.quit`. Statements may span
+//! lines by ending a line with `\`.
 
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
@@ -85,6 +86,33 @@ fn handle_meta(meta: &str, db: &Database) -> bool {
             None => eprintln!("usage: .report <relation>"),
         },
         "taxonomy" => println!("{}", report::taxonomy_overview()),
+        "lint" => match parts.next() {
+            Some(relation) => match db.lint(relation) {
+                Some(analysis) => println!("{analysis}"),
+                None => eprintln!("unknown relation {relation:?}"),
+            },
+            None => {
+                let analyses = db.lint_all();
+                if analyses.is_empty() {
+                    println!("no relations to lint");
+                }
+                for analysis in analyses {
+                    println!("{analysis}");
+                }
+            }
+        },
+        "explain" => {
+            // The remainder of the line is a TQL SELECT statement.
+            let tql = parts.collect::<Vec<_>>().join(" ");
+            if tql.is_empty() {
+                eprintln!("usage: .explain SELECT FROM <relation> …");
+            } else {
+                match db.explain(&tql) {
+                    Ok(annotated) => println!("{annotated}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+        }
         "shards" => {
             let relation = parts.next();
             let shards = parts.next().and_then(|n| n.parse::<usize>().ok());
@@ -105,7 +133,7 @@ fn handle_meta(meta: &str, db: &Database) -> bool {
         }
         "help" => {
             println!(
-                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .shards <r> <n>  .taxonomy  .quit"
+                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .lint [r]  .explain SELECT …  .shards <r> <n>  .taxonomy  .quit"
             );
         }
         other => eprintln!("unknown meta-command .{other} (try .help)"),

@@ -43,6 +43,8 @@
 //! * [`storage`] — tuple store, backlog, append log,
 //!   the [`TemporalRelation`](tempora_storage::TemporalRelation) façade, vacuuming;
 //! * [`index`] — point index, interval tree, tt-proxy;
+//! * [`analyze`] — design-time static analysis: schema
+//!   satisfiability, redundancy, and predicate proofs (TS0xx diagnostics);
 //! * [`query`] — plans, the specialization-driven
 //!   optimizer, [`IndexedRelation`];
 //! * [`design`] — DDL, catalog, design advisor, reports;
@@ -52,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tempora_analyze as analyze;
 pub use tempora_core as core;
 pub use tempora_design as design;
 pub use tempora_index as index;

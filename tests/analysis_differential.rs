@@ -1,0 +1,194 @@
+//! Differential property tests for the static analyzer: every verdict it
+//! hands out is checked against the runtime — the constraint engine, the
+//! compiled fast paths, and the executor. The analyzer may only prove
+//! things the system actually does.
+//!
+//! * Unsatisfiable (TS001) ⇒ the engine rejects **every** insertion.
+//! * Redundant (TS005) ⇒ the compiled checks drop the implied spec, and
+//!   dropping it from the schema changes no admission decision.
+//! * Always-false predicate ⇒ the empty-scan plan returns exactly what
+//!   the unoptimized full scan returns (nothing).
+//! * Always-true residual ⇒ the reduced predicate returns exactly the
+//!   full predicate's rows.
+
+use proptest::prelude::*;
+
+use std::sync::Arc;
+
+use tempora::analyze::{analyze_schema, predicate};
+use tempora::core::constraint::CompiledChecks;
+use tempora::prelude::*;
+
+fn sorted_ids(elements: &[Element]) -> Vec<ElementId> {
+    let mut v: Vec<ElementId> = elements.iter().map(|e| e.id).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An analyzer-proven unsatisfiable schema admits nothing: whatever
+    /// valid time an insert claims, the engine rejects it.
+    #[test]
+    fn ts001_means_every_insert_is_rejected(
+        delay in 1_i64..=1_000,
+        lead in 1_i64..=1_000,
+        offsets in prop::collection::vec(-2_000_i64..=2_000, 1..40),
+    ) {
+        // delay > 0 forces vt ≤ tt − delay; lead > 0 forces vt ≥ tt + lead:
+        // the admissible region is empty.
+        let schema = RelationSchema::builder("doomed", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive { delay: Bound::secs(delay) })
+            .event_spec(EventSpec::EarlyPredictive { lead: Bound::secs(lead) })
+            .build_unchecked()
+            .expect("per-spec validation passes");
+        let analysis = analyze_schema(&schema);
+        prop_assert!(analysis.has_errors());
+        prop_assert!(analysis.diagnostics.iter().any(|d| d.code.as_str() == "TS001"));
+
+        let clock = Arc::new(ManualClock::new(Timestamp::from_secs(10_000)));
+        let mut rel = TemporalRelation::new(schema, clock.clone());
+        for (i, off) in offsets.iter().enumerate() {
+            let tt = Timestamp::from_secs(10_000 + i64::try_from(i).unwrap());
+            clock.set(tt);
+            let vt = tt + TimeDelta::from_secs(*off);
+            prop_assert!(
+                rel.insert(ObjectId::new(1), vt, vec![]).is_err(),
+                "offset {off} must be rejected"
+            );
+        }
+        prop_assert_eq!(rel.len(), 0);
+    }
+
+    /// A TS005 redundancy verdict is behavior-preserving: the compiled
+    /// checks elide the implied spec, and a schema without it admits and
+    /// rejects exactly the same records.
+    #[test]
+    fn ts005_redundancy_changes_no_admission_decision(
+        delay in 1_i64..=500,
+        offsets in prop::collection::vec(-1_500_i64..=1_500, 1..60),
+    ) {
+        let with_redundant = RelationSchema::builder("full", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive { delay: Bound::secs(delay) })
+            .event_spec(EventSpec::Retroactive)
+            .build()
+            .unwrap();
+        let minimal = RelationSchema::builder("minimal", Stamping::Event)
+            .event_spec(EventSpec::DelayedRetroactive { delay: Bound::secs(delay) })
+            .build()
+            .unwrap();
+
+        let analysis = analyze_schema(&with_redundant);
+        prop_assert!(!analysis.has_errors());
+        prop_assert!(analysis.diagnostics.iter().any(|d| d.code.as_str() == "TS005"));
+        let compiled = CompiledChecks::compile(&with_redundant);
+        prop_assert_eq!(compiled.elided_insert_events(), &[EventSpec::Retroactive]);
+
+        let clock_a = Arc::new(ManualClock::new(Timestamp::from_secs(10_000)));
+        let clock_b = Arc::new(ManualClock::new(Timestamp::from_secs(10_000)));
+        let mut a = TemporalRelation::new(with_redundant, clock_a.clone());
+        let mut b = TemporalRelation::new(minimal, clock_b.clone());
+        for (i, off) in offsets.iter().enumerate() {
+            let tt = Timestamp::from_secs(10_000 + i64::try_from(i).unwrap());
+            clock_a.set(tt);
+            clock_b.set(tt);
+            let vt = tt + TimeDelta::from_secs(*off);
+            let ra = a.insert(ObjectId::new(1), vt, vec![]);
+            let rb = b.insert(ObjectId::new(1), vt, vec![]);
+            prop_assert_eq!(ra.is_ok(), rb.is_ok(), "offset {} diverged", off);
+        }
+        prop_assert_eq!(a.len(), b.len());
+        // Every admitted record skipped exactly the one elided check.
+        prop_assert_eq!(a.stats().checks_elided, a.stats().inserts);
+        prop_assert_eq!(b.stats().checks_elided, 0);
+    }
+
+    /// An always-false bitemporal predicate short-circuits to an empty
+    /// scan whose answer equals the unoptimized full scan's.
+    #[test]
+    fn refuted_predicates_agree_with_the_full_scan(
+        bound in 1_i64..=300,
+        offsets in prop::collection::vec(0_i64..=300, 1..80),
+        probe_tt in 0_i64..20_000,
+        slack in 1_i64..=5_000,
+    ) {
+        let schema = RelationSchema::builder("r", Stamping::Event)
+            .event_spec(EventSpec::PredictivelyBounded { bound: Bound::secs(bound) })
+            .build()
+            .unwrap();
+        let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+        let mut rel = IndexedRelation::new(schema.clone(), clock.clone());
+        for (i, off) in offsets.iter().enumerate() {
+            let tt = Timestamp::from_secs(i64::try_from(i).unwrap() * 100 + 100);
+            clock.set(tt);
+            let vt = tt + TimeDelta::from_secs((*off).min(bound));
+            rel.insert(ObjectId::new(u64::try_from(i % 5).unwrap()), vt, vec![])
+                .unwrap();
+        }
+        // A probe whose valid time exceeds tt + bound is refutable.
+        let tt = Timestamp::from_secs(probe_tt);
+        let vt = tt + TimeDelta::from_secs(bound + slack);
+        prop_assert!(predicate::refute_bitemporal(&schema, tt, vt).is_some());
+        let q = Query::Bitemporal { tt, vt };
+        let fast = rel.execute(q);
+        let slow = rel.execute_plan(q, Plan::FullScan);
+        prop_assert_eq!(fast.stats.strategy, "empty-scan");
+        prop_assert_eq!(fast.stats.examined, 0);
+        prop_assert_eq!(sorted_ids(&fast.elements), sorted_ids(&slow.elements));
+        prop_assert!(slow.elements.is_empty());
+    }
+
+    /// When the planner proves the valid-time predicate always true over
+    /// the append-order slice (event stamps, exact window), the reduced
+    /// residual returns exactly the rows the full predicate returns —
+    /// including after deletions, which the remaining currency check must
+    /// still filter.
+    #[test]
+    fn currency_only_residual_agrees_with_full_predicate(
+        vts in prop::collection::vec(0_i64..=10_000, 1..80),
+        deletions in prop::collection::vec(any::<bool>(), 80),
+        from in 0_i64..=10_000,
+        width in 1_i64..=4_000,
+    ) {
+        let schema = RelationSchema::builder("log", Stamping::Event)
+            .ordering(OrderingSpec::GloballyNonDecreasing, Basis::PerRelation)
+            .build()
+            .unwrap();
+        let mut vts = vts;
+        vts.sort_unstable();
+        let clock = Arc::new(ManualClock::new(Timestamp::EPOCH));
+        let mut rel = IndexedRelation::new(schema, clock.clone());
+        let mut ids = Vec::new();
+        for (i, vt) in vts.iter().enumerate() {
+            clock.set(Timestamp::from_secs(20_000 + i64::try_from(i).unwrap()));
+            ids.push(
+                rel.insert(
+                    ObjectId::new(u64::try_from(i).unwrap()),
+                    Timestamp::from_secs(*vt),
+                    vec![],
+                )
+                .unwrap(),
+            );
+        }
+        clock.set(Timestamp::from_secs(40_000));
+        for (id, doomed) in ids.iter().zip(&deletions) {
+            if *doomed {
+                rel.delete(*id).unwrap();
+            }
+        }
+        let q = Query::TimesliceRange {
+            from: Timestamp::from_secs(from),
+            to: Timestamp::from_secs(from + width),
+        };
+        let annotated = rel.explain(q);
+        let fast = rel.execute(q);
+        let slow = rel.execute_plan(q, Plan::FullScan);
+        prop_assert_eq!(sorted_ids(&fast.elements), sorted_ids(&slow.elements));
+        // On this schema the window really was proven (exact append-order
+        // slice), so the fast path ran the reduced residual.
+        if annotated.plan.strategy_name() == "append-order-search" {
+            prop_assert!(annotated.proof.is_some());
+        }
+    }
+}

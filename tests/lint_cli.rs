@@ -1,0 +1,85 @@
+//! End-to-end tests of the `tempora-lint` binary: the CI schema gate.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tempora-lint"))
+        .args(args)
+        .output()
+        .expect("lint binary runs")
+}
+
+fn schemas_dir() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/schemas")
+        .display()
+        .to_string()
+}
+
+#[test]
+fn example_schemas_pass_the_gate() {
+    let output = run_lint(&[&schemas_dir()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "example schemas must lint clean of errors: {stdout}"
+    );
+    // Every example relation is analyzed …
+    for relation in ["plant", "salary", "trades", "audit", "audit_archive"] {
+        assert!(stdout.contains(relation), "missing {relation}: {stdout}");
+    }
+    // … and the deliberately redundant archive schema shows its warning
+    // without failing the run.
+    assert!(stdout.contains("TS005"), "{stdout}");
+}
+
+#[test]
+fn json_mode_emits_machine_readable_diagnostics() {
+    let output = run_lint(&["--json", &schemas_dir()]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.trim_end().ends_with(']'), "{stdout}");
+    assert!(stdout.contains("\"relation\":\"plant\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"TS005\""), "{stdout}");
+}
+
+#[test]
+fn unsatisfiable_schema_fails_the_gate() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_cli_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("bad.ddl");
+    std::fs::write(
+        &file,
+        "CREATE TEMPORAL RELATION doomed (k KEY) AS EVENT\n\
+         WITH DELAYED RETROACTIVE 10s AND EARLY PREDICTIVE 10s\n",
+    )
+    .unwrap();
+    let text = run_lint(&[&file.display().to_string()]);
+    assert!(!text.status.success(), "TS001 must fail the gate");
+    assert!(String::from_utf8_lossy(&text.stdout).contains("TS001"));
+
+    let json = run_lint(&["--json", &file.display().to_string()]);
+    assert!(!json.status.success());
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.contains("\"code\":\"TS001\""), "{stdout}");
+    assert!(stdout.contains("\"hint\":\""), "{stdout}");
+}
+
+#[test]
+fn parse_failures_are_reported_and_fatal() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_cli_syntax");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("nonsense.ddl");
+    std::fs::write(&file, "CREATE TEMPORAL GIBBERISH\n").unwrap();
+    let output = run_lint(&["--json", &file.display().to_string()]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("\"error\":"));
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let output = run_lint(&[]);
+    assert_eq!(output.status.code(), Some(2));
+}

@@ -72,6 +72,40 @@ fn multi_line_statements_and_reports() {
 }
 
 #[test]
+fn lint_and_explain_meta_commands() {
+    let (stdout, stderr) = run_script(
+        "CREATE TEMPORAL RELATION sensor (k KEY) AS EVENT WITH DELAYED RETROACTIVE 30s AND RETROACTIVE\n\
+         .lint sensor\n\
+         .lint\n\
+         .explain SELECT FROM sensor AT 1992-02-12T09:00:00 AS OF 1992-02-12T09:00:00\n\
+         .explain SELECT FROM sensor AT 1992-02-12T09:00:00\n\
+         .quit\n",
+    );
+    // The redundant RETROACTIVE clause warns, with and without an argument.
+    assert_eq!(stdout.matches("TS005").count(), 2, "{stdout}");
+    // Probing vt = tt on a relation whose facts arrive ≥ 30 s late is
+    // proven empty before touching the store …
+    assert!(stdout.contains("empty-scan"), "{stdout}");
+    assert!(stdout.contains("proof:"), "{stdout}");
+    // … while a contingent probe shows its real access path.
+    assert!(stdout.contains("full predicate"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn unsatisfiable_ddl_is_rejected_with_diagnostics() {
+    let (stdout, stderr) = run_script(
+        "CREATE TEMPORAL RELATION doomed (k KEY) AS EVENT \\\n\
+         WITH DELAYED RETROACTIVE 10s AND EARLY PREDICTIVE 10s\n\
+         .relations\n\
+         .quit\n",
+    );
+    assert!(stderr.contains("TS001"), "{stderr}");
+    assert!(stderr.contains("hint"), "{stderr}");
+    assert!(!stdout.contains("doomed"), "nothing created: {stdout}");
+}
+
+#[test]
 fn bad_meta_and_bad_statements_do_not_crash() {
     let (stdout, stderr) = run_script(
         ".bogus\n\
