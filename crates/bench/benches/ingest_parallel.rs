@@ -138,11 +138,76 @@ fn bench_dead_constraint_elimination(c: &mut Criterion) {
     group.finish();
 }
 
+/// Metrics-overhead guard: the instrumented `apply_batch` path must stay
+/// within 5% of the same path with the no-op recorder
+/// (`tempora::obs::set_enabled(false)`). The batched-tally design in
+/// `ConstraintEngine` keeps per-record cost at plain integer adds, so the
+/// only enabled-path extras are a handful of atomics and histogram locks
+/// per *batch* — this guard is what keeps it that way.
+///
+/// Criterion's shim reports means but cannot compare or assert, so the
+/// guard self-measures: interleaved enabled/disabled rounds (so drift hits
+/// both sides equally), median-of-21, plus a small absolute slack because
+/// a single 8k batch runs 1–2 ms and scheduler noise alone exceeds 5% of
+/// that on a busy host.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let (schema, records, stamps) = build_batch();
+    let run_once = |enabled: bool| -> u64 {
+        tempora::obs::set_enabled(enabled);
+        let clock = Arc::new(ReplayClock::new(stamps.clone()));
+        let mut rel =
+            TemporalRelation::new(Arc::clone(&schema), clock).with_ingest_shards(4);
+        let start = std::time::Instant::now();
+        let report = rel.apply_batch(records.clone());
+        let micros = u64::try_from(start.elapsed().as_micros()).expect("fits");
+        assert!(report.all_accepted(), "bench batch must conform");
+        black_box(rel.len());
+        micros
+    };
+    for _ in 0..3 {
+        run_once(false);
+        run_once(true);
+    }
+    const ROUNDS: usize = 21;
+    let mut off = Vec::with_capacity(ROUNDS);
+    let mut on = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        off.push(run_once(false));
+        on.push(run_once(true));
+    }
+    tempora::obs::set_enabled(true);
+    off.sort_unstable();
+    on.sort_unstable();
+    let (med_off, med_on) = (off[ROUNDS / 2], on[ROUNDS / 2]);
+    let budget = med_off + med_off / 20 + 200;
+    println!(
+        "metrics_overhead_guard: median apply_batch 8k×4-shard \
+         enabled={med_on}µs disabled={med_off}µs budget={budget}µs"
+    );
+    assert!(
+        med_on <= budget,
+        "metrics overhead guard: enabled {med_on}µs exceeds \
+         disabled {med_off}µs + 5% + 200µs slack"
+    );
+
+    // Also surface both sides as ordinary benches for the report.
+    let mut group = c.benchmark_group("ingest_8k_metrics");
+    group.sample_size(10);
+    for (name, enabled) in [("recorder_on", true), ("recorder_off", false)] {
+        group.bench_function(name, |b| {
+            tempora::obs::set_enabled(enabled);
+            b.iter(|| black_box(run_once(enabled)));
+        });
+    }
+    tempora::obs::set_enabled(true);
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_ingest_parallel, bench_dead_constraint_elimination
+    targets = bench_ingest_parallel, bench_dead_constraint_elimination, bench_metrics_overhead
 }
 criterion_main!(benches);

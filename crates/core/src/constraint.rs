@@ -231,6 +231,13 @@ impl CompiledCheck {
             CompiledCheck::Interpreted { spec, granularity } => spec.holds(vt, tt, granularity),
         }
     }
+
+    /// Whether this check re-enters the spec interpreter per element
+    /// (calendric bounds) instead of a compiled monomorphic fast path.
+    #[must_use]
+    pub fn is_interpreted(&self) -> bool {
+        matches!(self, CompiledCheck::Interpreted { .. })
+    }
 }
 
 /// The redundant declarations in a list of specs sharing one transaction-
@@ -276,6 +283,12 @@ pub struct CompiledChecks {
     elided_inserts: Vec<EventSpec>,
     /// Deletion-referenced specs elided as dead constraints.
     elided_deletes: Vec<EventSpec>,
+    /// Of the live insertion checks, how many run a compiled fast path
+    /// vs re-enter the interpreter — cached at compile time so the
+    /// admission tally costs two integer adds per element.
+    insert_profile: CheckTally,
+    /// The same split for the live deletion checks.
+    delete_profile: CheckTally,
 }
 
 impl CompiledChecks {
@@ -324,12 +337,36 @@ impl CompiledChecks {
         };
         let (insert_events, elided_inserts) = by_ref(TtReference::Insertion);
         let (delete_events, elided_deletes) = by_ref(TtReference::Deletion);
+        let profile = |events: &[(EventSpec, CompiledCheck)]| {
+            let interpreted = events.iter().filter(|(_, c)| c.is_interpreted()).count() as u64;
+            CheckTally {
+                compiled_hits: events.len() as u64 - interpreted,
+                interpreted_fallbacks: interpreted,
+            }
+        };
+        let insert_profile = profile(&insert_events);
+        let delete_profile = profile(&delete_events);
         CompiledChecks {
             insert_events,
             delete_events,
             elided_inserts,
             elided_deletes,
+            insert_profile,
+            delete_profile,
         }
+    }
+
+    /// Per-element check profile of the live insertion checks: how many
+    /// take a compiled fast path vs fall back to the interpreter.
+    #[must_use]
+    pub fn insert_profile(&self) -> CheckTally {
+        self.insert_profile
+    }
+
+    /// Per-element check profile of the live deletion checks.
+    #[must_use]
+    pub fn delete_profile(&self) -> CheckTally {
+        self.delete_profile
     }
 
     /// The compiled insertion-referenced checks.
@@ -387,6 +424,53 @@ impl<C: Clone> PartitionedState<C> {
     }
 }
 
+/// Running totals of admission-path check executions, split by whether
+/// the check ran a compiled monomorphic fast path or re-entered the
+/// calendric interpreter.
+///
+/// The tally lives on the [`ConstraintEngine`] as plain integers — the
+/// admission hot path never touches an atomic — and is flushed to the
+/// global metrics registry in one step by
+/// [`ConstraintEngine::publish_check_metrics`] (typically once per batch
+/// or per single-record operation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckTally {
+    /// Checks served by a compiled fast path (band / degenerate / pass).
+    pub compiled_hits: u64,
+    /// Checks that fell back to interpreting the spec per element.
+    pub interpreted_fallbacks: u64,
+}
+
+impl CheckTally {
+    /// Fold another tally into this one (used when absorbing a shard).
+    pub fn merge(&mut self, other: CheckTally) {
+        self.compiled_hits += other.compiled_hits;
+        self.interpreted_fallbacks += other.interpreted_fallbacks;
+    }
+
+    /// Whether nothing has been tallied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == CheckTally::default()
+    }
+}
+
+/// Cached handles for the check counters so publishing skips the
+/// registry lookup.
+mod check_metrics {
+    use std::sync::{Arc, OnceLock};
+
+    pub(super) fn compiled_hits() -> &'static Arc<tempora_obs::Counter> {
+        static C: OnceLock<Arc<tempora_obs::Counter>> = OnceLock::new();
+        C.get_or_init(|| tempora_obs::counter("tempora_check_compiled_hits_total"))
+    }
+
+    pub(super) fn interpreted_fallbacks() -> &'static Arc<tempora_obs::Counter> {
+        static C: OnceLock<Arc<tempora_obs::Counter>> = OnceLock::new();
+        C.get_or_init(|| tempora_obs::counter("tempora_check_interpreted_fallbacks_total"))
+    }
+}
+
 /// The constraint engine for one relation.
 ///
 /// Wraps the relation's schema plus the incremental state of all declared
@@ -400,6 +484,7 @@ pub struct ConstraintEngine {
     orderings: Vec<PartitionedState<OrderingChecker>>,
     regularities: Vec<PartitionedState<RegularityChecker>>,
     successions: Vec<PartitionedState<SuccessionChecker>>,
+    tally: CheckTally,
 }
 
 impl ConstraintEngine {
@@ -445,7 +530,30 @@ impl ConstraintEngine {
             orderings,
             regularities,
             successions,
+            tally: CheckTally::default(),
         }
+    }
+
+    /// The engine's unpublished check tally.
+    #[must_use]
+    pub fn check_tally(&self) -> CheckTally {
+        self.tally
+    }
+
+    /// Flushes the engine's check tally into the global metrics registry
+    /// (`tempora_check_compiled_hits_total` and
+    /// `tempora_check_interpreted_fallbacks_total`) and zeroes it.
+    ///
+    /// The tally accumulates as plain integer adds during admission;
+    /// callers flush once per batch or per single-record operation so the
+    /// hot path stays atomic-free.
+    pub fn publish_check_metrics(&mut self) {
+        if self.tally.is_empty() {
+            return;
+        }
+        check_metrics::compiled_hits().add(self.tally.compiled_hits);
+        check_metrics::interpreted_fallbacks().add(self.tally.interpreted_fallbacks);
+        self.tally = CheckTally::default();
     }
 
     /// The schema this engine enforces.
@@ -529,6 +637,7 @@ impl ConstraintEngine {
                     .iter()
                     .map(|s| PartitionedState::new(s.basis))
                     .collect(),
+                tally: CheckTally::default(),
             })
             .collect();
         fn deal<C>(
@@ -582,6 +691,7 @@ impl ConstraintEngine {
         for (state, child) in self.successions.iter_mut().zip(shard.successions) {
             state.checkers.extend(child.checkers);
         }
+        self.tally.merge(shard.tally);
     }
 
     /// Checks an element about to be inserted; on success the engine's
@@ -629,6 +739,7 @@ impl ConstraintEngine {
                 // Compiled fast paths: `admits` is a branch on two i64s for
                 // every fixed-offset specialization; the interpreter is only
                 // re-entered on failure, to produce the diagnostic text.
+                self.tally.merge(self.compiled.insert_profile());
                 for (spec, check) in self.compiled.insert_events() {
                     if !check.admits(vt, tt) {
                         let detail = spec.check(vt, tt, gran).err().unwrap_or_else(|| {
@@ -754,6 +865,7 @@ impl ConstraintEngine {
         };
         match element.valid {
             ValidTime::Event(vt) => {
+                self.tally.merge(self.compiled.delete_profile());
                 for (spec, check) in self.compiled.delete_events() {
                     if !check.admits(vt, tt_d) {
                         let detail = spec.check(vt, tt_d, gran).err().unwrap_or_else(|| {

@@ -202,6 +202,21 @@ impl Database {
         self.relations.read().keys().cloned().collect()
     }
 
+    /// A point-in-time snapshot of the process-wide metrics registry:
+    /// ingest stage timings, compiled-check hit counters, planner
+    /// decisions, query operator latencies, vacuum/cache/backlog
+    /// activity (see `docs/observability.md` for the catalog).
+    ///
+    /// The registry is process-global — a deployment embedding several
+    /// `Database` instances observes their combined totals. Render with
+    /// `Display` for humans or
+    /// [`to_prometheus`](tempora_obs::MetricsSnapshot::to_prometheus)
+    /// for scrapers.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> tempora_obs::MetricsSnapshot {
+        tempora_obs::snapshot()
+    }
+
     /// The schema of a relation.
     #[must_use]
     pub fn schema(&self, relation: &str) -> Option<Arc<RelationSchema>> {

@@ -246,6 +246,8 @@ impl IndexedRelation {
 
     fn run(&self, query: Query, plan: Plan, residual: Residual) -> QueryResult {
         let strategy = plan.strategy_name();
+        let _span = tempora_obs::span_with("query-execute", strategy);
+        let sw = tempora_obs::Stopwatch::start();
         let mut examined = 0usize;
         let mut elements: Vec<Element> = Vec::new();
         let predicate: Box<dyn Fn(&Element) -> bool> = match residual {
@@ -350,6 +352,13 @@ impl IndexedRelation {
             }
             Plan::EmptyScan => {}
         }
+        // Per-operator execution latency, keyed by the plan's strategy
+        // name (`tempora_query_exec_seconds{operator=…}`).
+        sw.record(&tempora_obs::histogram_with(
+            "tempora_query_exec_seconds",
+            "operator",
+            strategy,
+        ));
         let returned = elements.len();
         QueryResult {
             elements,

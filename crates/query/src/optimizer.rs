@@ -44,6 +44,7 @@ pub fn plan_query_annotated(schema: &RelationSchema, query: Query) -> AnnotatedP
         Query::Current | Query::Rollback { .. } | Query::ObjectHistory { .. } => None,
     };
     if let Some(proof) = refutation {
+        planner_decision("empty-scan").inc();
         return AnnotatedPlan::empty(proof);
     }
     let plan = plan_query(schema, query);
@@ -60,6 +61,7 @@ pub fn plan_query_annotated(schema: &RelationSchema, query: Query) -> AnnotatedP
     };
     if let (Some((qf, qt)), Plan::AppendOrderSearch { from, to }) = (window, plan) {
         if schema.stamping() == Stamping::Event && from == qf && to == qt {
+            planner_decision("currency-only").inc();
             return AnnotatedPlan {
                 plan,
                 residual: Residual::CurrencyOnly,
@@ -70,7 +72,25 @@ pub fn plan_query_annotated(schema: &RelationSchema, query: Query) -> AnnotatedP
             };
         }
     }
+    planner_decision("full-residual").inc();
     AnnotatedPlan::plain(plan)
+}
+
+/// Cached handles for the three planner-decision counters
+/// (`tempora_planner_decisions_total{decision=…}`).
+fn planner_decision(decision: &'static str) -> &'static std::sync::Arc<tempora_obs::Counter> {
+    use std::sync::{Arc, OnceLock};
+    static EMPTY: OnceLock<Arc<tempora_obs::Counter>> = OnceLock::new();
+    static CURRENCY: OnceLock<Arc<tempora_obs::Counter>> = OnceLock::new();
+    static FULL: OnceLock<Arc<tempora_obs::Counter>> = OnceLock::new();
+    let slot = match decision {
+        "empty-scan" => &EMPTY,
+        "currency-only" => &CURRENCY,
+        _ => &FULL,
+    };
+    slot.get_or_init(|| {
+        tempora_obs::counter_with("tempora_planner_decisions_total", "decision", decision)
+    })
 }
 
 /// Plans a query against a schema (the access-path choice alone; see

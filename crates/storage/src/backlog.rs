@@ -118,6 +118,7 @@ impl Backlog {
             deleted: None,
             stored: Some(element),
         });
+        crate::metrics::backlog_inserts().inc();
         Ok(())
     }
 
@@ -134,6 +135,7 @@ impl Backlog {
             deleted: Some(id),
             stored: None,
         });
+        crate::metrics::backlog_deletes().inc();
         Ok(())
     }
 
@@ -157,6 +159,7 @@ impl Backlog {
             deleted: Some(old),
             stored: Some(new),
         });
+        crate::metrics::backlog_modifies().inc();
         Ok(())
     }
 

@@ -101,6 +101,8 @@ impl StateCache {
         }
         self.as_of = to;
         self.ops_applied += applied as u64;
+        crate::metrics::cache_refreshes().inc();
+        crate::metrics::cache_ops_applied().add(applied as u64);
         applied
     }
 

@@ -15,6 +15,36 @@
 //! schema and routes the whole batch through the sequential stage instead.
 //! See `DESIGN.md` for the full routing rules.
 //!
+//! ```
+//! use std::sync::Arc;
+//! use tempora_core::spec::event::EventSpec;
+//! use tempora_core::{ObjectId, RelationSchema, Stamping};
+//! use tempora_storage::{BatchRecord, TemporalRelation};
+//! use tempora_time::{ManualClock, Timestamp};
+//!
+//! // A retroactive relation sharded four ways: records only ever arrive
+//! // after their valid time, and no relation-global constraint blocks
+//! // partitioning, so the check stage may run shard-parallel.
+//! let schema = RelationSchema::builder("plant", Stamping::Event)
+//!     .event_spec(EventSpec::Retroactive)
+//!     .build()?;
+//! let clock = Arc::new(ManualClock::new(Timestamp::from_secs(1_000)));
+//! let mut relation = TemporalRelation::new(schema, clock).with_ingest_shards(4);
+//!
+//! let batch: Vec<BatchRecord> = (0..100_u64)
+//!     .map(|i| BatchRecord::new(ObjectId::new(i % 8), Timestamp::from_secs(i as i64)))
+//!     .collect();
+//! let report = relation.apply_batch(batch);
+//! assert!(report.all_accepted());
+//! assert_eq!(report.shards_used, 4);
+//!
+//! // Stage timings and admission counters land in the global `tempora-obs`
+//! // registry (see docs/observability.md for the catalog).
+//! let snapshot = tempora_obs::snapshot();
+//! assert!(snapshot.counter_total("tempora_ingest_records_total") >= 100);
+//! # Ok::<(), tempora_core::CoreError>(())
+//! ```
+//!
 //! [`Basis::PerRelation`]: tempora_core::Basis::PerRelation
 //! [`TemporalRelation::apply_batch`]: crate::TemporalRelation::apply_batch
 

@@ -36,6 +36,7 @@ mod attribute_store;
 mod backlog;
 mod cache;
 pub mod ingest;
+mod metrics;
 mod relation;
 mod tuple_store;
 pub mod vacuum;

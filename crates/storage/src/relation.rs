@@ -172,6 +172,7 @@ impl TemporalRelation {
         self.ingest_shards = shards;
         self.stats.shards = shards;
         self.stats.shard_rejections = vec![0; shards];
+        crate::metrics::ingest_shards().set(i64::try_from(shards).unwrap_or(i64::MAX));
     }
 
     /// The configured ingest shard count.
@@ -226,7 +227,9 @@ impl TemporalRelation {
         attrs: Vec<(AttrName, Value)>,
     ) -> Result<ElementId, CoreError> {
         let tt = self.clock.tick();
-        self.insert_stamped(object, valid.into(), attrs, tt)
+        let result = self.insert_stamped(object, valid.into(), attrs, tt);
+        self.engine.publish_check_metrics();
+        result
     }
 
     /// [`Self::insert`] with the transaction time already drawn from the
@@ -299,15 +302,25 @@ impl TemporalRelation {
     /// the main thread then applies the decisions — surrogate assignment,
     /// store and backlog writes, counters — in batch order.
     pub fn apply_batch(&mut self, records: Vec<BatchRecord>) -> BatchReport {
+        let _span = tempora_obs::span_with(
+            "apply-batch",
+            format!("{}, {} records", self.schema.name(), records.len()),
+        );
         let shards = self.ingest_shards;
         // One clock tick per record, drawn up front and consumed whether or
         // not the record is accepted — identical to sequential insertion.
+        let sw_stamp = tempora_obs::Stopwatch::start();
         let stamps: Vec<Timestamp> = records.iter().map(|_| self.clock.tick()).collect();
+        sw_stamp.record(crate::metrics::stage_stamp());
         let parallel = shards > 1
             && records.len() > shards
             && self.enforcement == Enforcement::Enforce
             && self.engine.is_shard_partitionable();
         if !parallel {
+            // Admission and application are interleaved per record here, so
+            // the whole loop is attributed to the apply stage (the catalog
+            // in docs/observability.md notes this).
+            let sw_apply = tempora_obs::Stopwatch::start();
             let mut accepted = Vec::new();
             let mut rejected = Vec::new();
             for (idx, (record, tt)) in records.into_iter().zip(stamps).enumerate() {
@@ -316,6 +329,11 @@ impl TemporalRelation {
                     Err(e) => rejected.push((idx, e)),
                 }
             }
+            sw_apply.record(crate::metrics::stage_apply());
+            self.engine.publish_check_metrics();
+            crate::metrics::batches_sequential().inc();
+            crate::metrics::records_accepted().add(accepted.len() as u64);
+            crate::metrics::records_rejected().add(rejected.len() as u64);
             return BatchReport {
                 accepted,
                 rejected,
@@ -326,6 +344,7 @@ impl TemporalRelation {
 
         // Check stage: partition by object, check each shard in parallel
         // against its split-off slice of the engine's per-object state.
+        let sw_check = tempora_obs::Stopwatch::start();
         let objects: Vec<ObjectId> = records.iter().map(|r| r.object).collect();
         let mut work: Vec<Vec<(usize, BatchRecord, Timestamp)>> = vec![Vec::new(); shards];
         for (idx, (record, tt)) in records.into_iter().zip(stamps).enumerate() {
@@ -346,6 +365,8 @@ impl TemporalRelation {
             ConstraintEngine,
             Vec<(usize, BatchRecord, Timestamp)>,
         )| {
+            // Per-shard check latency, recorded from the worker thread.
+            let sw_shard = tempora_obs::Stopwatch::start();
             let mut out = Vec::with_capacity(shard_work.len());
             for (idx, record, tt) in shard_work {
                 // Provisional surrogate: surrogates are assigned in batch
@@ -359,6 +380,7 @@ impl TemporalRelation {
                 let decision = engine.admit_insert(&element).map(|()| element);
                 out.push((idx, decision));
             }
+            sw_shard.record(crate::metrics::shard_check());
             (engine, out)
         };
         let pairs: Vec<_> = engines.into_iter().zip(work).collect();
@@ -390,8 +412,10 @@ impl TemporalRelation {
                 decisions[idx] = Some(decision);
             }
         }
+        sw_check.record(crate::metrics::stage_check());
 
         // Apply stage: batch order, exactly the sequential tail.
+        let sw_apply = tempora_obs::Stopwatch::start();
         let mut accepted = Vec::new();
         let mut rejected = Vec::new();
         for (idx, decision) in decisions.into_iter().enumerate() {
@@ -423,6 +447,11 @@ impl TemporalRelation {
                 }
             }
         }
+        sw_apply.record(crate::metrics::stage_apply());
+        self.engine.publish_check_metrics();
+        crate::metrics::batches_parallel().inc();
+        crate::metrics::records_accepted().add(accepted.len() as u64);
+        crate::metrics::records_rejected().add(rejected.len() as u64);
         BatchReport {
             accepted,
             rejected,
@@ -447,7 +476,9 @@ impl TemporalRelation {
             .ok_or(CoreError::NoSuchElement { element: id })?;
         let tt_d = self.clock.tick();
         if self.enforcement == Enforcement::Enforce {
-            if let Err(e) = self.engine.admit_delete(&element, tt_d) {
+            let admitted = self.engine.admit_delete(&element, tt_d);
+            self.engine.publish_check_metrics();
+            if let Err(e) = admitted {
                 self.note_rejection(element.object);
                 return Err(e);
             }
@@ -492,16 +523,21 @@ impl TemporalRelation {
         element.attrs = attrs;
         if self.enforcement == Enforcement::Enforce {
             // Stage both halves against a scratch engine state so a failed
-            // insert does not leave the delete's effects behind.
+            // insert does not leave the delete's effects behind. Flush the
+            // check tally first so the clone starts from zero and neither
+            // outcome double-publishes.
+            self.engine.publish_check_metrics();
             let mut scratch = self.engine.clone();
             if let Err(e) = scratch
                 .admit_delete(&old, tt)
                 .and_then(|()| scratch.admit_insert(&element))
             {
+                scratch.publish_check_metrics();
                 self.note_rejection(old.object);
                 return Err(e);
             }
             self.engine = scratch;
+            self.engine.publish_check_metrics();
         }
         match &mut self.store {
             Store::Tuple(s) => {

@@ -48,6 +48,7 @@ pub enum VacuumPolicy {
 /// rollback (and, under `ValidHorizon`, pre-horizon timeslice) fidelity
 /// only.
 pub fn vacuum(relation: &mut TemporalRelation, policy: VacuumPolicy, now: Timestamp) -> usize {
+    let _span = tempora_obs::span_with("vacuum", relation.schema().name().to_string());
     let keep = move |e: &Element| -> bool {
         match policy {
             VacuumPolicy::RollbackWindow { window } => {
@@ -57,7 +58,10 @@ pub fn vacuum(relation: &mut TemporalRelation, policy: VacuumPolicy, now: Timest
             VacuumPolicy::ValidHorizon { horizon } => e.valid.end() >= horizon,
         }
     };
-    relation.reclaim(keep)
+    let reclaimed = relation.reclaim(keep);
+    crate::metrics::vacuum_runs().inc();
+    crate::metrics::vacuum_reclaimed().add(reclaimed as u64);
+    reclaimed
 }
 
 /// The tightest sound `ValidHorizon` for a relation with a conservative

@@ -7,7 +7,11 @@
 //! $ tempora-lint --json examples/schemas | tee lint.json
 //! ```
 //!
-//! Usage: `tempora-lint [--json] <file.ddl | directory>…`
+//! Usage: `tempora-lint [--json] [--metrics] <file.ddl | directory>…`
+//!
+//! `--metrics` dumps the process metrics snapshot to stderr after the run:
+//! schemas analyzed, diagnostics by level, plus whatever the analyzer's
+//! instrumented internals recorded (e.g. compiled-check profile counters).
 //!
 //! Each `.ddl` file holds one or more `CREATE TEMPORAL RELATION`
 //! statements separated by `;`; lines starting with `--` are comments.
@@ -27,19 +31,21 @@ use tempora::design::parse_ddl_unchecked;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut metrics = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--metrics" => metrics = true,
             "--help" | "-h" => {
-                println!("usage: tempora-lint [--json] <file.ddl | directory>…");
+                println!("usage: tempora-lint [--json] [--metrics] <file.ddl | directory>…");
                 return ExitCode::SUCCESS;
             }
             other => paths.push(PathBuf::from(other)),
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: tempora-lint [--json] <file.ddl | directory>…");
+        eprintln!("usage: tempora-lint [--json] [--metrics] <file.ddl | directory>…");
         return ExitCode::from(2);
     }
 
@@ -73,6 +79,16 @@ fn main() -> ExitCode {
             match parse_ddl_unchecked(&statement) {
                 Ok(schema) => {
                     let analysis = analyze_schema(&schema);
+                    tempora::obs::counter_with("tempora_lint_schemas_total", "outcome", "analyzed")
+                        .inc();
+                    for diagnostic in &analysis.diagnostics {
+                        tempora::obs::counter_with(
+                            "tempora_lint_diagnostics_total",
+                            "level",
+                            &diagnostic.severity.to_string(),
+                        )
+                        .inc();
+                    }
                     failed |= analysis.has_errors();
                     if json {
                         entries.push(format!(
@@ -86,6 +102,12 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     failed = true;
+                    tempora::obs::counter_with(
+                        "tempora_lint_schemas_total",
+                        "outcome",
+                        "parse-error",
+                    )
+                    .inc();
                     if json {
                         entries.push(format!(
                             "{{\"file\":\"{}\",\"error\":\"{}\"}}",
@@ -101,6 +123,10 @@ fn main() -> ExitCode {
     }
     if json {
         println!("[{}]", entries.join(",\n "));
+    }
+    if metrics {
+        // Stderr, so `--json --metrics` output stays machine-parseable.
+        eprint!("{}", tempora::obs::snapshot());
     }
     if failed {
         ExitCode::FAILURE

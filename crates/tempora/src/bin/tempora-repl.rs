@@ -13,8 +13,9 @@
 //! ```
 //!
 //! Meta-commands: `.relations`, `.report <relation>`, `.lint [relation]`,
-//! `.explain SELECT …`, `.taxonomy`, `.help`, `.quit`. Statements may span
-//! lines by ending a line with `\`.
+//! `.explain SELECT …`, `.shards <relation> <n>`, `.metrics [prom]`,
+//! `.trace [n]`, `.taxonomy`, `.help`, `.quit`. Statements may span lines by
+//! ending a line with `\`.
 
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
@@ -131,9 +132,31 @@ fn handle_meta(meta: &str, db: &Database) -> bool {
                 _ => eprintln!("usage: .shards <relation> <count>"),
             }
         }
+        "metrics" => {
+            // `.metrics` — human-readable snapshot; `.metrics prom` — the
+            // Prometheus text exposition for scraping or diffing.
+            let snapshot = db.metrics_snapshot();
+            match parts.next() {
+                Some("prom") => print!("{}", snapshot.to_prometheus()),
+                Some(other) => eprintln!("usage: .metrics [prom] (got {other:?})"),
+                None => print!("{snapshot}"),
+            }
+        }
+        "trace" => {
+            // `.trace [n]` — the n most recent completed spans (default
+            // 16), oldest first, indented by nesting depth.
+            let n = parts.next().and_then(|n| n.parse::<usize>().ok()).unwrap_or(16);
+            let events = tempora::obs::recent_traces(n);
+            if events.is_empty() {
+                println!("no spans recorded yet");
+            }
+            for event in events {
+                println!("{event}");
+            }
+        }
         "help" => {
             println!(
-                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .lint [r]  .explain SELECT …  .shards <r> <n>  .taxonomy  .quit"
+                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .lint [r]  .explain SELECT …  .shards <r> <n>  .metrics [prom]  .trace [n]  .taxonomy  .quit"
             );
         }
         other => eprintln!("unknown meta-command .{other} (try .help)"),

@@ -49,7 +49,9 @@
 //!   optimizer, [`IndexedRelation`];
 //! * [`design`] — DDL, catalog, design advisor, reports;
 //! * [`workload`] — generators for every scenario the
-//!   paper names.
+//!   paper names;
+//! * [`obs`] — the process-wide metrics registry and span
+//!   recorder every layer reports into (see `docs/observability.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,6 +60,7 @@ pub use tempora_analyze as analyze;
 pub use tempora_core as core;
 pub use tempora_design as design;
 pub use tempora_index as index;
+pub use tempora_obs as obs;
 pub use tempora_query as query;
 pub use tempora_storage as storage;
 pub use tempora_time as time;
@@ -85,6 +88,7 @@ pub mod prelude {
         TtReference, Value, ValidTime,
     };
     pub use tempora_index::IndexChoice;
+    pub use tempora_obs::{MetricsSnapshot, Profile};
     pub use tempora_query::timeline::Timeline;
     pub use tempora_query::{parse_tql, IndexedRelation, Plan, Query, TqlStatement};
     pub use tempora_storage::{BatchRecord, BatchReport, Enforcement, TemporalRelation};
@@ -160,6 +164,80 @@ pub fn load_event_workload_batched(
     let report: BatchReport = relation.apply_batch(records);
     match report.rejected.into_iter().next() {
         None => Ok(relation),
+        Some((_, err)) => Err(err),
+    }
+}
+
+/// [`load_event_workload_batched`] plus a per-phase [`obs::Profile`]:
+/// wall-clock timings for batch construction and application, with the
+/// ingest stage breakdown (stamp / check / apply) attributed from the
+/// metrics recorded during this batch (snapshot deltas, so concurrent
+/// batches on other relations would blur the attribution).
+///
+/// On the sequential path (1 shard, or a non-partitionable schema)
+/// admission is interleaved with application, so the check row reads 0
+/// and its time is carried by the apply row — see `docs/observability.md`.
+///
+/// # Errors
+///
+/// Returns the first constraint violation, as [`load_event_workload_batched`].
+pub fn load_event_workload_batched_profiled(
+    workload: &EventWorkload,
+    shards: usize,
+) -> Result<(IndexedRelation, tempora_obs::Profile), CoreError> {
+    let elapsed_us = |from: std::time::Instant| {
+        u64::try_from(from.elapsed().as_micros()).unwrap_or(u64::MAX)
+    };
+    let total_from = std::time::Instant::now();
+    let before = tempora_obs::snapshot();
+
+    let build_from = std::time::Instant::now();
+    let (records, stamps) = workload.batch();
+    let build_us = elapsed_us(build_from);
+    let record_count = records.len();
+
+    let clock = Arc::new(ReplayClock::new(stamps));
+    let mut relation =
+        IndexedRelation::new(Arc::clone(&workload.schema), clock).with_ingest_shards(shards);
+    let apply_from = std::time::Instant::now();
+    let report: BatchReport = relation.apply_batch(records);
+    let apply_us = elapsed_us(apply_from);
+
+    let after = tempora_obs::snapshot();
+    let stage_us = |stage: &str| -> u64 {
+        let sum = |snap: &tempora_obs::MetricsSnapshot| {
+            snap.histogram_labelled("tempora_ingest_stage_seconds", stage)
+                .map_or(0, |h| h.sum_us)
+        };
+        sum(&after).saturating_sub(sum(&before))
+    };
+
+    let mut profile = tempora_obs::Profile::new();
+    profile.push("build-batch", build_us, format!("{record_count} records"));
+    profile.push(
+        "apply-batch",
+        apply_us,
+        format!(
+            "{} shard(s), {}",
+            report.shards_used,
+            if report.parallel { "parallel" } else { "sequential" }
+        ),
+    );
+    profile.push("  stamp", stage_us("stamp"), "transaction clock ticks");
+    profile.push(
+        "  check",
+        stage_us("check"),
+        if report.parallel {
+            "shard-parallel constraint admission"
+        } else {
+            "0 on the sequential path (interleaved into apply)"
+        },
+    );
+    profile.push("  apply", stage_us("apply"), "store + backlog + counters");
+    profile.set_total(elapsed_us(total_from));
+
+    match report.rejected.into_iter().next() {
+        None => Ok((relation, profile)),
         Some((_, err)) => Err(err),
     }
 }
@@ -246,6 +324,45 @@ mod tests {
         let seq = sequential.execute(Query::Timeslice { vt: probe });
         let bat = batched.execute(Query::Timeslice { vt: probe });
         assert_eq!(seq.stats.returned, bat.stats.returned);
+    }
+
+    #[test]
+    fn profiled_batched_load_reports_phases() {
+        let w = tempora_workload::monitoring(
+            8,
+            50,
+            TimeDelta::from_secs(60),
+            TimeDelta::from_secs(30),
+            TimeDelta::from_secs(90),
+            11,
+        );
+        let (relation, profile) =
+            load_event_workload_batched_profiled(&w, 4).expect("workload conforms");
+        assert_eq!(relation.relation().len(), 400);
+        let phases: Vec<&str> = profile.rows.iter().map(|r| r.phase.as_str()).collect();
+        assert!(phases.contains(&"build-batch"));
+        assert!(phases.contains(&"apply-batch"));
+        let rendered = profile.to_string();
+        assert!(rendered.lines().last().unwrap().contains("total"));
+    }
+
+    /// Regenerates the replay profile table shown in
+    /// `docs/observability.md` and `EXPERIMENTS.md`:
+    /// `cargo test -p tempora --release profile_table -- --ignored --nocapture`
+    #[test]
+    #[ignore = "documentation artifact, run explicitly"]
+    fn profile_table_for_docs() {
+        let w = tempora_workload::monitoring(
+            64,
+            500,
+            TimeDelta::from_secs(60),
+            TimeDelta::from_secs(30),
+            TimeDelta::from_secs(90),
+            11,
+        );
+        let (_, profile) =
+            load_event_workload_batched_profiled(&w, 4).expect("workload conforms");
+        println!("{profile}");
     }
 
     #[test]

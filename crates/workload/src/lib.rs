@@ -78,6 +78,11 @@ impl EventWorkload {
     /// exactly as the sequential loader would stamp it.
     #[must_use]
     pub fn batch(&self) -> (Vec<tempora_storage::BatchRecord>, Vec<Timestamp>) {
+        let _span = tempora_obs::span_with(
+            "workload-batch-build",
+            format!("{}, {} events", self.schema.name(), self.events.len()),
+        );
+        let sw = tempora_obs::Stopwatch::start();
         let records = self
             .events
             .iter()
@@ -86,6 +91,7 @@ impl EventWorkload {
             })
             .collect();
         let stamps = self.events.iter().map(|e| e.tt).collect();
+        sw.record(&tempora_obs::histogram("tempora_workload_batch_build_seconds"));
         (records, stamps)
     }
 }

@@ -1,0 +1,92 @@
+//! Documentation link checker: every relative markdown link in the repo
+//! must resolve to a real file or directory. This is the test half of the
+//! CI `doc-links` job — docs referencing moved or renamed files fail here
+//! instead of rotting silently.
+//!
+//! Pure std: walks the repo from the manifest directory, collects `*.md`
+//! files (skipping build output and VCS internals), and extracts
+//! `](target)` links. External schemes (`http://`, `https://`, `mailto:`)
+//! and in-page `#anchor` links are out of scope; `#fragment` suffixes on
+//! file links are stripped before the existence check.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // tests/ is registered under crates/tempora, two levels below the root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+fn markdown_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !matches!(name, "target" | ".git" | ".claude" | "node_modules") {
+                markdown_files(&path, out);
+            }
+        } else if name.ends_with(".md") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts the targets of `[text](target)` and `![alt](target)` links.
+/// A plain scanner is enough for this repo's markdown: fenced code blocks
+/// are skipped wholesale so `](` inside examples does not false-positive.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            targets.push(tail[..close].trim().trim_matches(['<', '>']).to_string());
+            rest = &tail[close + 1..];
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    markdown_files(&root, &mut files);
+    files.sort();
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "walker must find the top-level README, got {} files",
+        files.len()
+    );
+
+    let mut dead: Vec<String> = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable markdown");
+        let dir = file.parent().expect("file has a parent");
+        for target in link_targets(&text) {
+            if target.is_empty()
+                || target.starts_with('#')
+                || target.contains("://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().expect("split is non-empty");
+            if !dir.join(path_part).exists() {
+                dead.push(format!(
+                    "{}: dead link -> {target}",
+                    file.strip_prefix(&root).unwrap_or(file).display()
+                ));
+            }
+        }
+    }
+    assert!(dead.is_empty(), "dead relative markdown links:\n{}", dead.join("\n"));
+}

@@ -79,6 +79,19 @@ fn parse_failures_are_reported_and_fatal() {
 }
 
 #[test]
+fn metrics_flag_dumps_run_counters_to_stderr() {
+    let output = run_lint(&["--metrics", &schemas_dir()]);
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    // Schemas analyzed and diagnostics by level, on stderr so stdout stays
+    // pipeline-clean (the run above sees at least the TS005 warning).
+    assert!(stderr.contains("tempora_lint_schemas_total"), "{stderr}");
+    assert!(stderr.contains("tempora_lint_diagnostics_total"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(!stdout.contains("tempora_lint_schemas_total"), "{stdout}");
+}
+
+#[test]
 fn no_arguments_is_a_usage_error() {
     let output = run_lint(&[]);
     assert_eq!(output.status.code(), Some(2));

@@ -1,0 +1,100 @@
+//! Differential property test: instrumentation is observation only. For
+//! random workloads, running the full ingest + query pipeline with the
+//! recorder enabled and again with it disabled must produce *identical*
+//! admission decisions, stored elements, and query answers — metrics and
+//! spans may never leak into semantics.
+//!
+//! This lives in its own test binary on purpose: `set_enabled` flips a
+//! process-global switch, so the toggle must not race with other tests.
+//! The file contains exactly one `#[test]` (the proptest expansion), which
+//! runs its cases sequentially on one thread.
+
+use proptest::prelude::*;
+
+use std::sync::Arc;
+
+use tempora::prelude::*;
+
+/// One full pipeline run: batched ingest into a sharded retroactive event
+/// relation, then three query shapes. Returns everything semantically
+/// observable so the enabled/disabled runs can be compared field by field.
+struct RunOutcome {
+    accepted: Vec<ElementId>,
+    rejected: Vec<usize>,
+    shards_used: usize,
+    parallel: bool,
+    timeslice: Vec<ElementId>,
+    history: Vec<ElementId>,
+    current: Vec<ElementId>,
+    strategy: &'static str,
+}
+
+fn sorted_ids(elements: &[Element]) -> Vec<ElementId> {
+    let mut v: Vec<ElementId> = elements.iter().map(|e| e.id).collect();
+    v.sort();
+    v
+}
+
+fn run_pipeline(offsets: &[i64], shards: usize, enabled: bool) -> RunOutcome {
+    tempora::obs::set_enabled(enabled);
+    let schema = RelationSchema::builder("diff", Stamping::Event)
+        .event_spec(EventSpec::Retroactive)
+        .event_spec(EventSpec::RetroactivelyBounded { bound: Bound::secs(500) })
+        .build()
+        .expect("satisfiable schema");
+    let origin = Timestamp::from_secs(10_000);
+    let clock = Arc::new(ManualClock::new(origin));
+    let mut rel = IndexedRelation::new(schema, clock).with_ingest_shards(shards);
+    // Offsets straddle the [-500, 0] admissible window, so batches mix
+    // accepted and rejected records — the interesting differential case.
+    let records: Vec<BatchRecord> = offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &off)| {
+            BatchRecord::new(
+                ObjectId::new(u64::try_from(i % 5).expect("small")),
+                origin + TimeDelta::from_secs(off),
+            )
+        })
+        .collect();
+    let report = rel.apply_batch(records);
+
+    let probe = origin + TimeDelta::from_secs(-100);
+    let timeslice = rel.execute(Query::Timeslice { vt: probe });
+    let history = rel.execute(Query::ObjectHistory { object: ObjectId::new(2) });
+    let current = rel.execute(Query::Current);
+    RunOutcome {
+        accepted: report.accepted,
+        rejected: report.rejected.iter().map(|(i, _)| *i).collect(),
+        shards_used: report.shards_used,
+        parallel: report.parallel,
+        timeslice: sorted_ids(&timeslice.elements),
+        history: sorted_ids(&history.elements),
+        current: sorted_ids(&current.elements),
+        strategy: timeslice.stats.strategy,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn recorder_toggle_never_changes_semantics(
+        offsets in prop::collection::vec(-800_i64..=200, 1..160),
+        shards in 1_usize..=6,
+    ) {
+        let on = run_pipeline(&offsets, shards, true);
+        let off = run_pipeline(&offsets, shards, false);
+        // Leave the process-global recorder enabled for whoever runs next.
+        tempora::obs::set_enabled(true);
+
+        prop_assert_eq!(on.accepted, off.accepted);
+        prop_assert_eq!(on.rejected, off.rejected);
+        prop_assert_eq!(on.shards_used, off.shards_used);
+        prop_assert_eq!(on.parallel, off.parallel);
+        prop_assert_eq!(on.timeslice, off.timeslice);
+        prop_assert_eq!(on.history, off.history);
+        prop_assert_eq!(on.current, off.current);
+        prop_assert_eq!(on.strategy, off.strategy);
+    }
+}

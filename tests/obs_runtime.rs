@@ -1,0 +1,117 @@
+//! Runtime semantics of the process-global recorder, exercised through
+//! real storage traffic: disabled mode freezes every instrument, `reset`
+//! clears the registry, and snapshots taken *while* the shard worker pool
+//! is checking a batch are internally consistent.
+//!
+//! Like `obs_differential`, this is a dedicated binary with a single
+//! `#[test]`: `set_enabled` and `reset` are process-global, so the
+//! sections below run sequentially rather than as parallel test threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tempora::prelude::*;
+
+fn conforming_batch(n: usize, origin: Timestamp) -> Vec<BatchRecord> {
+    (0..n)
+        .map(|i| {
+            BatchRecord::new(
+                ObjectId::new(u64::try_from(i % 16).expect("small")),
+                origin + TimeDelta::from_secs(-(i64::try_from(i).expect("small") % 400) - 1),
+            )
+        })
+        .collect()
+}
+
+fn retro_relation(shards: usize, origin: Timestamp) -> TemporalRelation {
+    let schema = RelationSchema::builder("runtime", Stamping::Event)
+        .event_spec(EventSpec::Retroactive)
+        .build()
+        .expect("satisfiable schema");
+    let clock = Arc::new(ManualClock::new(origin));
+    TemporalRelation::new(schema, clock).with_ingest_shards(shards)
+}
+
+#[test]
+fn recorder_runtime_semantics() {
+    let origin = Timestamp::from_secs(1_000_000);
+
+    // --- Section 1: an instrumented parallel batch moves the metrics the
+    // observability docs promise (the PR's acceptance criterion).
+    tempora::obs::reset();
+    let mut rel = retro_relation(4, origin);
+    let report = rel.apply_batch(conforming_batch(800, origin));
+    assert!(report.all_accepted());
+    assert!(report.parallel);
+    let snap = tempora::obs::snapshot();
+    assert_eq!(
+        snap.counter_labelled("tempora_ingest_records_total", "accepted"),
+        Some(800)
+    );
+    assert_eq!(snap.counter_labelled("tempora_ingest_batches_total", "parallel"), Some(1));
+    for stage in ["stamp", "check", "apply"] {
+        let hist = snap
+            .histogram_labelled("tempora_ingest_stage_seconds", stage)
+            .unwrap_or_else(|| panic!("stage {stage} histogram missing"));
+        assert_eq!(hist.count, 1, "stage {stage} records once per batch");
+    }
+    assert!(
+        snap.histogram_count("tempora_ingest_shard_check_seconds") >= 4,
+        "one shard-check sample per worker"
+    );
+    assert!(snap.counter_total("tempora_check_compiled_hits_total") >= 800);
+    assert!(
+        tempora::obs::recent_traces(8).iter().any(|e| e.name == "apply-batch"),
+        "the batch span is in the trace buffer"
+    );
+
+    // --- Section 2: with the recorder disabled, the same traffic moves
+    // nothing — counters, histograms, and the trace buffer all stay put.
+    tempora::obs::reset();
+    tempora::obs::set_enabled(false);
+    let mut rel = retro_relation(4, origin);
+    let report = rel.apply_batch(conforming_batch(400, origin));
+    assert!(report.all_accepted(), "disabled recorder must not affect admission");
+    tempora::obs::set_enabled(true);
+    let snap = tempora::obs::snapshot();
+    assert_eq!(snap.counter_total("tempora_ingest_records_total"), 0);
+    assert_eq!(snap.histogram_count("tempora_ingest_stage_seconds"), 0);
+    assert!(tempora::obs::recent_traces(64).is_empty());
+
+    // --- Section 3: snapshots racing the shard worker pool are atomic —
+    // every histogram sample satisfies count == Σ buckets even while the
+    // checkers are recording into it.
+    tempora::obs::reset();
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut snapshots = 0_u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = tempora::obs::snapshot();
+                for hist in &snap.histograms {
+                    let bucketed: u64 = hist.buckets.iter().sum();
+                    assert_eq!(
+                        hist.count, bucketed,
+                        "torn snapshot of {} ({:?})",
+                        hist.name, hist.label
+                    );
+                }
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+    for round in 0..20 {
+        let mut rel = retro_relation(1 + round % 6, origin);
+        let report = rel.apply_batch(conforming_batch(600, origin));
+        assert!(report.all_accepted());
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snapshots = reader.join().expect("snapshot reader");
+    assert!(snapshots > 0, "the reader raced at least one snapshot");
+
+    // --- Section 4: reset leaves a clean registry behind for later tests.
+    tempora::obs::reset();
+    assert_eq!(tempora::obs::snapshot().counter_total("tempora_ingest_records_total"), 0);
+}

@@ -106,6 +106,33 @@ fn unsatisfiable_ddl_is_rejected_with_diagnostics() {
 }
 
 #[test]
+fn metrics_and_trace_meta_commands() {
+    let (stdout, stderr) = run_script(
+        "CREATE TEMPORAL RELATION plant (sensor KEY) AS EVENT WITH RETROACTIVE\n\
+         INSERT INTO plant OBJECT 1 VALID 1992-02-12T08:58:00 SET sensor = 1\n\
+         SELECT FROM plant AT 1992-02-12T08:58:00\n\
+         .metrics\n\
+         .metrics prom\n\
+         .trace 4\n\
+         .quit\n",
+    );
+    // The human-readable snapshot shows the admission-path check counters
+    // and the planner's decision tally from the SELECT above.
+    assert!(stdout.contains("tempora_check_compiled_hits_total"), "{stdout}");
+    assert!(stdout.contains("tempora_planner_decisions_total"), "{stdout}");
+    assert!(stdout.contains("tempora_query_exec_seconds"), "{stdout}");
+    // The Prometheus exposition carries # TYPE headers …
+    assert!(
+        stdout.contains("# TYPE tempora_check_compiled_hits_total counter"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("# TYPE tempora_query_exec_seconds histogram"), "{stdout}");
+    // … and the trace buffer holds the executed query's span.
+    assert!(stdout.contains("query-execute"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
 fn bad_meta_and_bad_statements_do_not_crash() {
     let (stdout, stderr) = run_script(
         ".bogus\n\
