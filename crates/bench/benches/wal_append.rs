@@ -1,0 +1,67 @@
+//! WAL append throughput under the three fsync policies — the price of
+//! durability per acknowledged insert.
+//!
+//! `always` pays one fsync per commit (the safe default), `group:N`
+//! amortizes the barrier over N commits, and `never` measures the pure
+//! logging overhead (frame encode + buffered write). Real directories, so
+//! the `always`/`group` numbers include genuine disk barriers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use tempora::prelude::*;
+use tempora::wal::{DirStorage, DurabilityConfig, DurableDatabase, FsyncPolicy};
+
+const DDL: &str =
+    "CREATE TEMPORAL RELATION plant (sensor KEY, reading VARYING) AS EVENT WITH RETROACTIVE";
+
+fn open(dir: &std::path::Path, policy: FsyncPolicy) -> (DurableDatabase, Arc<ManualClock>) {
+    let _ = std::fs::remove_dir_all(dir);
+    let clock = Arc::new(ManualClock::new(Timestamp::from_secs(0)));
+    let (db, _) = DurableDatabase::open(
+        Arc::new(DirStorage::new(dir)),
+        clock.clone(),
+        DurabilityConfig::with_fsync(policy),
+    )
+    .expect("open bench store");
+    clock.set(Timestamp::from_secs(1_000));
+    db.execute_ddl(DDL).expect("ddl");
+    (db, clock)
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let base = std::env::temp_dir().join("tempora-bench-wal");
+    let policies = [
+        ("fsync_always", FsyncPolicy::Always),
+        ("fsync_group_32", FsyncPolicy::GroupCommit(32)),
+        ("fsync_never", FsyncPolicy::Never),
+    ];
+
+    let mut group = c.benchmark_group("wal_append");
+    for (name, policy) in policies {
+        let dir = base.join(name);
+        let (db, clock) = open(&dir, policy);
+        let mut tick = 1_000_i64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                tick += 1;
+                clock.set(Timestamp::from_secs(tick));
+                let id = db
+                    .insert(
+                        "plant",
+                        ObjectId::new((tick % 64) as u64),
+                        Timestamp::from_secs(tick - 500),
+                        vec![(AttrName::new("reading"), Value::Int(tick % 97))],
+                    )
+                    .expect("durable insert");
+                black_box(id)
+            });
+        });
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append);
+criterion_main!(benches);

@@ -95,12 +95,7 @@ pub fn dump(db: &Database) -> String {
                 attrs,
                 ..
             } => {
-                let vt = match valid {
-                    ValidTime::Event(t) => format!("E{}", t.micros()),
-                    ValidTime::Interval(iv) => {
-                        format!("V{},{}", iv.begin().micros(), iv.end().micros())
-                    }
-                };
+                let vt = render_valid(valid);
                 let _ = write!(out, "{} I {relation} {} {vt}", tt.micros(), object.raw());
                 for (name, value) in attrs {
                     let _ = write!(out, " {}={}", name.as_str(), encode_value(value));
@@ -125,6 +120,25 @@ pub fn dump(db: &Database) -> String {
 /// Returns parse errors ([`DbError::Ddl`]) or replay errors.
 pub fn restore(clock: Arc<ManualClock>, text: &str) -> Result<Database, DbError> {
     let db = Database::new(clock.clone());
+    restore_into(&db, &|tt| clock.set(tt), text)?;
+    Ok(db)
+}
+
+/// [`restore`] decoupled from the clock type: replays a dump into `db`
+/// (which must be fresh — no relations yet), calling `set_tt` with each
+/// group's transaction time immediately before replaying it so the caller
+/// can drive whatever clock `db` was built on (a
+/// [`tempora_time::RecoveryClock`] during WAL recovery, a plain
+/// [`ManualClock`] otherwise).
+///
+/// # Errors
+///
+/// Returns parse errors ([`DbError::Ddl`]) or replay errors.
+pub fn restore_into(
+    db: &Database,
+    set_tt: &dyn Fn(Timestamp),
+    text: &str,
+) -> Result<(), DbError> {
     let mut lines = text.lines();
     let header = lines.next().unwrap_or("");
     if header.trim() != "TEMPORA DUMP v1" {
@@ -165,7 +179,7 @@ pub fn restore(clock: Arc<ManualClock>, text: &str) -> Result<Database, DbError>
         while group_end < ops.len() && ops[group_end].0 == tt {
             group_end += 1;
         }
-        clock.set(tt);
+        set_tt(tt);
         let group = &ops[i..group_end];
         // Pair one delete with one insert in the same relation → modify.
         match group {
@@ -203,7 +217,7 @@ pub fn restore(clock: Arc<ManualClock>, text: &str) -> Result<Database, DbError>
         }
         i = group_end;
     }
-    Ok(db)
+    Ok(())
 }
 
 fn parse_ops(lines: &[&str]) -> Result<Vec<(Timestamp, Op)>, DbError> {
@@ -273,7 +287,22 @@ fn parse_ops(lines: &[&str]) -> Result<Vec<(Timestamp, Op)>, DbError> {
     Ok(ops)
 }
 
-fn parse_valid(tok: &str) -> Option<ValidTime> {
+/// Renders a valid time in the dump's token form: `E<µs>` for events,
+/// `V<begin-µs>,<end-µs>` for intervals. The WAL frame format reuses this
+/// codec, so changing it is a persistence-format change.
+#[must_use]
+pub fn render_valid(valid: &ValidTime) -> String {
+    match valid {
+        ValidTime::Event(t) => format!("E{}", t.micros()),
+        ValidTime::Interval(iv) => {
+            format!("V{},{}", iv.begin().micros(), iv.end().micros())
+        }
+    }
+}
+
+/// Parses a [`render_valid`] token back; `None` on malformed input.
+#[must_use]
+pub fn parse_valid(tok: &str) -> Option<ValidTime> {
     if let Some(e) = tok.strip_prefix('E') {
         return Some(ValidTime::Event(Timestamp::from_micros(e.parse().ok()?)));
     }
@@ -287,7 +316,11 @@ fn parse_valid(tok: &str) -> Option<ValidTime> {
     Some(ValidTime::Interval(interval))
 }
 
-fn encode_value(v: &Value) -> String {
+/// Encodes a value as a single space-free token (`i:`/`f:`/`b:`/`t:`/`s:`
+/// with percent-encoding, `n` for null); floats round-trip bit-exactly via
+/// hex. Shared by the dump format and the WAL frame payloads.
+#[must_use]
+pub fn encode_value(v: &Value) -> String {
     match v {
         Value::Int(i) => format!("i:{i}"),
         // Hex bits preserve floats exactly across the round trip.
@@ -313,7 +346,9 @@ fn encode_value(v: &Value) -> String {
     }
 }
 
-fn decode_value(tok: &str) -> Option<Value> {
+/// Decodes an [`encode_value`] token; `None` on malformed input.
+#[must_use]
+pub fn decode_value(tok: &str) -> Option<Value> {
     if tok == "n" {
         return Some(Value::Null);
     }

@@ -37,4 +37,4 @@ pub use catalog::Catalog;
 pub use database::{Database, DbError, ExecOutcome};
 pub use ddl::{parse_ddl, parse_ddl_unchecked, render_ddl, DdlError};
 pub use dml::{parse_dml, DmlStatement};
-pub use dump::{dump, restore};
+pub use dump::{dump, restore, restore_into};

@@ -21,7 +21,11 @@
 //!
 //! Exit status: 0 when every schema is clean or carries only
 //! warnings/notes, 1 when any schema fails to parse or has an Error-level
-//! diagnostic (TS001–TS004) — wire it into CI as a gate.
+//! diagnostic (TS001–TS004), 2 on usage errors, 3 when a named file or
+//! directory cannot be read (the run continues past it, lints everything
+//! else, and reports the IO failure distinctly — so CI can tell "schema is
+//! broken" from "path is broken"). When both occur, the IO exit code
+//! wins.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -49,6 +53,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let mut io_failed = false;
     let mut files: Vec<PathBuf> = Vec::new();
     for path in paths {
         if path.is_dir() {
@@ -56,7 +61,7 @@ fn main() -> ExitCode {
                 Ok(found) => files.extend(found),
                 Err(e) => {
                     eprintln!("error: cannot read directory {}: {e}", path.display());
-                    return ExitCode::from(2);
+                    io_failed = true;
                 }
             }
         } else {
@@ -71,8 +76,11 @@ fn main() -> ExitCode {
         let text = match std::fs::read_to_string(file) {
             Ok(text) => text,
             Err(e) => {
+                // A missing or unreadable path is an environment problem,
+                // not a lint verdict: report it, keep linting the rest.
                 eprintln!("error: cannot read {}: {e}", file.display());
-                return ExitCode::from(2);
+                io_failed = true;
+                continue;
             }
         };
         for statement in statements(&text) {
@@ -128,7 +136,9 @@ fn main() -> ExitCode {
         // Stderr, so `--json --metrics` output stays machine-parseable.
         eprint!("{}", tempora::obs::snapshot());
     }
-    if failed {
+    if io_failed {
+        ExitCode::from(3)
+    } else if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -12,20 +12,80 @@
 //!   e0[o7] vt=1992-02-12T08:58:00 tt=[…]
 //! ```
 //!
+//! Sessions start **volatile** (in-memory). `.open <dir>` (or
+//! `tempora-repl <dir>`) switches to a **durable** session: every
+//! committed statement is write-ahead logged under that directory,
+//! `.save` checkpoints and truncates the
+//! log, and reopening the directory recovers the database — including after
+//! a crash. `.wal` shows the durability status; `.wal retry` leaves
+//! read-only degraded mode after a storage failure.
+//!
 //! Meta-commands: `.relations`, `.report <relation>`, `.lint [relation]`,
 //! `.explain SELECT …`, `.shards <relation> <n>`, `.metrics [prom]`,
-//! `.trace [n]`, `.taxonomy`, `.help`, `.quit`. Statements may span lines by
-//! ending a line with `\`.
+//! `.trace [n]`, `.taxonomy`, `.dump <file>`, `.restore <file>`,
+//! `.open <dir> [always|never|group:<n>]`, `.save`, `.wal [retry]`,
+//! `.help`, `.quit`. Statements may span lines by ending a line with `\`.
 
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 
+use tempora::design::dump::{dump, restore_into};
 use tempora::design::{report, Database};
 use tempora::prelude::*;
+use tempora::wal::{DirStorage, DurabilityConfig, DurableDatabase, FsyncPolicy};
+use tempora::time::RecoveryClock;
+
+/// The shell's database: plain in-memory, or wrapped in the WAL.
+enum Session {
+    Volatile(Database),
+    Durable(DurableDatabase),
+}
+
+impl Session {
+    fn db(&self) -> &Database {
+        match self {
+            Session::Volatile(db) => db,
+            Session::Durable(db) => db.db(),
+        }
+    }
+
+    fn execute(&self, statement: &str) -> Result<String, String> {
+        match self {
+            Session::Volatile(db) => db
+                .execute(statement)
+                .map(|o| o.to_string())
+                .map_err(|e| e.to_string()),
+            Session::Durable(db) => db
+                .execute(statement)
+                .map(|o| o.to_string())
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+fn open_durable(dir: &str, policy: FsyncPolicy) -> Result<Session, String> {
+    let storage = Arc::new(DirStorage::new(dir));
+    let clock: Arc<SystemClock> = Arc::new(SystemClock::new());
+    match DurableDatabase::open(storage, clock, DurabilityConfig::with_fsync(policy)) {
+        Ok((db, recovery)) => {
+            println!("opened {dir} ({recovery})");
+            Ok(Session::Durable(db))
+        }
+        Err(e) => Err(format!("cannot open {dir}: {e}")),
+    }
+}
 
 fn main() {
-    let clock: Arc<SystemClock> = Arc::new(SystemClock::new());
-    let db = Database::new(clock);
+    let mut session = match std::env::args().nth(1) {
+        Some(dir) => match open_durable(&dir, FsyncPolicy::Always) {
+            Ok(session) => session,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Session::Volatile(Database::new(Arc::new(SystemClock::new()))),
+    };
     let stdin = io::stdin();
     let interactive = atty_guess();
     let mut buffer = String::new();
@@ -60,12 +120,12 @@ fn main() {
             continue;
         }
         if let Some(meta) = statement.strip_prefix('.') {
-            if !handle_meta(meta, &db) {
+            if !handle_meta(meta, &mut session) {
                 break;
             }
             continue;
         }
-        match db.execute(&statement) {
+        match session.execute(&statement) {
             Ok(outcome) => println!("{outcome}"),
             Err(e) => eprintln!("error: {e}"),
         }
@@ -73,27 +133,27 @@ fn main() {
 }
 
 /// Handles a meta-command; returns false to quit.
-fn handle_meta(meta: &str, db: &Database) -> bool {
+fn handle_meta(meta: &str, session: &mut Session) -> bool {
     let mut parts = meta.split_whitespace();
     match parts.next().unwrap_or("") {
         "quit" | "exit" | "q" => return false,
         "relations" => {
-            for name in db.relation_names() {
+            for name in session.db().relation_names() {
                 println!("{name}");
             }
         }
-        "report" => match parts.next().and_then(|name| db.report(name)) {
+        "report" => match parts.next().and_then(|name| session.db().report(name)) {
             Some(text) => println!("{text}"),
             None => eprintln!("usage: .report <relation>"),
         },
         "taxonomy" => println!("{}", report::taxonomy_overview()),
         "lint" => match parts.next() {
-            Some(relation) => match db.lint(relation) {
+            Some(relation) => match session.db().lint(relation) {
                 Some(analysis) => println!("{analysis}"),
                 None => eprintln!("unknown relation {relation:?}"),
             },
             None => {
-                let analyses = db.lint_all();
+                let analyses = session.db().lint_all();
                 if analyses.is_empty() {
                     println!("no relations to lint");
                 }
@@ -108,7 +168,7 @@ fn handle_meta(meta: &str, db: &Database) -> bool {
             if tql.is_empty() {
                 eprintln!("usage: .explain SELECT FROM <relation> …");
             } else {
-                match db.explain(&tql) {
+                match session.db().explain(&tql) {
                     Ok(annotated) => println!("{annotated}"),
                     Err(e) => eprintln!("error: {e}"),
                 }
@@ -119,7 +179,7 @@ fn handle_meta(meta: &str, db: &Database) -> bool {
             let shards = parts.next().and_then(|n| n.parse::<usize>().ok());
             match (relation, shards) {
                 (Some(relation), Some(shards)) => {
-                    match db.set_ingest_shards(relation, shards) {
+                    match session.db().set_ingest_shards(relation, shards) {
                         // Shard counts clamp to at least one; report the
                         // effective value.
                         Ok(()) => println!(
@@ -135,7 +195,7 @@ fn handle_meta(meta: &str, db: &Database) -> bool {
         "metrics" => {
             // `.metrics` — human-readable snapshot; `.metrics prom` — the
             // Prometheus text exposition for scraping or diffing.
-            let snapshot = db.metrics_snapshot();
+            let snapshot = session.db().metrics_snapshot();
             match parts.next() {
                 Some("prom") => print!("{}", snapshot.to_prometheus()),
                 Some(other) => eprintln!("usage: .metrics [prom] (got {other:?})"),
@@ -154,9 +214,97 @@ fn handle_meta(meta: &str, db: &Database) -> bool {
                 println!("{event}");
             }
         }
+        "dump" => match parts.next() {
+            None => eprintln!("usage: .dump <file>"),
+            Some(path) => {
+                let text = dump(session.db());
+                match std::fs::write(path, &text) {
+                    Ok(()) => println!(
+                        "dumped {} relation(s), {} byte(s) to {path}",
+                        session.db().relation_names().len(),
+                        text.len()
+                    ),
+                    Err(e) => eprintln!("error: cannot write {path}: {e}"),
+                }
+            }
+        },
+        "restore" => match parts.next() {
+            None => eprintln!("usage: .restore <file>"),
+            Some(path) => {
+                if matches!(session, Session::Durable(_)) {
+                    eprintln!(
+                        "error: .restore replaces a volatile session; this durable session \
+                         recovers from its own directory (use .quit, then restore elsewhere)"
+                    );
+                } else {
+                    match std::fs::read_to_string(path) {
+                        Err(e) => eprintln!("error: cannot read {path}: {e}"),
+                        Ok(text) => {
+                            // Replay on a recovery clock so restored stamps
+                            // equal the dump's, then continue on system time.
+                            let clock =
+                                Arc::new(RecoveryClock::new(Arc::new(SystemClock::new())));
+                            let db = Database::new(
+                                Arc::clone(&clock) as Arc<dyn TransactionClock>
+                            );
+                            match restore_into(&db, &|tt| clock.set(tt), &text) {
+                                Ok(()) => {
+                                    clock.go_live();
+                                    println!(
+                                        "restored {} relation(s) from {path}",
+                                        db.relation_names().len()
+                                    );
+                                    *session = Session::Volatile(db);
+                                }
+                                Err(e) => eprintln!("error: restore from {path} failed: {e}"),
+                            }
+                        }
+                    }
+                }
+            }
+        },
+        "open" => match parts.next() {
+            None => eprintln!("usage: .open <dir> [always|never|group:<n>]"),
+            Some(dir) => {
+                let policy = match parts.next() {
+                    None => Some(FsyncPolicy::Always),
+                    Some(spec) => FsyncPolicy::parse(spec),
+                };
+                match policy {
+                    None => eprintln!("usage: .open <dir> [always|never|group:<n>]"),
+                    Some(policy) => match open_durable(dir, policy) {
+                        Ok(durable) => *session = durable,
+                        Err(e) => eprintln!("error: {e}"),
+                    },
+                }
+            }
+        },
+        "save" => match session {
+            Session::Volatile(_) => eprintln!(
+                "error: volatile session — .open <dir> for durability, or .dump <file> \
+                 for a one-off snapshot"
+            ),
+            Session::Durable(db) => match db.checkpoint() {
+                Ok(epoch) => println!("checkpointed; now at epoch {epoch}"),
+                Err(e) => eprintln!("error: checkpoint failed: {e}"),
+            },
+        },
+        "wal" => match session {
+            Session::Volatile(_) => {
+                println!("wal: none (volatile session; .open <dir> for durability)");
+            }
+            Session::Durable(db) => match parts.next() {
+                None => println!("{}", db.status()),
+                Some("retry") => match db.retry() {
+                    Ok(()) => println!("recovered; {}", db.status()),
+                    Err(e) => eprintln!("error: retry failed: {e}"),
+                },
+                Some(other) => eprintln!("usage: .wal [retry] (got {other:?})"),
+            },
+        },
         "help" => {
             println!(
-                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .lint [r]  .explain SELECT …  .shards <r> <n>  .metrics [prom]  .trace [n]  .taxonomy  .quit"
+                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .lint [r]  .explain SELECT …  .shards <r> <n>  .metrics [prom]  .trace [n]  .taxonomy  .quit\ndurability: .open <dir> [always|never|group:<n>]  .save  .wal [retry]  .dump <file>  .restore <file>"
             );
         }
         other => eprintln!("unknown meta-command .{other} (try .help)"),

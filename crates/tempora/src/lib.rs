@@ -48,6 +48,8 @@
 //! * [`query`] — plans, the specialization-driven
 //!   optimizer, [`IndexedRelation`];
 //! * [`design`] — DDL, catalog, design advisor, reports;
+//! * [`wal`] — durability: write-ahead log, checkpoints,
+//!   crash recovery, fault injection (see `docs/durability.md`);
 //! * [`workload`] — generators for every scenario the
 //!   paper names;
 //! * [`obs`] — the process-wide metrics registry and span
@@ -64,6 +66,7 @@ pub use tempora_obs as obs;
 pub use tempora_query as query;
 pub use tempora_storage as storage;
 pub use tempora_time as time;
+pub use tempora_wal as wal;
 pub use tempora_workload as workload;
 
 use std::sync::Arc;
@@ -240,6 +243,45 @@ pub fn load_event_workload_batched_profiled(
         None => Ok((relation, profile)),
         Some((_, err)) => Err(err),
     }
+}
+
+/// Loads an event workload into a [`wal::DurableDatabase`] stored in
+/// `storage`: the schema is created via its rendered DDL and every event is
+/// inserted durably, with the manual clock driven to the generator's
+/// transaction stamps — so reopening `storage` later recovers a relation
+/// identical to what [`load_event_workload`] builds in memory.
+///
+/// The workload's schema must survive the DDL round trip
+/// ([`design::render_ddl`] → [`design::parse_ddl`]), which holds for every
+/// generator in [`workload`]; a hand-built schema using programmatic-only
+/// features would be rejected here rather than silently altered.
+///
+/// # Errors
+///
+/// Returns DDL/constraint rejections ([`wal::WalError::Db`]) and
+/// durability failures ([`wal::WalError::Io`], [`wal::WalError::Degraded`]).
+pub fn load_event_workload_durable(
+    workload: &EventWorkload,
+    storage: Arc<dyn wal::Storage>,
+    config: wal::DurabilityConfig,
+) -> Result<wal::DurableDatabase, wal::WalError> {
+    let clock = Arc::new(ManualClock::new(
+        workload
+            .events
+            .first()
+            .map_or(tempora_time::Timestamp::EPOCH, |e| e.tt),
+    ));
+    let (db, _report) = wal::DurableDatabase::open(storage, clock.clone(), config)?;
+    let ddl = tempora_design::render_ddl(&workload.schema);
+    db.execute_ddl(&ddl)?;
+    let relation = workload.schema.name().to_string();
+    for event in &workload.events {
+        // As in `load_events_into`: the clock is set so the next tick
+        // stamps the generator's intended transaction time.
+        clock.set(event.tt);
+        db.insert(&relation, event.object, event.vt, event.attrs.clone())?;
+    }
+    Ok(db)
 }
 
 /// Builds and loads an interval workload (see [`load_event_workload`]).

@@ -1,0 +1,470 @@
+//! The on-disk WAL frame format, and the recovery scanner that tells a
+//! torn tail (crash mid-append → truncate and continue) apart from a
+//! corrupted interior frame (bit rot → refuse with a precise diagnostic).
+//!
+//! File layout:
+//!
+//! ```text
+//! "TEMPORA WAL v1\n"                                 file header (15 bytes)
+//! ┌──────┬─────────┬─────────┬─────────┬─────────┐
+//! │ TWFR │ seq u64 │ len u32 │ crc u32 │ payload │   one frame per commit
+//! └──────┴─────────┴─────────┴─────────┴─────────┘
+//!   4 B     8 B LE    4 B LE    4 B LE    len B
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over `seq ‖ len ‖ payload`. Sequence numbers
+//! start at 0 after each checkpoint truncation and increase by one per
+//! frame; a gap is corruption. The per-frame magic lets the scanner
+//! *resync*: after a bad frame it searches forward for the next plausible
+//! frame — if one exists the damage is interior (refuse), if not the bad
+//! bytes run to end-of-file and are a torn tail (truncate).
+
+use std::fmt;
+
+/// The WAL file header.
+pub const FILE_HEADER: &[u8] = b"TEMPORA WAL v1\n";
+
+/// Per-frame magic.
+pub const FRAME_MAGIC: &[u8; 4] = b"TWFR";
+
+/// Bytes of frame header before the payload: magic + seq + len + crc.
+pub const FRAME_HEADER_LEN: usize = 4 + 8 + 4 + 4;
+
+/// Sanity cap on a single frame's payload; anything larger is treated as a
+/// corrupt length field.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0_u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+    let mut buf = Vec::with_capacity(12 + payload.len());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&u32::try_from(payload.len()).unwrap_or(u32::MAX).to_le_bytes());
+    buf.extend_from_slice(payload);
+    crc32(&buf)
+}
+
+/// Encodes one frame (header + payload) ready to append.
+#[must_use]
+pub fn encode_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize, "oversized frame");
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(FRAME_MAGIC);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&u32::try_from(payload.len()).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(&frame_crc(seq, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A validated frame read back from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sequence number (position since the last checkpoint).
+    pub seq: u64,
+    /// Byte offset of the frame header within the file.
+    pub offset: u64,
+    /// The frame payload.
+    pub payload: Vec<u8>,
+}
+
+/// Why a scan stopped before end-of-file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanStop {
+    /// The file ends mid-frame — a crash tore the final append. The valid
+    /// prefix ends at `offset`; `dropped_bytes` follow it.
+    TornTail {
+        /// Where the torn bytes begin (truncate here to repair).
+        offset: u64,
+        /// How many trailing bytes are being discarded.
+        dropped_bytes: u64,
+        /// What exactly was wrong with the tail.
+        detail: String,
+    },
+    /// A frame failed validation but *later* frames are intact — interior
+    /// corruption that truncation would silently destroy committed data
+    /// for. Recovery must refuse.
+    Corrupt {
+        /// Sequence number the bad frame was expected to carry.
+        seq: u64,
+        /// Byte offset of the bad frame.
+        offset: u64,
+        /// What failed (magic, checksum, length, sequence).
+        detail: String,
+    },
+}
+
+impl fmt::Display for ScanStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanStop::TornTail {
+                offset,
+                dropped_bytes,
+                detail,
+            } => write!(
+                f,
+                "torn tail at byte {offset}: {detail} ({dropped_bytes} byte(s) truncated)"
+            ),
+            ScanStop::Corrupt { seq, offset, detail } => {
+                write!(f, "corrupt frame #{seq} at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+/// The result of scanning a WAL byte image: the valid frame prefix, plus
+/// why (if at all) the scan stopped early.
+#[derive(Debug)]
+pub struct Scan {
+    /// Every frame validated, in order.
+    pub frames: Vec<Frame>,
+    /// `None` when the file ends exactly after the last valid frame.
+    pub stop: Option<ScanStop>,
+}
+
+impl Scan {
+    /// The file length up to and including the last valid frame — the
+    /// length to truncate to when repairing a torn tail.
+    #[must_use]
+    pub fn valid_len(&self) -> u64 {
+        match &self.stop {
+            Some(ScanStop::TornTail { offset, .. }) => *offset,
+            _ => self
+                .frames
+                .last()
+                .map_or(FILE_HEADER.len() as u64, |f| {
+                    f.offset + (FRAME_HEADER_LEN + f.payload.len()) as u64
+                }),
+        }
+    }
+}
+
+/// Scans a WAL byte image.
+///
+/// # Errors
+///
+/// Returns a description when the file header is wrong — the file is not
+/// a (version-compatible) WAL at all. An *incomplete* header from a crash
+/// during creation is not an error: it scans as zero frames with a torn
+/// tail at byte 0.
+pub fn scan(bytes: &[u8]) -> Result<Scan, String> {
+    if bytes.len() < FILE_HEADER.len() {
+        if FILE_HEADER.starts_with(bytes) {
+            // Crash while writing the header itself: an empty log.
+            return Ok(Scan {
+                frames: Vec::new(),
+                stop: Some(ScanStop::TornTail {
+                    offset: 0,
+                    dropped_bytes: bytes.len() as u64,
+                    detail: "incomplete file header".to_string(),
+                }),
+            });
+        }
+        return Err(format!("not a WAL: {} byte(s), header mismatch", bytes.len()));
+    }
+    if &bytes[..FILE_HEADER.len()] != FILE_HEADER {
+        return Err("not a WAL: bad file header".to_string());
+    }
+
+    let mut frames = Vec::new();
+    let mut offset = FILE_HEADER.len();
+    let mut expected_seq = 0_u64;
+    while offset < bytes.len() {
+        match parse_frame_at(bytes, offset, expected_seq) {
+            FrameAt::Valid { payload, consumed } => {
+                frames.push(Frame {
+                    seq: expected_seq,
+                    offset: offset as u64,
+                    payload,
+                });
+                offset += consumed;
+                expected_seq += 1;
+            }
+            FrameAt::WrongSeq(detail) => {
+                // The frame itself is intact — only its sequence number is
+                // off. A committed frame went missing; truncating would
+                // compound the loss.
+                return Ok(Scan {
+                    frames,
+                    stop: Some(ScanStop::Corrupt {
+                        seq: expected_seq,
+                        offset: offset as u64,
+                        detail,
+                    }),
+                });
+            }
+            FrameAt::Bad(detail) => {
+                // Resync: is there any intact frame after this point? If so
+                // the damage is interior; if not it is a torn tail.
+                let stop = if has_valid_frame_after(bytes, offset + 1) {
+                    ScanStop::Corrupt {
+                        seq: expected_seq,
+                        offset: offset as u64,
+                        detail,
+                    }
+                } else {
+                    ScanStop::TornTail {
+                        offset: offset as u64,
+                        dropped_bytes: (bytes.len() - offset) as u64,
+                        detail,
+                    }
+                };
+                return Ok(Scan {
+                    frames,
+                    stop: Some(stop),
+                });
+            }
+        }
+    }
+    Ok(Scan { frames, stop: None })
+}
+
+enum FrameAt {
+    Valid { payload: Vec<u8>, consumed: usize },
+    /// Structurally intact frame carrying an unexpected sequence number.
+    WrongSeq(String),
+    Bad(String),
+}
+
+fn parse_frame_at(bytes: &[u8], offset: usize, expected_seq: u64) -> FrameAt {
+    let remaining = &bytes[offset..];
+    if remaining.len() < FRAME_HEADER_LEN {
+        return FrameAt::Bad(format!(
+            "incomplete frame header ({} of {FRAME_HEADER_LEN} bytes)",
+            remaining.len()
+        ));
+    }
+    if &remaining[..4] != FRAME_MAGIC {
+        return FrameAt::Bad("bad frame magic".to_string());
+    }
+    let seq = u64::from_le_bytes(remaining[4..12].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(remaining[12..16].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(remaining[16..20].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return FrameAt::Bad(format!("implausible payload length {len}"));
+    }
+    let total = FRAME_HEADER_LEN + len as usize;
+    if remaining.len() < total {
+        return FrameAt::Bad(format!(
+            "frame extends past end of log ({} of {total} bytes)",
+            remaining.len()
+        ));
+    }
+    let payload = &remaining[FRAME_HEADER_LEN..total];
+    if frame_crc(seq, payload) != crc {
+        return FrameAt::Bad("checksum mismatch".to_string());
+    }
+    if seq != expected_seq {
+        return FrameAt::WrongSeq(format!(
+            "sequence gap: found #{seq}, expected #{expected_seq}"
+        ));
+    }
+    FrameAt::Valid {
+        payload: payload.to_vec(),
+        consumed: total,
+    }
+}
+
+/// Whether any internally consistent frame (magic + plausible length +
+/// matching checksum, any sequence number) starts at or after `from`.
+fn has_valid_frame_after(bytes: &[u8], from: usize) -> bool {
+    let mut at = from;
+    while at + FRAME_HEADER_LEN <= bytes.len() {
+        match find_magic(bytes, at) {
+            None => return false,
+            Some(pos) => {
+                let remaining = &bytes[pos..];
+                if remaining.len() >= FRAME_HEADER_LEN {
+                    let seq = u64::from_le_bytes(remaining[4..12].try_into().expect("8 bytes"));
+                    let len = u32::from_le_bytes(remaining[12..16].try_into().expect("4 bytes"));
+                    let crc = u32::from_le_bytes(remaining[16..20].try_into().expect("4 bytes"));
+                    let total = FRAME_HEADER_LEN + len as usize;
+                    if len <= MAX_PAYLOAD
+                        && remaining.len() >= total
+                        && frame_crc(seq, &remaining[FRAME_HEADER_LEN..total]) == crc
+                    {
+                        return true;
+                    }
+                }
+                at = pos + 1;
+            }
+        }
+    }
+    false
+}
+
+fn find_magic(bytes: &[u8], from: usize) -> Option<usize> {
+    bytes
+        .get(from..)?
+        .windows(FRAME_MAGIC.len())
+        .position(|w| w == FRAME_MAGIC)
+        .map(|p| from + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = FILE_HEADER.to_vec();
+        for (seq, payload) in payloads.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame(seq as u64, payload));
+        }
+        bytes
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn clean_log_round_trips() {
+        let bytes = log_of(&[b"alpha", b"", b"gamma"]);
+        let scan = scan(&bytes).expect("valid header");
+        assert!(scan.stop.is_none());
+        assert_eq!(scan.frames.len(), 3);
+        assert_eq!(scan.frames[0].payload, b"alpha");
+        assert_eq!(scan.frames[1].payload, b"");
+        assert_eq!(scan.frames[2].seq, 2);
+        assert_eq!(scan.valid_len(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let scan = scan(FILE_HEADER).expect("valid header");
+        assert!(scan.frames.is_empty());
+        assert!(scan.stop.is_none());
+        assert_eq!(scan.valid_len(), FILE_HEADER.len() as u64);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_torn_tail_never_corrupt() {
+        let bytes = log_of(&[b"one", b"two", b"three"]);
+        for n in 0..bytes.len() {
+            let scan = scan(&bytes[..n]).expect("truncated logs still scan");
+            match &scan.stop {
+                None => {
+                    // Only complete-frame boundaries (or the bare header)
+                    // scan clean.
+                    assert_eq!(scan.valid_len(), n as u64, "cut at {n}");
+                }
+                Some(ScanStop::TornTail { offset, dropped_bytes, .. }) => {
+                    assert_eq!(offset + dropped_bytes, n as u64, "cut at {n}");
+                }
+                Some(other) => panic!("cut at {n} misread as {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn interior_bit_flip_is_corrupt_with_diagnostics() {
+        let bytes = log_of(&[b"one", b"two", b"three"]);
+        // Flip a payload byte of frame #0 (header + frame header + 1).
+        let mut flipped = bytes.clone();
+        let at = FILE_HEADER.len() + FRAME_HEADER_LEN + 1;
+        flipped[at] ^= 0x40;
+        let scan = scan(&flipped).expect("valid header");
+        assert!(scan.frames.is_empty());
+        match scan.stop.expect("must stop") {
+            ScanStop::Corrupt { seq, offset, detail } => {
+                assert_eq!(seq, 0);
+                assert_eq!(offset, FILE_HEADER.len() as u64);
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("interior damage misread as {other}"),
+        }
+    }
+
+    #[test]
+    fn tail_frame_bit_flip_is_torn_tail() {
+        let bytes = log_of(&[b"one", b"two"]);
+        let mut flipped = bytes.clone();
+        let last = bytes.len() - 1; // last payload byte of frame #1
+        flipped[last] ^= 0x01;
+        let scan = scan(&flipped).expect("valid header");
+        assert_eq!(scan.frames.len(), 1, "frame #0 survives");
+        match scan.stop.as_ref().expect("must stop") {
+            ScanStop::TornTail { offset, .. } => {
+                assert_eq!(scan.valid_len(), *offset);
+            }
+            other => panic!("tail damage misread as {other}"),
+        }
+    }
+
+    #[test]
+    fn sequence_gap_is_detected() {
+        let mut bytes = FILE_HEADER.to_vec();
+        bytes.extend_from_slice(&encode_frame(0, b"a"));
+        bytes.extend_from_slice(&encode_frame(2, b"b")); // skips #1
+        let scan = scan(&bytes).expect("valid header");
+        assert_eq!(scan.frames.len(), 1);
+        match scan.stop.expect("must stop") {
+            // Frame #2 is internally consistent, so the resync pass sees a
+            // valid frame after the gap → interior corruption.
+            ScanStop::Corrupt { detail, .. } => {
+                assert!(detail.contains("sequence gap"), "{detail}");
+            }
+            other => panic!("gap misread as {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_header_is_an_error() {
+        assert!(scan(b"TEMPORA DUMP v1\n rest").is_err());
+        assert!(scan(b"XX").is_err());
+        // A strict prefix of the real header is a crash mid-creation.
+        let partial = scan(&FILE_HEADER[..7]).expect("prefix scans");
+        assert!(matches!(partial.stop, Some(ScanStop::TornTail { offset: 0, .. })));
+    }
+
+    #[test]
+    fn scan_stop_displays() {
+        let torn = ScanStop::TornTail {
+            offset: 40,
+            dropped_bytes: 3,
+            detail: "incomplete frame header (3 of 20 bytes)".to_string(),
+        };
+        assert!(torn.to_string().contains("torn tail at byte 40"));
+        let corrupt = ScanStop::Corrupt {
+            seq: 7,
+            offset: 99,
+            detail: "checksum mismatch".to_string(),
+        };
+        assert!(corrupt.to_string().contains("frame #7 at byte 99"));
+    }
+}

@@ -1,0 +1,591 @@
+//! Pluggable log IO: the [`Storage`]/[`LogFile`] traits plus three
+//! backends — real files ([`DirStorage`]), shared memory ([`MemStorage`],
+//! the crash-harness workhorse), and a deterministic fault injector
+//! ([`FaultStorage`]) that scripts short writes, append errors, and fsync
+//! failures on top of any other backend.
+//!
+//! Contracts the WAL layer relies on:
+//!
+//! * [`LogFile::append`] either writes every byte or fails, possibly
+//!   leaving a *prefix* of the bytes in the file (a torn write). The WAL
+//!   tracks its last known-good length and truncates back to it before
+//!   retrying, so a torn frame never survives a successful retry.
+//! * [`LogFile::sync`] is the durability barrier: bytes written before a
+//!   successful `sync` survive a crash; bytes after it may not.
+//! * [`Storage::write_atomic`] publishes a whole file all-or-nothing
+//!   (write-temp-then-rename); checkpoints depend on it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// An append-oriented file handle.
+///
+/// `len` here is a fallible size probe, not a collection length — an
+/// `is_empty` counterpart would have no caller.
+#[allow(clippy::len_without_is_empty)]
+pub trait LogFile: Send {
+    /// Appends `bytes` at the end of the file. On failure a prefix of
+    /// `bytes` may have reached the file (see the module contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error (or an injected one).
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Durability barrier: flushes written bytes to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error (or an injected one).
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Current file length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error.
+    fn len(&self) -> io::Result<u64>;
+
+    /// Truncates the file to `len` bytes (used to discard torn frames).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// A named-file store holding the WAL and checkpoint files.
+pub trait Storage: Send + Sync {
+    /// Opens (creating if missing) `name` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error.
+    fn open(&self, name: &str) -> io::Result<Box<dyn LogFile>>;
+
+    /// Reads the full contents of `name`, or `None` if it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error (not-found is `Ok(None)`).
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>>;
+
+    /// Writes `name` all-or-nothing (write-temp-then-rename semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error.
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Removes `name`; removing a missing file is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error.
+    fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// The names of every stored file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's IO error.
+    fn list(&self) -> io::Result<Vec<String>>;
+}
+
+// ---------------------------------------------------------------------------
+// Real files
+
+/// [`Storage`] over one real directory (created on first use).
+#[derive(Debug, Clone)]
+pub struct DirStorage {
+    dir: PathBuf,
+}
+
+impl DirStorage {
+    /// Storage rooted at `dir`.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DirStorage { dir: dir.into() }
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn ensure_dir(&self) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)
+    }
+}
+
+struct DirFile {
+    file: std::fs::File,
+}
+
+impl LogFile for DirFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::{Seek, Write};
+        self.file.seek(io::SeekFrom::End(0))?;
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+}
+
+impl Storage for DirStorage {
+    fn open(&self, name: &str) -> io::Result<Box<dyn LogFile>> {
+        self.ensure_dir()?;
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.dir.join(name))?;
+        Ok(Box::new(DirFile { file }))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.dir.join(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.ensure_dir()?;
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(name))
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.dir.join(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(names),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared memory
+
+/// In-memory [`Storage`]: clones share one file map, so "reopening after a
+/// crash" is simply constructing a second handle (or a new store seeded
+/// with a byte-sliced snapshot — the crash harness's trick).
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    /// A store pre-seeded with `files` (e.g. a crash-truncated snapshot).
+    #[must_use]
+    pub fn from_files(files: BTreeMap<String, Vec<u8>>) -> Self {
+        MemStorage {
+            files: Arc::new(Mutex::new(files)),
+        }
+    }
+
+    /// A deep copy of every stored file.
+    #[must_use]
+    pub fn snapshot(&self) -> BTreeMap<String, Vec<u8>> {
+        self.files.lock().expect("storage lock").clone()
+    }
+
+    /// XORs `mask` into byte `offset` of `name` (bit-flip fault injection).
+    /// Returns false if the file or offset does not exist.
+    pub fn corrupt(&self, name: &str, offset: usize, mask: u8) -> bool {
+        let mut files = self.files.lock().expect("storage lock");
+        match files.get_mut(name).and_then(|bytes| bytes.get_mut(offset)) {
+            Some(byte) => {
+                *byte ^= mask;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+struct MemFile {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+    name: String,
+}
+
+impl MemFile {
+    fn with<T>(&self, f: impl FnOnce(&mut Vec<u8>) -> T) -> T {
+        let mut files = self.files.lock().expect("storage lock");
+        f(files.entry(self.name.clone()).or_default())
+    }
+}
+
+impl LogFile for MemFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.with(|file| file.extend_from_slice(bytes));
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.with(|file| file.len() as u64))
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        self.with(|file| {
+            if len < file.len() {
+                file.truncate(len);
+            }
+        });
+        Ok(())
+    }
+}
+
+impl Storage for MemStorage {
+    fn open(&self, name: &str) -> io::Result<Box<dyn LogFile>> {
+        self.files
+            .lock()
+            .expect("storage lock")
+            .entry(name.to_string())
+            .or_default();
+        Ok(Box::new(MemFile {
+            files: Arc::clone(&self.files),
+            name: name.to_string(),
+        }))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.files.lock().expect("storage lock").get(name).cloned())
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("storage lock")
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.files.lock().expect("storage lock").remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self
+            .files
+            .lock()
+            .expect("storage lock")
+            .keys()
+            .cloned()
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+/// What an injected append failure does before erroring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendFault {
+    /// The write fails outright; nothing reaches the file.
+    Error,
+    /// A torn write: only the first `n` bytes reach the file, then error.
+    Short(usize),
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// nth append (0-based, across all files) → scheduled fault.
+    append_faults: BTreeMap<u64, AppendFault>,
+    /// nth sync (0-based, across all files) that fails.
+    sync_faults: BTreeSet<u64>,
+    appends_seen: u64,
+    syncs_seen: u64,
+    injected: u64,
+}
+
+/// A deterministic fault script shared by every file of a
+/// [`FaultStorage`]: appends and syncs are counted process-wide (per
+/// plan), and the scheduled operation indices fail.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    state: Mutex<FaultState>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults until scheduled).
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// Schedules the `nth` append (0-based) to fail with `fault`.
+    pub fn fail_append(&self, nth: u64, fault: AppendFault) {
+        self.state
+            .lock()
+            .expect("fault lock")
+            .append_faults
+            .insert(nth, fault);
+    }
+
+    /// Schedules the `nth` sync (0-based) to fail.
+    pub fn fail_sync(&self, nth: u64) {
+        self.state.lock().expect("fault lock").sync_faults.insert(nth);
+    }
+
+    /// How many faults have fired so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.state.lock().expect("fault lock").injected
+    }
+
+    fn next_append(&self) -> Option<AppendFault> {
+        let mut st = self.state.lock().expect("fault lock");
+        let idx = st.appends_seen;
+        st.appends_seen += 1;
+        let fault = st.append_faults.remove(&idx);
+        if fault.is_some() {
+            st.injected += 1;
+        }
+        fault
+    }
+
+    fn next_sync_fails(&self) -> bool {
+        let mut st = self.state.lock().expect("fault lock");
+        let idx = st.syncs_seen;
+        st.syncs_seen += 1;
+        let fails = st.sync_faults.remove(&idx);
+        if fails {
+            st.injected += 1;
+        }
+        fails
+    }
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+/// A [`Storage`] decorator that injects the faults scheduled in its
+/// [`FaultPlan`] into the files it opens. Reads and atomic writes pass
+/// through untouched (checkpoint faults are modeled by corrupting the
+/// bytes directly — see [`MemStorage::corrupt`]).
+pub struct FaultStorage {
+    inner: Arc<dyn Storage>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultStorage {
+    /// Wraps `inner`, consulting `plan` on every append/sync.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Storage>, plan: Arc<FaultPlan>) -> Self {
+        FaultStorage { inner, plan }
+    }
+}
+
+struct FaultFile {
+    inner: Box<dyn LogFile>,
+    plan: Arc<FaultPlan>,
+}
+
+impl LogFile for FaultFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self.plan.next_append() {
+            None => self.inner.append(bytes),
+            Some(AppendFault::Error) => Err(injected("append error")),
+            Some(AppendFault::Short(n)) => {
+                let n = n.min(bytes.len());
+                self.inner.append(&bytes[..n])?;
+                Err(injected(&format!("short write ({n} of {} bytes)", bytes.len())))
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.plan.next_sync_fails() {
+            return Err(injected("fsync failure"));
+        }
+        self.inner.sync()
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate(len)
+    }
+}
+
+impl Storage for FaultStorage {
+    fn open(&self, name: &str) -> io::Result<Box<dyn LogFile>> {
+        Ok(Box::new(FaultFile {
+            inner: self.inner.open(name)?,
+            plan: Arc::clone(&self.plan),
+        }))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.inner.read(name)
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write_atomic(name, bytes)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.inner.remove(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unique_temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "tempora-wal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn exercise(storage: &dyn Storage) {
+        let mut file = storage.open("wal.0").expect("open");
+        file.append(b"hello ").expect("append");
+        file.append(b"world").expect("append");
+        file.sync().expect("sync");
+        assert_eq!(file.len().expect("len"), 11);
+        assert_eq!(storage.read("wal.0").expect("read"), Some(b"hello world".to_vec()));
+        file.truncate(5).expect("truncate");
+        assert_eq!(storage.read("wal.0").expect("read"), Some(b"hello".to_vec()));
+        // Reopening sees the same bytes and appends after them.
+        let mut again = storage.open("wal.0").expect("reopen");
+        again.append(b"!").expect("append");
+        assert_eq!(storage.read("wal.0").expect("read"), Some(b"hello!".to_vec()));
+
+        storage.write_atomic("checkpoint.1", b"SNAP").expect("atomic write");
+        assert_eq!(storage.read("checkpoint.1").expect("read"), Some(b"SNAP".to_vec()));
+        let list = storage.list().expect("list");
+        assert!(list.contains(&"wal.0".to_string()), "{list:?}");
+        assert!(list.contains(&"checkpoint.1".to_string()), "{list:?}");
+        storage.remove("checkpoint.1").expect("remove");
+        storage.remove("checkpoint.1").expect("removing a missing file is fine");
+        assert_eq!(storage.read("checkpoint.1").expect("read"), None);
+    }
+
+    #[test]
+    fn mem_storage_contract() {
+        exercise(&MemStorage::new());
+    }
+
+    #[test]
+    fn dir_storage_contract() {
+        let dir = unique_temp_dir("contract");
+        exercise(&DirStorage::new(&dir));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn dir_storage_missing_dir_lists_empty() {
+        let storage = DirStorage::new(unique_temp_dir("missing"));
+        assert!(storage.list().expect("list").is_empty());
+        assert_eq!(storage.read("wal.0").expect("read"), None);
+    }
+
+    #[test]
+    fn mem_storage_clones_share_files() {
+        let a = MemStorage::new();
+        let b = a.clone();
+        a.open("wal.0").expect("open").append(b"abc").expect("append");
+        assert_eq!(b.read("wal.0").expect("read"), Some(b"abc".to_vec()));
+        let snap = a.snapshot();
+        assert_eq!(snap.get("wal.0"), Some(&b"abc".to_vec()));
+    }
+
+    #[test]
+    fn mem_storage_corruption_helper() {
+        let s = MemStorage::new();
+        s.open("wal.0").expect("open").append(b"\x00\x01").expect("append");
+        assert!(s.corrupt("wal.0", 1, 0xff));
+        assert_eq!(s.read("wal.0").expect("read"), Some(vec![0x00, 0xfe]));
+        assert!(!s.corrupt("wal.0", 9, 1), "offset out of range");
+        assert!(!s.corrupt("ghost", 0, 1), "missing file");
+    }
+
+    #[test]
+    fn fault_plan_injects_scheduled_failures() {
+        let plan = FaultPlan::new();
+        plan.fail_append(1, AppendFault::Short(2));
+        plan.fail_append(2, AppendFault::Error);
+        plan.fail_sync(0);
+        let mem = MemStorage::new();
+        let storage = FaultStorage::new(Arc::new(mem.clone()), Arc::clone(&plan));
+        let mut file = storage.open("wal.0").expect("open");
+
+        file.append(b"aaaa").expect("append 0 is clean");
+        let short = file.append(b"bbbb").expect_err("append 1 is short");
+        assert!(short.to_string().contains("short write"), "{short}");
+        let hard = file.append(b"cccc").expect_err("append 2 errors");
+        assert!(hard.to_string().contains("append error"), "{hard}");
+        file.append(b"dddd").expect("append 3 is clean again");
+        // The torn write left exactly its prefix behind.
+        assert_eq!(mem.read("wal.0").expect("read"), Some(b"aaaabbdddd".to_vec()));
+
+        let sync = file.sync().expect_err("sync 0 fails");
+        assert!(sync.to_string().contains("fsync"), "{sync}");
+        file.sync().expect("sync 1 is clean");
+        assert_eq!(plan.injected(), 3);
+    }
+}

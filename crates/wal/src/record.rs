@@ -1,0 +1,334 @@
+//! WAL record payloads: one committed operation per frame, in a
+//! text form that reuses the dump codec
+//! ([`tempora_design::dump::encode_value`] and friends) so the two
+//! persistence formats cannot drift apart.
+//!
+//! Payload grammar (the frame layer supplies length and checksum, so
+//! payloads are free-form bytes; `C` uses the remainder verbatim):
+//!
+//! ```text
+//! C <ddl statement>
+//! I <tt-µs> <relation> <element> <object> <vt> <name>=<value> …
+//! D <tt-µs> <relation> <element>
+//! M <tt-µs> <relation> <old-element> <new-element> <vt> <name>=<value> …
+//! ```
+//!
+//! `I` and `M` log the element surrogate the operation *produced*;
+//! recovery replays the operation and verifies the regenerated surrogate
+//! matches, turning any replay divergence into a loud error instead of a
+//! silently skewed database.
+
+use tempora_core::{AttrName, ElementId, ObjectId, ValidTime, Value};
+use tempora_design::dump::{decode_value, encode_value, parse_valid, render_valid};
+use tempora_time::Timestamp;
+
+/// One committed operation, as logged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A `CREATE TEMPORAL RELATION` statement.
+    Create {
+        /// The DDL text, verbatim.
+        ddl: String,
+    },
+    /// An insert.
+    Insert {
+        /// Transaction time the insert committed at.
+        tt: Timestamp,
+        /// Target relation.
+        relation: String,
+        /// Element surrogate the insert produced.
+        element: ElementId,
+        /// Object surrogate.
+        object: ObjectId,
+        /// Valid time.
+        valid: ValidTime,
+        /// Attribute values.
+        attrs: Vec<(AttrName, Value)>,
+    },
+    /// A logical deletion.
+    Delete {
+        /// Transaction time the delete committed at.
+        tt: Timestamp,
+        /// Target relation.
+        relation: String,
+        /// Element deleted.
+        element: ElementId,
+    },
+    /// A modification (logical delete + insert under one transaction).
+    Modify {
+        /// Transaction time the modification committed at.
+        tt: Timestamp,
+        /// Target relation.
+        relation: String,
+        /// Element superseded.
+        old: ElementId,
+        /// Element surrogate the modification produced.
+        new: ElementId,
+        /// New valid time.
+        valid: ValidTime,
+        /// New attribute values.
+        attrs: Vec<(AttrName, Value)>,
+    },
+}
+
+impl WalRecord {
+    /// The transaction time this record committed at; `None` for DDL
+    /// (relation creation is not a timestamped fact).
+    #[must_use]
+    pub fn tt(&self) -> Option<Timestamp> {
+        match self {
+            WalRecord::Create { .. } => None,
+            WalRecord::Insert { tt, .. }
+            | WalRecord::Delete { tt, .. }
+            | WalRecord::Modify { tt, .. } => Some(*tt),
+        }
+    }
+
+    /// Encodes the record as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self {
+            WalRecord::Create { ddl } => {
+                out.push_str("C ");
+                out.push_str(ddl);
+            }
+            WalRecord::Insert {
+                tt,
+                relation,
+                element,
+                object,
+                valid,
+                attrs,
+            } => {
+                let _ = write!(
+                    out,
+                    "I {} {relation} {} {} {}",
+                    tt.micros(),
+                    element.raw(),
+                    object.raw(),
+                    render_valid(valid)
+                );
+                for (name, value) in attrs {
+                    let _ = write!(out, " {}={}", name.as_str(), encode_value(value));
+                }
+            }
+            WalRecord::Delete {
+                tt,
+                relation,
+                element,
+            } => {
+                let _ = write!(out, "D {} {relation} {}", tt.micros(), element.raw());
+            }
+            WalRecord::Modify {
+                tt,
+                relation,
+                old,
+                new,
+                valid,
+                attrs,
+            } => {
+                let _ = write!(
+                    out,
+                    "M {} {relation} {} {} {}",
+                    tt.micros(),
+                    old.raw(),
+                    new.raw(),
+                    render_valid(valid)
+                );
+                for (name, value) in attrs {
+                    let _ = write!(out, " {}={}", name.as_str(), encode_value(value));
+                }
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let (kind, rest) = text
+            .split_once(' ')
+            .ok_or_else(|| format!("record too short: {text:?}"))?;
+        match kind {
+            "C" => Ok(WalRecord::Create {
+                ddl: rest.to_string(),
+            }),
+            "I" => {
+                let mut parts = rest.split(' ');
+                let tt = take_ts(&mut parts, "transaction time")?;
+                let relation = take(&mut parts, "relation")?.to_string();
+                let element = ElementId::new(take_u64(&mut parts, "element id")?);
+                let object = ObjectId::new(take_u64(&mut parts, "object id")?);
+                let valid = take_valid(&mut parts)?;
+                let attrs = take_attrs(parts)?;
+                Ok(WalRecord::Insert {
+                    tt,
+                    relation,
+                    element,
+                    object,
+                    valid,
+                    attrs,
+                })
+            }
+            "D" => {
+                let mut parts = rest.split(' ');
+                let tt = take_ts(&mut parts, "transaction time")?;
+                let relation = take(&mut parts, "relation")?.to_string();
+                let element = ElementId::new(take_u64(&mut parts, "element id")?);
+                Ok(WalRecord::Delete {
+                    tt,
+                    relation,
+                    element,
+                })
+            }
+            "M" => {
+                let mut parts = rest.split(' ');
+                let tt = take_ts(&mut parts, "transaction time")?;
+                let relation = take(&mut parts, "relation")?.to_string();
+                let old = ElementId::new(take_u64(&mut parts, "old element id")?);
+                let new = ElementId::new(take_u64(&mut parts, "new element id")?);
+                let valid = take_valid(&mut parts)?;
+                let attrs = take_attrs(parts)?;
+                Ok(WalRecord::Modify {
+                    tt,
+                    relation,
+                    old,
+                    new,
+                    valid,
+                    attrs,
+                })
+            }
+            other => Err(format!("unknown record kind {other:?}")),
+        }
+    }
+}
+
+fn take<'a>(parts: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str, String> {
+    parts.next().ok_or_else(|| format!("missing {what}"))
+}
+
+fn take_u64<'a>(parts: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<u64, String> {
+    let tok = take(parts, what)?;
+    tok.parse().map_err(|_| format!("bad {what}: {tok:?}"))
+}
+
+fn take_ts<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<Timestamp, String> {
+    let tok = take(parts, what)?;
+    let micros: i64 = tok.parse().map_err(|_| format!("bad {what}: {tok:?}"))?;
+    Ok(Timestamp::from_micros(micros))
+}
+
+fn take_valid<'a>(parts: &mut impl Iterator<Item = &'a str>) -> Result<ValidTime, String> {
+    let tok = take(parts, "valid time")?;
+    parse_valid(tok).ok_or_else(|| format!("bad valid time: {tok:?}"))
+}
+
+fn take_attrs<'a>(
+    parts: impl Iterator<Item = &'a str>,
+) -> Result<Vec<(AttrName, Value)>, String> {
+    let mut attrs = Vec::new();
+    for kv in parts {
+        let (name, value) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("bad attribute token: {kv:?}"))?;
+        let value = decode_value(value).ok_or_else(|| format!("bad value: {value:?}"))?;
+        attrs.push((AttrName::new(name), value));
+    }
+    Ok(attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_time::Interval;
+
+    fn round_trip(record: &WalRecord) {
+        let encoded = record.encode();
+        let decoded = WalRecord::decode(&encoded).expect("decodes");
+        assert_eq!(record, &decoded, "payload: {:?}", String::from_utf8_lossy(&encoded));
+    }
+
+    #[test]
+    fn records_round_trip() {
+        round_trip(&WalRecord::Create {
+            ddl: "CREATE TEMPORAL RELATION r (k KEY, v VARYING)\n AS EVENT WITH RETROACTIVE"
+                .to_string(),
+        });
+        round_trip(&WalRecord::Insert {
+            tt: Timestamp::from_micros(1_234_567),
+            relation: "ledger".to_string(),
+            element: ElementId::new(3),
+            object: ObjectId::new(9),
+            valid: ValidTime::Event(Timestamp::from_micros(-5)),
+            attrs: vec![
+                (AttrName::new("amount"), Value::Float(0.1 + 0.2)),
+                (AttrName::new("memo"), Value::str("spaces & = signs %")),
+                (AttrName::new("gone"), Value::Null),
+            ],
+        });
+        round_trip(&WalRecord::Insert {
+            tt: Timestamp::from_micros(2),
+            relation: "weeks".to_string(),
+            element: ElementId::new(0),
+            object: ObjectId::new(0),
+            valid: ValidTime::Interval(
+                Interval::new(Timestamp::from_secs(1), Timestamp::from_secs(2)).unwrap(),
+            ),
+            attrs: vec![],
+        });
+        round_trip(&WalRecord::Delete {
+            tt: Timestamp::from_micros(10),
+            relation: "ledger".to_string(),
+            element: ElementId::new(3),
+        });
+        round_trip(&WalRecord::Modify {
+            tt: Timestamp::from_micros(11),
+            relation: "ledger".to_string(),
+            old: ElementId::new(3),
+            new: ElementId::new(4),
+            valid: ValidTime::Event(Timestamp::from_micros(7)),
+            attrs: vec![(AttrName::new("amount"), Value::Int(-1))],
+        });
+    }
+
+    #[test]
+    fn tt_accessor() {
+        assert_eq!(WalRecord::Create { ddl: "x".into() }.tt(), None);
+        assert_eq!(
+            WalRecord::Delete {
+                tt: Timestamp::from_micros(5),
+                relation: "r".into(),
+                element: ElementId::new(0),
+            }
+            .tt(),
+            Some(Timestamp::from_micros(5))
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_are_described() {
+        for (payload, needle) in [
+            (&b"\xFF\xFE"[..], "UTF-8"),
+            (b"I", "too short"),
+            (b"X 1 r 0", "unknown record kind"),
+            (b"I notanumber r 0 0 E0", "bad transaction time"),
+            (b"I 5 r zero 0 E0", "bad element id"),
+            (b"I 5 r 0 0 Q0", "bad valid time"),
+            (b"I 5 r 0 0 E0 noequals", "bad attribute token"),
+            (b"I 5 r 0 0 E0 k=z:9", "bad value"),
+            (b"D 5 r", "missing element id"),
+        ] {
+            let err = WalRecord::decode(payload).expect_err("must fail");
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+}

@@ -96,3 +96,23 @@ fn no_arguments_is_a_usage_error() {
     let output = run_lint(&[]);
     assert_eq!(output.status.code(), Some(2));
 }
+
+#[test]
+fn unreadable_paths_get_a_distinct_exit_code() {
+    // A missing path is an environment failure, not a lint verdict:
+    // exit 3, with a diagnostic naming the path.
+    let missing = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("lint_cli_missing/definitely-not-here.ddl");
+    let output = run_lint(&[&missing.display().to_string()]);
+    assert_eq!(output.status.code(), Some(3), "IO failure exit code");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(stderr.contains("definitely-not-here.ddl"), "{stderr}");
+
+    // The run continues past the broken path: good schemas still lint,
+    // and the IO exit code wins over success.
+    let mixed = run_lint(&[&missing.display().to_string(), &schemas_dir()]);
+    assert_eq!(mixed.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&mixed.stdout);
+    assert!(stdout.contains("plant"), "good schemas still linted: {stdout}");
+}

@@ -145,3 +145,141 @@ fn bad_meta_and_bad_statements_do_not_crash() {
     assert!(stderr.contains("expected CREATE"), "{stderr}");
     assert!(stdout.contains("statements:"), "{stdout}");
 }
+
+/// Like [`run_script`], but with command-line arguments (a durable
+/// session directory).
+fn run_script_with_args(args: &[&str], script: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tempora-repl"))
+        .args(args)
+        .env("NO_PROMPT", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("repl binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let output = child.wait_with_output().expect("repl exits");
+    assert!(output.status.success(), "repl exited with {:?}", output.status);
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn tmp_path(name: &str) -> String {
+    std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(name)
+        .display()
+        .to_string()
+}
+
+#[test]
+fn dump_and_restore_round_trip_between_sessions() {
+    let file = tmp_path("repl_dump.tdump");
+    let (stdout, stderr) = run_script(&format!(
+        "CREATE TEMPORAL RELATION plant (sensor KEY, temperature VARYING) AS EVENT WITH RETROACTIVE\n\
+         INSERT INTO plant OBJECT 7 VALID 1992-02-12T08:58:00 SET temperature = 19.5\n\
+         .dump {file}\n\
+         .quit\n"
+    ));
+    assert!(stdout.contains("dumped 1 relation(s)"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+
+    // A fresh session restores the snapshot and answers the same query.
+    let (stdout, stderr) = run_script(&format!(
+        ".restore {file}\n\
+         SELECT FROM plant AT 1992-02-12T08:58:00\n\
+         .quit\n"
+    ));
+    assert!(stdout.contains("restored 1 relation(s)"), "{stdout}");
+    assert!(stdout.contains("temperature = 19.5"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn dump_and_restore_io_errors_are_reported_not_fatal() {
+    let missing_dir = tmp_path("no-such-dir/deeper/x.tdump");
+    let missing_file = tmp_path("never-written.tdump");
+    let (stdout, stderr) = run_script(&format!(
+        ".dump {missing_dir}\n\
+         .restore {missing_file}\n\
+         .dump\n\
+         .restore\n\
+         .quit\n"
+    ));
+    // Both failures carry the path and the OS error; the session survives
+    // to print usage for the argument-less forms.
+    assert!(stderr.contains("error: cannot write"), "{stderr}");
+    assert!(stderr.contains("error: cannot read"), "{stderr}");
+    assert!(stderr.contains("usage: .dump <file>"), "{stderr}");
+    assert!(stderr.contains("usage: .restore <file>"), "{stderr}");
+    assert!(!stdout.contains("dumped"), "{stdout}");
+}
+
+#[test]
+fn durable_session_recovers_across_restarts() {
+    let dir = tmp_path("repl_durable");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (stdout, stderr) = run_script_with_args(
+        &[&dir],
+        "CREATE TEMPORAL RELATION plant (sensor KEY, temperature VARYING) AS EVENT WITH RETROACTIVE\n\
+         INSERT INTO plant OBJECT 7 VALID 1992-02-12T08:58:00 SET temperature = 19.5\n\
+         .wal\n\
+         .quit\n",
+    );
+    assert!(stdout.contains(&format!("opened {dir}")), "{stdout}");
+    assert!(stdout.contains("wal: epoch 0"), "{stdout}");
+    assert!(stdout.contains("mode: read-write"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+
+    // Restarting on the same directory replays the log.
+    let (stdout, stderr) = run_script_with_args(
+        &[&dir],
+        "SELECT FROM plant AT 1992-02-12T08:58:00\n\
+         .save\n\
+         .wal\n\
+         .quit\n",
+    );
+    assert!(stdout.contains("2 frame(s) replayed"), "{stdout}");
+    assert!(stdout.contains("temperature = 19.5"), "{stdout}");
+    assert!(stdout.contains("checkpointed; now at epoch 1"), "{stdout}");
+    assert!(stdout.contains("wal: epoch 1"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+
+    // And a third start recovers from the checkpoint, log empty.
+    let (stdout, stderr) = run_script_with_args(
+        &[&dir],
+        "SELECT FROM plant AT 1992-02-12T08:58:00\n.quit\n",
+    );
+    assert!(stdout.contains("checkpoint restored"), "{stdout}");
+    assert!(stdout.contains("temperature = 19.5"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn open_meta_switches_to_durable_and_save_needs_it() {
+    let dir = tmp_path("repl_open_meta");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (stdout, stderr) = run_script(&format!(
+        ".save\n\
+         .wal\n\
+         .open {dir} group:4\n\
+         CREATE TEMPORAL RELATION r (k KEY) AS EVENT\n\
+         .wal\n\
+         .open {dir} sometimes\n\
+         .quit\n"
+    ));
+    // Volatile sessions explain what .save/.wal need …
+    assert!(stderr.contains("volatile session"), "{stderr}");
+    assert!(stdout.contains("wal: none"), "{stdout}");
+    // … .open switches to a durable session with the requested policy …
+    assert!(stdout.contains(&format!("opened {dir}")), "{stdout}");
+    assert!(stdout.contains("fsync group:4"), "{stdout}");
+    // … and a bad policy is a usage error, not a crash.
+    assert!(stderr.contains("usage: .open <dir>"), "{stderr}");
+}
