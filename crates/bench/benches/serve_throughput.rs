@@ -1,0 +1,152 @@
+//! Serving-layer throughput and latency: what a request costs in-process
+//! (dispatch + snapshot query), over a TCP round trip, and under
+//! concurrent load with live ingest.
+//!
+//! Besides the criterion timings, the bench prints a percentile table —
+//! p50/p99 request latency with 8 concurrent clients hammering a server
+//! while an ingest thread writes — which is the row quoted in
+//! `EXPERIMENTS.md`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tempora::prelude::*;
+use tempora::serve::{handle_request, Client, ServeConfig, Server};
+use tempora::wal::{DurabilityConfig, DurableDatabase, MemStorage};
+
+const DDL: &str =
+    "CREATE TEMPORAL RELATION plant (sensor KEY, reading VARYING) AS EVENT WITH RETROACTIVE";
+const ROWS: i64 = 10_000;
+
+fn served_db() -> (Arc<DurableDatabase>, Arc<ManualClock>) {
+    let clock = Arc::new(ManualClock::new(Timestamp::from_secs(0)));
+    let (db, _) = DurableDatabase::open(
+        Arc::new(MemStorage::new()),
+        clock.clone(),
+        DurabilityConfig::default(),
+    )
+    .expect("open");
+    db.execute_ddl(DDL).expect("ddl");
+    for i in 0..ROWS {
+        clock.set(Timestamp::from_secs(100_000 + i));
+        db.insert(
+            "plant",
+            ObjectId::new((i % 64) as u64),
+            Timestamp::from_secs(i),
+            vec![(AttrName::new("reading"), Value::Int(i % 97))],
+        )
+        .expect("seed insert");
+    }
+    (Arc::new(db), clock)
+}
+
+/// A query answered from the point index — the realistic served shape
+/// (full scans over 10k rows would measure rendering, not serving).
+fn probe(i: i64) -> String {
+    format!("SELECT FROM plant AT {}", Timestamp::from_secs(i % ROWS))
+}
+
+/// The EXPERIMENTS.md row: 8 clients × 2000 requests over TCP against
+/// live ingest; prints p50/p99/max latency and aggregate throughput.
+fn percentile_table(db: &Arc<DurableDatabase>, clock: &Arc<ManualClock>) {
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 2_000;
+    let server = Server::start(Arc::clone(db), "127.0.0.1:0", ServeConfig::default())
+        .expect("start server");
+    let addr = server.local_addr().to_string();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let ingest = {
+        let db = Arc::clone(db);
+        let clock = Arc::clone(clock);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut tick = 200_000_i64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                tick += 1;
+                clock.set(Timestamp::from_secs(tick));
+                db.insert(
+                    "plant",
+                    ObjectId::new((tick % 64) as u64),
+                    Timestamp::from_secs(tick - 150_000),
+                    vec![(AttrName::new("reading"), Value::Int(tick % 97))],
+                )
+                .expect("live insert");
+                // Throttle so the relation grows at a bounded, realistic
+                // rate instead of as fast as one core can insert.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        })
+    };
+    let begin = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut lat_us = Vec::with_capacity(REQUESTS);
+                for i in 0..REQUESTS {
+                    let tql = probe((t * REQUESTS + i) as i64);
+                    let from = Instant::now();
+                    let response = client.request(&tql).expect("request");
+                    lat_us.push(from.elapsed().as_micros() as u64);
+                    black_box(response);
+                }
+                lat_us
+            })
+        })
+        .collect();
+    let mut lat_us: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client"))
+        .collect();
+    let wall = begin.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    ingest.join().expect("ingest");
+    server.shutdown().expect("drain");
+    lat_us.sort_unstable();
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+    println!(
+        "serve_throughput/concurrent: {CLIENTS} clients x {REQUESTS} reqs, live ingest: \
+         p50 {} us, p99 {} us, max {} us, {:.0} req/s aggregate",
+        pct(0.50),
+        pct(0.99),
+        lat_us[lat_us.len() - 1],
+        (lat_us.len() as f64) / wall.as_secs_f64(),
+    );
+}
+
+fn bench_serve(c: &mut Criterion) {
+    {
+        let (db, clock) = served_db();
+        percentile_table(&db, &clock);
+    }
+
+    // Fresh database for the per-request timings: exactly ROWS rows, so
+    // the numbers don't depend on how much the live-ingest phase grew.
+    let (db, _clock) = served_db();
+    let mut group = c.benchmark_group("serve_throughput");
+    let mut i = 0_i64;
+    group.bench_function("dispatch_inprocess", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(handle_request(&db, &probe(i)))
+        });
+    });
+
+    let server = Server::start(Arc::clone(&db), "127.0.0.1:0", ServeConfig::default())
+        .expect("start server");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    group.bench_function("tcp_round_trip", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(client.request(&probe(i)).expect("request"))
+        });
+    });
+    group.finish();
+    drop(client);
+    server.shutdown().expect("drain");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

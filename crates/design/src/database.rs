@@ -33,11 +33,12 @@ use parking_lot::RwLock;
 use tempora_analyze::{analyze_schema, Analysis, Diagnostic};
 use tempora_core::spec::chain::ChainSpec;
 use tempora_core::{AttrName, CoreError, ElementId, ObjectId, RelationSchema, ValidTime, Value};
-use tempora_query::{parse_tql, AnnotatedPlan, IndexedRelation, QueryResult, TqlError};
+use tempora_query::{parse_tql, AnnotatedPlan, IndexedRelation, QueryResult, SnapshotRelation, TqlError};
 use tempora_storage::{BatchRecord, BatchReport};
 use tempora_time::{Timestamp, TransactionClock};
 
 use crate::ddl::{parse_ddl_unchecked, DdlError};
+use crate::snapshot::DbSnapshot;
 
 /// Errors from the database façade.
 #[derive(Debug)]
@@ -116,6 +117,8 @@ pub struct Database {
     relations: RwLock<BTreeMap<String, IndexedRelation>>,
     /// Declared flow chains: (upstream, downstream) → specialization.
     chains: RwLock<BTreeMap<(String, String), ChainSpec>>,
+    /// Memoized current-tick snapshot, invalidated by every write path.
+    snapshot_cache: RwLock<Option<Arc<DbSnapshot>>>,
 }
 
 impl Database {
@@ -126,7 +129,68 @@ impl Database {
             clock,
             relations: RwLock::new(BTreeMap::new()),
             chains: RwLock::new(BTreeMap::new()),
+            snapshot_cache: RwLock::new(None),
         }
+    }
+
+    /// Captures an immutable [`DbSnapshot`] pinned at the clock's current
+    /// reading: every write stamped so far is visible, nothing stamped
+    /// later will be. O(chunks + tail) per relation — sealed storage
+    /// chunks are shared, not copied — so snapshots are cheap enough to
+    /// take per served request.
+    #[must_use]
+    pub fn snapshot(&self) -> DbSnapshot {
+        self.snapshot_at(self.clock.now())
+    }
+
+    /// Captures a snapshot pinned at an arbitrary transaction tick.
+    /// Transaction time is append-only, so a past pin reconstructs the
+    /// database exactly as it stood then — elements inserted later are
+    /// invisible and deletions stamped later are unwound.
+    #[must_use]
+    pub fn snapshot_at(&self, pin: Timestamp) -> DbSnapshot {
+        let relations = self.relations.read();
+        let pinned = relations
+            .iter()
+            .map(|(name, rel)| {
+                (
+                    name.clone(),
+                    SnapshotRelation::new(
+                        Arc::clone(rel.relation().schema()),
+                        rel.relation().snapshot_elements(),
+                        pin,
+                    ),
+                )
+            })
+            .collect();
+        DbSnapshot::assemble(pin, pinned)
+    }
+
+    /// A shared snapshot of the current state, memoized until the next
+    /// write. Concurrent readers between two writes reuse one capture;
+    /// after any insert/delete/modify/batch/DDL the next call re-captures.
+    /// This is the serving layer's read path: queries run against the
+    /// returned snapshot without holding any database lock.
+    #[must_use]
+    pub fn latest_snapshot(&self) -> Arc<DbSnapshot> {
+        if let Some(cached) = self.snapshot_cache.read().as_ref() {
+            return Arc::clone(cached);
+        }
+        // Capture under the cache write lock: writers invalidate only
+        // after releasing the relations lock, so an invalidation racing
+        // this capture is forced to run after our store and clears it —
+        // a stale snapshot can never be left masquerading as fresh.
+        let mut slot = self.snapshot_cache.write();
+        if let Some(cached) = slot.as_ref() {
+            return Arc::clone(cached);
+        }
+        let fresh = Arc::new(self.snapshot());
+        *slot = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    fn invalidate_snapshot(&self) {
+        *self.snapshot_cache.write() = None;
     }
 
     /// Executes a `CREATE TEMPORAL RELATION` statement, creating the
@@ -168,14 +232,17 @@ impl Database {
                 return Err(DbError::Analysis(analysis.diagnostics));
             }
         }
-        let mut relations = self.relations.write();
-        if relations.contains_key(schema.name()) {
-            return Err(DbError::DuplicateRelation(schema.name().to_string()));
+        {
+            let mut relations = self.relations.write();
+            if relations.contains_key(schema.name()) {
+                return Err(DbError::DuplicateRelation(schema.name().to_string()));
+            }
+            relations.insert(
+                schema.name().to_string(),
+                IndexedRelation::new(Arc::clone(&schema), Arc::clone(&self.clock)),
+            );
         }
-        relations.insert(
-            schema.name().to_string(),
-            IndexedRelation::new(Arc::clone(&schema), Arc::clone(&self.clock)),
-        );
+        self.invalidate_snapshot();
         Ok(schema)
     }
 
@@ -238,11 +305,15 @@ impl Database {
         valid: impl Into<ValidTime>,
         attrs: Vec<(AttrName, Value)>,
     ) -> Result<ElementId, DbError> {
-        let mut relations = self.relations.write();
-        let rel = relations
-            .get_mut(relation)
-            .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
-        Ok(rel.insert(object, valid, attrs)?)
+        let id = {
+            let mut relations = self.relations.write();
+            let rel = relations
+                .get_mut(relation)
+                .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
+            rel.insert(object, valid, attrs)?
+        };
+        self.invalidate_snapshot();
+        Ok(id)
     }
 
     /// Logically deletes an element.
@@ -252,11 +323,15 @@ impl Database {
     /// Returns [`DbError::UnknownRelation`], [`CoreError::NoSuchElement`],
     /// or a deletion-referenced constraint violation.
     pub fn delete(&self, relation: &str, id: ElementId) -> Result<Timestamp, DbError> {
-        let mut relations = self.relations.write();
-        let rel = relations
-            .get_mut(relation)
-            .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
-        Ok(rel.delete(id)?)
+        let tt = {
+            let mut relations = self.relations.write();
+            let rel = relations
+                .get_mut(relation)
+                .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
+            rel.delete(id)?
+        };
+        self.invalidate_snapshot();
+        Ok(tt)
     }
 
     /// Modifies an element (logical delete + insert under one transaction,
@@ -272,11 +347,15 @@ impl Database {
         valid: impl Into<ValidTime>,
         attrs: Vec<(AttrName, Value)>,
     ) -> Result<ElementId, DbError> {
-        let mut relations = self.relations.write();
-        let rel = relations
-            .get_mut(relation)
-            .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
-        Ok(rel.modify(id, valid, attrs)?)
+        let new_id = {
+            let mut relations = self.relations.write();
+            let rel = relations
+                .get_mut(relation)
+                .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
+            rel.modify(id, valid, attrs)?
+        };
+        self.invalidate_snapshot();
+        Ok(new_id)
     }
 
     /// Applies an insertion batch through the sharded ingest pipeline
@@ -293,11 +372,15 @@ impl Database {
         relation: &str,
         records: Vec<BatchRecord>,
     ) -> Result<BatchReport, DbError> {
-        let mut relations = self.relations.write();
-        let rel = relations
-            .get_mut(relation)
-            .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
-        Ok(rel.apply_batch(records))
+        let report = {
+            let mut relations = self.relations.write();
+            let rel = relations
+                .get_mut(relation)
+                .ok_or_else(|| DbError::UnknownRelation(relation.to_string()))?;
+            rel.apply_batch(records)
+        };
+        self.invalidate_snapshot();
+        Ok(report)
     }
 
     /// Sets a relation's ingest shard count (used by [`Self::apply_batch`]).
@@ -448,10 +531,23 @@ impl Database {
             .get_mut(downstream)
             .expect("checked above");
         let mut out = Vec::with_capacity(staged.len());
+        let mut failure = None;
         for (object, valid, attrs) in staged {
-            out.push(down.insert(object, valid, attrs)?);
+            match down.insert(object, valid, attrs) {
+                Ok(id) => out.push(id),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
         }
-        Ok(out)
+        drop(relations);
+        // Even a partially applied propagation wrote elements.
+        self.invalidate_snapshot();
+        match failure {
+            Some(e) => Err(e.into()),
+            None => Ok(out),
+        }
     }
 
     /// Runs a closure with read access to a relation (for custom plans or

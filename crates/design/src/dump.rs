@@ -30,6 +30,8 @@ use tempora_time::{Interval, ManualClock, Timestamp};
 
 use crate::database::{Database, DbError};
 use crate::ddl::{render_ddl, DdlError};
+use crate::snapshot::DbSnapshot;
+use tempora_core::Element;
 
 /// One replayable operation.
 #[derive(Debug, Clone)]
@@ -58,32 +60,61 @@ pub fn dump(db: &Database) -> String {
         let _ = writeln!(out, "{};", render_ddl(&schema));
         db.with_relation(&name, |rel| {
             for e in rel.relation().iter() {
-                // Order key: inserts after deletes at the same tt (so a
-                // modify replays delete-then-insert).
-                ops.push((
-                    e.tt_begin,
-                    1,
-                    Op::Insert {
-                        relation: name.clone(),
-                        element: e.id,
-                        object: e.object,
-                        valid: e.valid,
-                        attrs: e.attrs.clone(),
-                    },
-                ));
-                if let Some(tt_d) = e.tt_end {
-                    ops.push((
-                        tt_d,
-                        0,
-                        Op::Delete {
-                            relation: name.clone(),
-                            element: e.id,
-                        },
-                    ));
-                }
+                push_element_ops(&mut ops, &name, e);
             }
         });
     }
+    render_ops(&mut out, ops);
+    out
+}
+
+/// Serializes a pinned [`DbSnapshot`] to the same dump format: exactly the
+/// transaction-time prefix `tt ≤ pin`, with deletions stamped after the
+/// pin unwound. Restoring the result reproduces the database as it stood
+/// at the pin — the differential harness for concurrent serving replays
+/// queries against such restores.
+#[must_use]
+pub fn dump_snapshot(snap: &DbSnapshot) -> String {
+    let mut out = String::from("TEMPORA DUMP v1\n");
+    let mut ops: Vec<(Timestamp, usize, Op)> = Vec::new();
+    for name in snap.relation_names() {
+        let rel = snap.relation(&name).expect("listed");
+        let _ = writeln!(out, "{};", render_ddl(rel.schema()));
+        for e in rel.iter_pinned() {
+            push_element_ops(&mut ops, &name, &e);
+        }
+    }
+    render_ops(&mut out, ops);
+    out
+}
+
+fn push_element_ops(ops: &mut Vec<(Timestamp, usize, Op)>, relation: &str, e: &Element) {
+    // Order key: inserts after deletes at the same tt (so a modify
+    // replays delete-then-insert).
+    ops.push((
+        e.tt_begin,
+        1,
+        Op::Insert {
+            relation: relation.to_string(),
+            element: e.id,
+            object: e.object,
+            valid: e.valid,
+            attrs: e.attrs.clone(),
+        },
+    ));
+    if let Some(tt_d) = e.tt_end {
+        ops.push((
+            tt_d,
+            0,
+            Op::Delete {
+                relation: relation.to_string(),
+                element: e.id,
+            },
+        ));
+    }
+}
+
+fn render_ops(out: &mut String, mut ops: Vec<(Timestamp, usize, Op)>) {
     ops.sort_by_key(|(tt, phase, _)| (*tt, *phase));
     out.push_str("DATA\n");
     for (tt, _, op) in &ops {
@@ -107,7 +138,6 @@ pub fn dump(db: &Database) -> String {
             }
         }
     }
-    out
 }
 
 /// Restores a dump into a fresh database driven by the given manual clock

@@ -28,6 +28,7 @@ mod ddl;
 pub mod dml;
 pub mod dump;
 pub mod report;
+mod snapshot;
 
 pub use advisor::{
     advise_events, advise_events_partitioned, advise_intervals, audit, audit_strict, Advice,
@@ -37,4 +38,5 @@ pub use catalog::Catalog;
 pub use database::{Database, DbError, ExecOutcome};
 pub use ddl::{parse_ddl, parse_ddl_unchecked, render_ddl, DdlError};
 pub use dml::{parse_dml, DmlStatement};
-pub use dump::{dump, restore, restore_into};
+pub use dump::{dump, dump_snapshot, restore, restore_into};
+pub use snapshot::DbSnapshot;

@@ -227,6 +227,17 @@ impl IndexedRelation {
         self.run(query, annotated.plan, annotated.residual)
     }
 
+    /// Current elements whose valid time covers `vt` (the valid-timeslice
+    /// read), routed through the planner — and therefore through the
+    /// maintained point index or interval tree when the schema selected
+    /// one — rather than [`TemporalRelation::timeslice`]'s storage-level
+    /// path, which cannot see the auxiliary index and falls back to a
+    /// scan for interval-stamped relations.
+    #[must_use]
+    pub fn timeslice(&self, vt: Timestamp) -> QueryResult {
+        self.execute(Query::Timeslice { vt })
+    }
+
     /// Explains how [`Self::execute`] would answer a query: the chosen
     /// plan, the residual predicate strength, and the analyzer's proof
     /// when one rewrote the plan.
@@ -279,42 +290,18 @@ impl IndexedRelation {
                 }
             }
             Plan::AppendOrderSearch { from, to } => {
-                let run = self
-                    .relation
-                    .vt_ordered_slice(from, to)
-                    .unwrap_or(&[]);
-                for e in run {
-                    examined += 1;
-                    if predicate(e) {
-                        elements.push(e.clone());
+                if let Some(run) = self.relation.vt_ordered_slice(from, to) {
+                    for e in run {
+                        examined += 1;
+                        if predicate(e) {
+                            elements.push(e.clone());
+                        }
                     }
                 }
             }
             Plan::TtWindowScan { band, from, to } => {
-                let probe_floor = match self.relation.schema().stamping() {
-                    Stamping::Event => Some(from),
-                    // Interval begins may precede the probe by up to the
-                    // interval's duration; the optimizer only emits this
-                    // plan when durations are bounded, but stay sound by
-                    // falling back to an unbounded floor otherwise.
-                    Stamping::Interval => crate::optimizer::max_interval_duration(
-                        self.relation.schema(),
-                    )
-                    .map(|d| from.saturating_sub(d)),
-                };
-                let last_vt = to.saturating_sub(TimeDelta::RESOLUTION);
-                let lo_edge = match (probe_floor, band.hi) {
-                    (Some(floor), Some(hi)) => floor.saturating_sub(TimeDelta::from_micros(hi)),
-                    _ => Timestamp::MIN,
-                };
-                let mut hi_edge = match band.lo {
-                    Some(lo) => last_vt.saturating_sub(TimeDelta::from_micros(lo)),
-                    None => Timestamp::MAX,
-                };
-                // As-of queries never see elements stored after `tt`.
-                if let Query::Bitemporal { tt, .. } = query {
-                    hi_edge = hi_edge.min(tt);
-                }
+                let (lo_edge, hi_edge) =
+                    tt_window_edges(self.relation.schema(), query, band, from, to);
                 for e in self.relation.tt_range(lo_edge, hi_edge) {
                     examined += 1;
                     if predicate(e) {
@@ -378,6 +365,44 @@ impl fmt::Debug for IndexedRelation {
             .field("choice", &self.choice)
             .finish()
     }
+}
+
+/// The transaction-time window `[lo, hi]` a [`Plan::TtWindowScan`] probes:
+/// the valid-time probe translated through the declared offset band, with
+/// the interval-duration floor for interval stamps and the as-of clip for
+/// bitemporal queries. Shared by the live executor and the snapshot
+/// executor so both scan the same window.
+pub(crate) fn tt_window_edges(
+    schema: &RelationSchema,
+    query: Query,
+    band: tempora_core::region::OffsetBand,
+    from: Timestamp,
+    to: Timestamp,
+) -> (Timestamp, Timestamp) {
+    let probe_floor = match schema.stamping() {
+        Stamping::Event => Some(from),
+        // Interval begins may precede the probe by up to the interval's
+        // duration; the optimizer only emits this plan when durations are
+        // bounded, but stay sound by falling back to an unbounded floor
+        // otherwise.
+        Stamping::Interval => {
+            crate::optimizer::max_interval_duration(schema).map(|d| from.saturating_sub(d))
+        }
+    };
+    let last_vt = to.saturating_sub(TimeDelta::RESOLUTION);
+    let lo_edge = match (probe_floor, band.hi) {
+        (Some(floor), Some(hi)) => floor.saturating_sub(TimeDelta::from_micros(hi)),
+        _ => Timestamp::MIN,
+    };
+    let mut hi_edge = match band.lo {
+        Some(lo) => last_vt.saturating_sub(TimeDelta::from_micros(lo)),
+        None => Timestamp::MAX,
+    };
+    // As-of queries never see elements stored after `tt`.
+    if let Query::Bitemporal { tt, .. } = query {
+        hi_edge = hi_edge.min(tt);
+    }
+    (lo_edge, hi_edge)
 }
 
 /// The logical predicate a query asks of each element (the residual filter
@@ -557,6 +582,46 @@ mod tests {
         assert_eq!(result.stats.returned, 3);
         let full = rel.execute_plan(Query::Timeslice { vt: ts(500) }, Plan::FullScan);
         assert_eq!(sorted_ids(&result.elements), sorted_ids(&full.elements));
+    }
+
+    #[test]
+    fn timeslice_routes_through_interval_index_not_a_scan() {
+        // Regression test for the unindexed-timeslice bug: with an
+        // interval tree maintained on the relation, the timeslice read
+        // must probe it instead of scanning every element — and must
+        // still agree with the exhaustive storage-level scan oracle.
+        let schema = RelationSchema::builder("r", Stamping::Interval)
+            .build()
+            .unwrap();
+        let clock = clock_at(0);
+        let mut rel = IndexedRelation::new(schema, clock.clone());
+        let n = 2_000_i64;
+        for i in 0..n {
+            clock.set(ts(i + 1));
+            let iv = tempora_time::Interval::new(ts(i * 10), ts(i * 10 + 25)).unwrap();
+            rel.insert(ObjectId::new(1), iv, vec![]).unwrap();
+        }
+        assert_eq!(rel.index_choice(), IndexChoice::IntervalTree);
+        let probe = ts(10_000);
+        let result = rel.timeslice(probe);
+        assert_eq!(result.stats.strategy, "interval-probe");
+        assert!(
+            result.stats.examined <= 8,
+            "indexed timeslice examined {} of {n} elements — it is scanning",
+            result.stats.examined
+        );
+        // Exactness against the storage scan oracle.
+        let oracle: Vec<ElementId> = {
+            let mut v: Vec<ElementId> = rel
+                .relation()
+                .timeslice_scan(probe)
+                .iter()
+                .map(|e| e.id)
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sorted_ids(&result.elements), oracle);
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   its selected index maintained on every update, and
 //!   [`IndexedRelation::execute`] which runs plans and reports
 //!   [`ExecStats`] (elements examined vs. returned — the asymptotic win is
-//!   visible, not just wall-clock).
+//!   visible, not just wall-clock);
+//! * [`SnapshotRelation`] — a lock-free executor over an immutable chunk
+//!   view pinned at a transaction tick: the read path concurrent serving
+//!   uses, answering every query form as of the pin without blocking (or
+//!   being blocked by) ingest.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +32,12 @@ mod exec;
 pub mod join;
 mod optimizer;
 mod plan;
+mod snapshot;
 pub mod timeline;
 pub mod tql;
 
 pub use exec::{ExecStats, IndexedRelation, QueryResult};
 pub use optimizer::{plan_query, plan_query_annotated};
 pub use plan::{AnnotatedPlan, Plan, Query, Residual};
+pub use snapshot::SnapshotRelation;
 pub use tql::{parse_tql, TqlError, TqlStatement};

@@ -11,11 +11,17 @@
 //! [`AppendLog`] exploits exactly that: elements are kept in arrival
 //! (transaction-time) order, which for these specializations is *also*
 //! valid-time order, so both rollback and valid-timeslice reads are binary
-//! searches with no extra index.
+//! searches with no extra index. Elements live in copy-on-write chunks
+//! ([`crate::chunks`]) so a pinned snapshot shares storage with the live
+//! log instead of copying it.
+
+use std::collections::HashMap;
 
 use tempora_time::Timestamp;
 
 use tempora_core::{CoreError, Element, ElementId};
+
+use crate::chunks::{ChunkedElements, ElementChunks};
 
 /// Append-only element storage where arrival order is simultaneously
 /// transaction- and valid-time order.
@@ -26,7 +32,16 @@ use tempora_core::{CoreError, Element, ElementId};
 /// non-decreasing relations).
 #[derive(Debug, Default, Clone)]
 pub struct AppendLog {
-    elements: Vec<Element>,
+    elements: ChunkedElements,
+    /// Element surrogate → global position, maintained on append so
+    /// point lookups and logical deletion stay O(1) instead of scanning —
+    /// delete-heavy workloads (a served database's UPDATE/DELETE traffic)
+    /// would otherwise go quadratic.
+    by_id: HashMap<ElementId, usize>,
+    /// Elements examined while locating delete targets (cumulative).
+    /// With the `by_id` map each delete examines exactly one element; a
+    /// regression to scanning shows up here as O(position) growth.
+    locate_probes: u64,
 }
 
 impl AppendLog {
@@ -53,10 +68,17 @@ impl AppendLog {
     /// # Errors
     ///
     /// Returns [`CoreError::ElementMismatch`] if transaction times are not
-    /// strictly increasing or valid begins are not non-decreasing (the
+    /// strictly increasing, valid begins are not non-decreasing (the
     /// schema promised an ordered relation; a violation here means the
-    /// constraint engine was bypassed).
+    /// constraint engine was bypassed), or the surrogate is already
+    /// stored.
     pub fn append(&mut self, element: Element) -> Result<(), CoreError> {
+        if self.by_id.contains_key(&element.id) {
+            return Err(CoreError::ElementMismatch {
+                element: element.id,
+                reason: "element surrogate already stored".to_string(),
+            });
+        }
         if let Some(last) = self.elements.last() {
             if element.tt_begin <= last.tt_begin {
                 return Err(CoreError::ElementMismatch {
@@ -78,6 +100,7 @@ impl AppendLog {
                 });
             }
         }
+        self.by_id.insert(element.id, self.elements.len());
         self.elements.push(element);
         Ok(())
     }
@@ -87,50 +110,73 @@ impl AppendLog {
         self.elements.iter()
     }
 
-    /// The element by surrogate (linear; the log is not keyed — use the
-    /// relation façade's indexes for point lookups).
+    /// The element by surrogate (via the id→position map).
     #[must_use]
     pub fn get(&self, id: ElementId) -> Option<&Element> {
-        self.elements.iter().find(|e| e.id == id)
+        self.by_id.get(&id).and_then(|&i| self.elements.get(i))
     }
 
     /// Elements of the historical state at transaction time `tt`: the
     /// prefix with `tt_b ≤ tt` (binary search), minus logical deletions.
     pub fn iter_at(&self, tt: Timestamp) -> impl Iterator<Item = &Element> + '_ {
         let end = self.elements.partition_point(|e| e.tt_begin <= tt);
-        self.elements[..end].iter().filter(move |e| e.existed_at(tt))
+        self.elements.range(0..end).filter(move |e| e.existed_at(tt))
     }
 
     /// Elements whose valid begin lies in `[from, to)` — a contiguous run
     /// found by binary search, the payoff of the ordering invariant.
-    #[must_use]
-    pub fn slice_by_vt_begin(&self, from: Timestamp, to: Timestamp) -> &[Element] {
+    pub fn slice_by_vt_begin(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> impl Iterator<Item = &Element> + '_ {
         let lo = self.elements.partition_point(|e| e.valid.begin() < from);
         let hi = self.elements.partition_point(|e| e.valid.begin() < to);
-        &self.elements[lo..hi]
+        self.elements.range(lo..hi)
     }
 
     /// Elements with `tt_b` in the inclusive window `[lo, hi]` (binary
     /// search on arrival order).
-    #[must_use]
-    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> &[Element] {
+    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> impl Iterator<Item = &Element> + '_ {
         let start = self.elements.partition_point(|e| e.tt_begin < lo);
         let end = self.elements.partition_point(|e| e.tt_begin <= hi);
-        &self.elements[start..end]
+        self.elements.range(start..end)
     }
 
-    /// Marks an element logically deleted (linear scan; deletions are rare
-    /// in the append-mostly workloads this representation targets).
+    /// An immutable chunk view of the log's current contents (see
+    /// [`ChunkedElements::snapshot`]): sealed chunks shared by pointer,
+    /// the open tail copied.
+    #[must_use]
+    pub fn snapshot(&self) -> ElementChunks {
+        self.elements.snapshot()
+    }
+
+    /// Cumulative count of elements examined while locating delete
+    /// targets. With the id→position map each delete examines exactly
+    /// one element, so this advances by one per attempted delete of a
+    /// known surrogate — the observable the delete-path complexity
+    /// regression test pins down.
+    #[must_use]
+    pub fn locate_probes(&self) -> u64 {
+        self.locate_probes
+    }
+
+    /// Marks an element logically deleted (O(1) through the id→position
+    /// map; the touched chunk is copied first if a snapshot shares it).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::NoSuchElement`] for unknown or already deleted
     /// surrogates, [`CoreError::ElementMismatch`] for `tt_d ≤ tt_b`.
     pub fn delete(&mut self, id: ElementId, tt_d: Timestamp) -> Result<(), CoreError> {
+        let index = *self
+            .by_id
+            .get(&id)
+            .ok_or(CoreError::NoSuchElement { element: id })?;
+        self.locate_probes += 1;
         let element = self
             .elements
-            .iter_mut()
-            .find(|e| e.id == id)
+            .get_mut(index)
             .ok_or(CoreError::NoSuchElement { element: id })?;
         if element.tt_end.is_some() {
             return Err(CoreError::NoSuchElement { element: id });
@@ -172,6 +218,7 @@ mod tests {
         log.append(el(3, 12, 12)).unwrap();
         assert!(log.append(el(4, 11, 13)).is_err()); // vt regression
         assert!(log.append(el(5, 20, 12)).is_err()); // tt regression
+        assert!(log.append(el(3, 20, 13)).is_err()); // duplicate surrogate
         assert_eq!(log.len(), 3);
     }
 
@@ -181,11 +228,11 @@ mod tests {
         for i in 0..100_i64 {
             log.append(el(u64::try_from(i).unwrap(), i * 10, i * 10 + 1)).unwrap();
         }
-        let run = log.slice_by_vt_begin(ts(200), ts(300));
+        let run: Vec<&Element> = log.slice_by_vt_begin(ts(200), ts(300)).collect();
         assert_eq!(run.len(), 10);
         assert_eq!(run[0].valid.begin(), ts(200));
         assert_eq!(run[9].valid.begin(), ts(290));
-        assert!(log.slice_by_vt_begin(ts(5_000), ts(6_000)).is_empty());
+        assert_eq!(log.slice_by_vt_begin(ts(5_000), ts(6_000)).count(), 0);
     }
 
     #[test]
@@ -216,5 +263,41 @@ mod tests {
         log.append(el(7, 10, 10)).unwrap();
         assert!(log.get(ElementId::new(7)).is_some());
         assert!(log.get(ElementId::new(8)).is_none());
+    }
+
+    #[test]
+    fn delete_locates_in_constant_probes() {
+        // Regression test for the delete-path complexity fix: locating
+        // the delete target must not scan the log. Deleting the *last*
+        // element of a large log examines one element, not `len`.
+        let n = 4_096_i64;
+        let mut log = AppendLog::new();
+        for i in 0..n {
+            log.append(el(u64::try_from(i).unwrap(), i, i + 1)).unwrap();
+        }
+        let before = log.locate_probes();
+        log.delete(ElementId::new(u64::try_from(n - 1).unwrap()), ts(n + 10)).unwrap();
+        let probes = log.locate_probes() - before;
+        assert!(
+            probes <= 2,
+            "deleting the last of {n} elements examined {probes} elements — \
+             the id→position map is not being used"
+        );
+        // And the deletion itself is equivalent to what a scan would do.
+        assert!(log.get(ElementId::new(u64::try_from(n - 1).unwrap())).unwrap().tt_end.is_some());
+    }
+
+    #[test]
+    fn snapshot_isolated_from_deletes() {
+        let mut log = AppendLog::new();
+        for i in 0..2_000_i64 {
+            log.append(el(u64::try_from(i).unwrap(), i, i + 1)).unwrap();
+        }
+        let snap = log.snapshot();
+        log.delete(ElementId::new(5), ts(5_000)).unwrap();
+        // The live log sees the delete; the snapshot does not.
+        assert!(log.get(ElementId::new(5)).unwrap().tt_end.is_some());
+        assert_eq!(snap.get(5).unwrap().tt_end, None);
+        assert_eq!(snap.len(), 2_000);
     }
 }

@@ -1,0 +1,327 @@
+//! Chunked copy-on-write element storage: the snapshot enabler.
+//!
+//! Transaction time is append-only (§2: elements are entered in
+//! time-stamp order and never physically removed by updates), so a reader
+//! pinned at tick `t` sees an immutable prefix of the element sequence.
+//! [`ChunkedElements`] makes that prefix *cheap to hand out*: elements
+//! live in fixed-capacity chunks behind [`Arc`]s, and
+//! [`ChunkedElements::snapshot`] clones the chunk pointers — not the
+//! elements — plus a bounded copy of the open tail chunk. Logical
+//! deletion (the only in-place mutation the model permits) goes through
+//! [`Arc::make_mut`], so a writer touching a chunk some snapshot still
+//! holds pays one chunk-sized copy and never disturbs the reader.
+//!
+//! The result, [`ElementChunks`], is an immutable view that outlives any
+//! lock: snapshot queries execute against it without blocking ingest, and
+//! ingest never blocks them.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use tempora_core::Element;
+
+/// Elements per sealed chunk. Every sealed chunk holds exactly this many
+/// elements, so position ↔ (chunk, offset) is pure index math; only the
+/// open tail chunk is shorter. 1024 elements keeps the copy-on-write
+/// worst case (one chunk clone per snapshot-shared delete) small while
+/// amortizing the per-chunk `Arc` overhead.
+pub const CHUNK_CAP: usize = 1024;
+
+/// Append-mostly element storage in copy-on-write chunks.
+///
+/// Maintains the same ordering contract as a plain `Vec<Element>` held in
+/// `tt_b` order; all binary searches work on global positions.
+#[derive(Debug, Default, Clone)]
+pub struct ChunkedElements {
+    /// Sealed chunks of exactly [`CHUNK_CAP`] elements each, shared with
+    /// any live snapshots.
+    sealed: Vec<Arc<Vec<Element>>>,
+    /// The open tail chunk (never longer than [`CHUNK_CAP`]).
+    tail: Vec<Element>,
+}
+
+impl ChunkedElements {
+    /// Empty storage.
+    #[must_use]
+    pub fn new() -> Self {
+        ChunkedElements::default()
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sealed.len() * CHUNK_CAP + self.tail.len()
+    }
+
+    /// Whether no element was ever stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Appends an element; seals the tail chunk when it reaches capacity
+    /// (a pointer move, not a copy).
+    pub fn push(&mut self, element: Element) {
+        self.tail.push(element);
+        if self.tail.len() == CHUNK_CAP {
+            let full = std::mem::take(&mut self.tail);
+            self.sealed.push(Arc::new(full));
+        }
+    }
+
+    /// The element at global position `index`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&Element> {
+        let sealed_len = self.sealed.len() * CHUNK_CAP;
+        if index < sealed_len {
+            Some(&self.sealed[index / CHUNK_CAP][index % CHUNK_CAP])
+        } else {
+            self.tail.get(index - sealed_len)
+        }
+    }
+
+    /// Mutable access at global position `index`. If the chunk is shared
+    /// with a snapshot this copies that one chunk first (copy-on-write);
+    /// the snapshot keeps the original.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut Element> {
+        let sealed_len = self.sealed.len() * CHUNK_CAP;
+        if index < sealed_len {
+            let chunk = Arc::make_mut(&mut self.sealed[index / CHUNK_CAP]);
+            chunk.get_mut(index % CHUNK_CAP)
+        } else {
+            self.tail.get_mut(index - sealed_len)
+        }
+    }
+
+    /// The most recently appended element.
+    #[must_use]
+    pub fn last(&self) -> Option<&Element> {
+        self.tail
+            .last()
+            .or_else(|| self.sealed.last().and_then(|c| c.last()))
+    }
+
+    /// All elements in append order.
+    pub fn iter(&self) -> impl Iterator<Item = &Element> + '_ {
+        self.sealed
+            .iter()
+            .flat_map(|c| c.iter())
+            .chain(self.tail.iter())
+    }
+
+    /// Elements in the global position range (chunk-aware; skipping to
+    /// `range.start` is index math, not iteration).
+    pub fn range(&self, range: Range<usize>) -> impl Iterator<Item = &Element> + '_ {
+        let len = self.len();
+        let start = range.start.min(len);
+        let end = range.end.min(len).max(start);
+        (start..end).map(move |i| self.get(i).expect("index in bounds"))
+    }
+
+    /// The first position for which `pred` is false, assuming the
+    /// elements are partitioned (all `true` before all `false`) — the
+    /// chunked analogue of [`slice::partition_point`].
+    #[must_use]
+    pub fn partition_point(&self, pred: impl Fn(&Element) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.get(mid).expect("mid in bounds")) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// An immutable view of the current contents: sealed chunks are
+    /// shared by pointer, the open tail is copied (bounded by
+    /// [`CHUNK_CAP`]). Cost is O(chunks + tail), independent of element
+    /// count in the sealed region.
+    #[must_use]
+    pub fn snapshot(&self) -> ElementChunks {
+        let mut chunks = self.sealed.clone();
+        if !self.tail.is_empty() {
+            chunks.push(Arc::new(self.tail.clone()));
+        }
+        ElementChunks {
+            len: self.len(),
+            chunks,
+        }
+    }
+
+    /// Rebuilds from a plain ordered vector (vacuum uses this after
+    /// physically reclaiming elements).
+    #[must_use]
+    pub fn from_vec(elements: Vec<Element>) -> Self {
+        let mut built = ChunkedElements::new();
+        for e in elements {
+            built.push(e);
+        }
+        built
+    }
+}
+
+/// An immutable, cheaply cloneable view over element chunks — what a
+/// pinned snapshot reads. All chunks except the last hold exactly
+/// [`CHUNK_CAP`] elements, so positional access stays O(1).
+#[derive(Debug, Default, Clone)]
+pub struct ElementChunks {
+    chunks: Vec<Arc<Vec<Element>>>,
+    len: usize,
+}
+
+impl ElementChunks {
+    /// Total number of elements in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The element at global position `index`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&Element> {
+        if index >= self.len {
+            return None;
+        }
+        Some(&self.chunks[index / CHUNK_CAP][index % CHUNK_CAP])
+    }
+
+    /// All elements in append order.
+    pub fn iter(&self) -> impl Iterator<Item = &Element> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Elements in the global position range.
+    pub fn range(&self, range: Range<usize>) -> impl Iterator<Item = &Element> + '_ {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len).max(start);
+        (start..end).map(move |i| self.get(i).expect("index in bounds"))
+    }
+
+    /// The first position for which `pred` is false (see
+    /// [`ChunkedElements::partition_point`]).
+    #[must_use]
+    pub fn partition_point(&self, pred: impl Fn(&Element) -> bool) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.get(mid).expect("mid in bounds")) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::{ElementId, ObjectId, ValidTime};
+    use tempora_time::Timestamp;
+
+    fn el(id: u64, tt: i64) -> Element {
+        Element::new(
+            ElementId::new(id),
+            ObjectId::new(1),
+            ValidTime::Event(Timestamp::from_secs(tt)),
+            Timestamp::from_secs(tt),
+        )
+    }
+
+    #[test]
+    fn push_get_across_chunk_boundaries() {
+        let n = CHUNK_CAP * 2 + 37;
+        let mut c = ChunkedElements::new();
+        for i in 0..n {
+            c.push(el(i as u64, i as i64));
+        }
+        assert_eq!(c.len(), n);
+        for i in [0, 1, CHUNK_CAP - 1, CHUNK_CAP, 2 * CHUNK_CAP, n - 1] {
+            assert_eq!(c.get(i).unwrap().id, ElementId::new(i as u64));
+        }
+        assert!(c.get(n).is_none());
+        assert_eq!(c.last().unwrap().id, ElementId::new((n - 1) as u64));
+        assert_eq!(c.iter().count(), n);
+        let mid: Vec<u64> = c
+            .range(CHUNK_CAP - 2..CHUNK_CAP + 2)
+            .map(|e| e.id.raw())
+            .collect();
+        assert_eq!(mid, vec![1022, 1023, 1024, 1025]);
+    }
+
+    #[test]
+    fn partition_point_matches_vec() {
+        let mut c = ChunkedElements::new();
+        let mut v = Vec::new();
+        for i in 0..(CHUNK_CAP + 100) {
+            c.push(el(i as u64, i as i64));
+            v.push(el(i as u64, i as i64));
+        }
+        for probe in [0_i64, 1, 512, 1024, 1100, 9999] {
+            let t = Timestamp::from_secs(probe);
+            assert_eq!(
+                c.partition_point(|e| e.tt_begin <= t),
+                v.partition_point(|e| e.tt_begin <= t),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut c = ChunkedElements::new();
+        for i in 0..(CHUNK_CAP + 10) {
+            c.push(el(i as u64, i as i64));
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), CHUNK_CAP + 10);
+
+        // Appends after the snapshot are invisible to it.
+        c.push(el(9_000, 9_000));
+        assert_eq!(snap.len(), CHUNK_CAP + 10);
+        assert!(snap.iter().all(|e| e.id.raw() != 9_000));
+
+        // In-place mutation of a sealed chunk copies on write: the
+        // snapshot keeps the original element.
+        c.get_mut(5).unwrap().tt_end = Some(Timestamp::from_secs(99));
+        assert_eq!(snap.get(5).unwrap().tt_end, None);
+        assert!(c.get(5).unwrap().tt_end.is_some());
+
+        // Mutation in the (copied) tail region likewise.
+        c.get_mut(CHUNK_CAP + 3).unwrap().tt_end = Some(Timestamp::from_secs(99));
+        assert_eq!(snap.get(CHUNK_CAP + 3).unwrap().tt_end, None);
+    }
+
+    #[test]
+    fn snapshot_range_and_partition_point() {
+        let mut c = ChunkedElements::new();
+        for i in 0..(2 * CHUNK_CAP + 5) {
+            c.push(el(i as u64, i as i64));
+        }
+        let snap = c.snapshot();
+        let t = Timestamp::from_secs(1500);
+        let cut = snap.partition_point(|e| e.tt_begin <= t);
+        assert_eq!(cut, 1501);
+        let ids: Vec<u64> = snap.range(cut - 2..cut).map(|e| e.id.raw()).collect();
+        assert_eq!(ids, vec![1499, 1500]);
+        assert_eq!(snap.range(0..snap.len()).count(), snap.len());
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let v: Vec<Element> = (0..(CHUNK_CAP + 3)).map(|i| el(i as u64, i as i64)).collect();
+        let c = ChunkedElements::from_vec(v.clone());
+        assert_eq!(c.len(), v.len());
+        assert!(c.iter().zip(v.iter()).all(|(a, b)| a.id == b.id));
+    }
+}

@@ -26,7 +26,13 @@
 //! * [`ingest`] — batched, sharded ingest: update batches are partitioned
 //!   by object surrogate and constraint-checked in parallel when the
 //!   declared specializations are partition-local (§3.2's per-surrogate
-//!   basis), via [`TemporalRelation::apply_batch`].
+//!   basis), via [`TemporalRelation::apply_batch`];
+//! * [`chunks`] — the chunked copy-on-write element storage both primary
+//!   representations sit on: because transaction time is append-only, a
+//!   reader pinned at tick `t` sees an immutable prefix, and
+//!   [`TemporalRelation::snapshot_elements`] hands that prefix out as a
+//!   cheap [`ElementChunks`] view that never blocks (or is blocked by)
+//!   writers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +41,7 @@ mod append_log;
 mod attribute_store;
 mod backlog;
 mod cache;
+pub mod chunks;
 pub mod ingest;
 mod metrics;
 mod relation;
@@ -45,6 +52,7 @@ pub use append_log::AppendLog;
 pub use attribute_store::{AttributeHistory, AttributeStore};
 pub use backlog::{Backlog, BacklogKind, BacklogOp};
 pub use cache::StateCache;
+pub use chunks::{ChunkedElements, ElementChunks, CHUNK_CAP};
 pub use ingest::{BatchRecord, BatchReport};
 pub use relation::{Enforcement, RelationStats, TemporalRelation};
 pub use tuple_store::TupleStore;

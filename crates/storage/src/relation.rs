@@ -3,14 +3,15 @@
 use std::fmt;
 use std::sync::Arc;
 
-use tempora_time::{Timestamp, TransactionClock};
+use tempora_time::{TimeDelta, Timestamp, TransactionClock};
 
 use tempora_core::constraint::ConstraintEngine;
 use tempora_core::{
-    AttrName, CoreError, Element, ElementId, ObjectId, RelationSchema, Value, ValidTime,
+    AttrName, CoreError, Element, ElementId, ObjectId, RelationSchema, Stamping, Value, ValidTime,
 };
 
 use crate::append_log::AppendLog;
+use crate::chunks::ElementChunks;
 use crate::backlog::Backlog;
 use crate::ingest::{BatchRecord, BatchReport};
 use crate::tuple_store::TupleStore;
@@ -589,35 +590,50 @@ impl TemporalRelation {
     }
 
     /// Current elements whose valid time covers `vt` (a *historical query*
-    /// / valid timeslice, §1). Representation-aware: ordered stores binary-
-    /// search; the general store scans. (The full planner with tt-proxy
-    /// optimization lives in `tempora-query`.)
+    /// / valid timeslice, §1). Representation-aware: ordered event stores
+    /// binary-search the run of matching valid begins; interval-stamped
+    /// and general stores scan. (The full planner with tt-proxy
+    /// optimization and auxiliary indexes lives in `tempora-query`; this
+    /// is the storage-level answer.)
     pub fn timeslice(&self, vt: Timestamp) -> Vec<&Element> {
-        match &self.store {
-            Store::Append(s) => {
-                // Elements are vt-begin ordered; candidates have begin ≤ vt.
-                // For event stamps the run [vt, vt+ε) suffices; for interval
-                // stamps any earlier begin may still cover vt, so scan the
-                // ordered prefix and stop early only for event relations.
-                s.iter()
-                    .filter(|e| e.is_current() && e.valid.covers(vt))
+        match (&self.store, self.schema.stamping()) {
+            (Store::Append(s), Stamping::Event) => {
+                // Elements are vt-begin ordered and an event stamp covers
+                // `vt` exactly when it equals `vt`: the answer is the run
+                // [vt, vt+ε), found by binary search.
+                s.slice_by_vt_begin(vt, vt.saturating_add(TimeDelta::RESOLUTION))
+                    .filter(|e| e.is_current())
                     .collect()
             }
-            Store::Tuple(s) => s
+            // Interval stamps with earlier begins may still cover `vt`,
+            // so the ordered prefix must be scanned.
+            (Store::Append(s), Stamping::Interval) => s
+                .iter()
+                .filter(|e| e.is_current() && e.valid.covers(vt))
+                .collect(),
+            (Store::Tuple(s), _) => s
                 .iter_current()
                 .filter(|e| e.valid.covers(vt))
                 .collect(),
         }
     }
 
+    /// [`Self::timeslice`] by exhaustive scan, whatever the
+    /// representation — the oracle the differential tests compare the
+    /// representation-aware and index-backed paths against.
+    pub fn timeslice_scan(&self, vt: Timestamp) -> Vec<&Element> {
+        self.iter()
+            .filter(|e| e.is_current() && e.valid.covers(vt))
+            .collect()
+    }
+
     /// Elements with `tt_b` in the inclusive window `[lo, hi]` — the
     /// binary-searched transaction-time probe issued by the tt-proxy
     /// strategy.
-    #[must_use]
-    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> &[Element] {
+    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> Box<dyn Iterator<Item = &Element> + '_> {
         match &self.store {
-            Store::Tuple(s) => s.tt_range(lo, hi),
-            Store::Append(s) => s.tt_range(lo, hi),
+            Store::Tuple(s) => Box::new(s.tt_range(lo, hi)),
+            Store::Append(s) => Box::new(s.tt_range(lo, hi)),
         }
     }
 
@@ -625,10 +641,29 @@ impl TemporalRelation {
     /// uses the append-only (valid-time-ordered) representation; `None`
     /// otherwise.
     #[must_use]
-    pub fn vt_ordered_slice(&self, from: Timestamp, to: Timestamp) -> Option<&[Element]> {
+    pub fn vt_ordered_slice(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Option<Box<dyn Iterator<Item = &Element> + '_>> {
         match &self.store {
-            Store::Append(s) => Some(s.slice_by_vt_begin(from, to)),
+            Store::Append(s) => {
+                Some(Box::new(s.slice_by_vt_begin(from, to)) as Box<dyn Iterator<Item = &Element>>)
+            }
             Store::Tuple(_) => None,
+        }
+    }
+
+    /// An immutable chunk view of every element ever stored, in
+    /// transaction-time order — the raw material of a pinned snapshot.
+    /// Sealed chunks are shared by pointer; only the open tail chunk is
+    /// copied, so the cost is independent of relation size (see
+    /// [`crate::chunks`]).
+    #[must_use]
+    pub fn snapshot_elements(&self) -> ElementChunks {
+        match &self.store {
+            Store::Tuple(s) => s.snapshot(),
+            Store::Append(s) => s.snapshot(),
         }
     }
 
@@ -852,6 +887,54 @@ mod tests {
         assert_eq!(rel.timeslice(ts(5)).len(), 2);
         assert_eq!(rel.timeslice(ts(7)).len(), 1);
         assert_eq!(rel.timeslice(ts(6)).len(), 0);
+    }
+
+    #[test]
+    fn append_event_timeslice_matches_scan_oracle() {
+        // The ordered-event fast path (binary search on the vt run) must
+        // agree with the exhaustive scan, including around deletions.
+        let schema = RelationSchema::builder("s", Stamping::Event)
+            .ordering(OrderingSpec::GloballySequential, Basis::PerRelation)
+            .build()
+            .unwrap();
+        let clock = clock_at(0);
+        let mut rel = TemporalRelation::new(schema, clock.clone());
+        let mut ids = Vec::new();
+        for i in 0..300_i64 {
+            clock.set(ts(i * 10 + 5));
+            ids.push(rel.insert(ObjectId::new(1), ts(i * 10), vec![]).unwrap());
+        }
+        clock.set(ts(10_000));
+        rel.delete(ids[50]).unwrap();
+        rel.delete(ids[51]).unwrap();
+        for probe in [0_i64, 500, 510, 520, 1_995, 2_990, 9_999] {
+            let fast: Vec<ElementId> = rel.timeslice(ts(probe)).iter().map(|e| e.id).collect();
+            let slow: Vec<ElementId> =
+                rel.timeslice_scan(ts(probe)).iter().map(|e| e.id).collect();
+            assert_eq!(fast, slow, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn snapshot_elements_isolated_from_later_writes() {
+        let clock = clock_at(0);
+        let mut rel = TemporalRelation::new(general_schema(), clock.clone());
+        clock.set(ts(10));
+        let a = rel.insert(ObjectId::new(1), ts(5), vec![]).unwrap();
+        clock.set(ts(20));
+        rel.insert(ObjectId::new(2), ts(6), vec![]).unwrap();
+        let snap = rel.snapshot_elements();
+        assert_eq!(snap.len(), 2);
+        clock.set(ts(30));
+        rel.delete(a).unwrap();
+        clock.set(ts(40));
+        rel.insert(ObjectId::new(3), ts(7), vec![]).unwrap();
+        // The view still shows the pre-write state.
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.get(0).unwrap().tt_end, None);
+        // The live relation moved on.
+        assert_eq!(rel.len(), 3);
+        assert!(rel.get(a).unwrap().tt_end.is_some());
     }
 
     #[test]

@@ -12,6 +12,8 @@ use tempora_time::Timestamp;
 
 use tempora_core::{CoreError, Element, ElementId, ObjectId};
 
+use crate::chunks::{ChunkedElements, ElementChunks};
+
 /// Tuple-time-stamped element storage.
 ///
 /// Invariants (checked in debug builds, maintained by construction):
@@ -21,8 +23,9 @@ use tempora_core::{CoreError, Element, ElementId, ObjectId};
 #[derive(Debug, Default, Clone)]
 pub struct TupleStore {
     /// All elements ever stored, in `tt_b` order (append-only; deletion is
-    /// logical — it sets `tt_end`).
-    elements: Vec<Element>,
+    /// logical — it sets `tt_end`). Copy-on-write chunks so snapshots
+    /// share storage with the live store (see [`crate::chunks`]).
+    elements: ChunkedElements,
     /// Element surrogate → position in `elements`.
     by_id: HashMap<ElementId, usize>,
     /// Every element ever stored per object (the per-surrogate partitions,
@@ -100,7 +103,10 @@ impl TupleStore {
             .by_id
             .get(&id)
             .ok_or(CoreError::NoSuchElement { element: id })?;
-        let element = &mut self.elements[idx];
+        let element = self
+            .elements
+            .get_mut(idx)
+            .ok_or(CoreError::NoSuchElement { element: id })?;
         if element.tt_end.is_some() {
             return Err(CoreError::NoSuchElement { element: id });
         }
@@ -117,7 +123,7 @@ impl TupleStore {
     /// The element with the given surrogate, if ever stored.
     #[must_use]
     pub fn get(&self, id: ElementId) -> Option<&Element> {
-        self.by_id.get(&id).map(|&i| &self.elements[i])
+        self.by_id.get(&id).and_then(|&i| self.elements.get(i))
     }
 
     /// All elements in `tt_b` order (including logically deleted ones).
@@ -137,7 +143,7 @@ impl TupleStore {
         // Elements are tt_b-ordered: binary search the insertion horizon,
         // then filter deletions.
         let end = self.elements.partition_point(|e| e.tt_begin <= tt);
-        self.elements[..end].iter().filter(move |e| e.existed_at(tt))
+        self.elements.range(0..end).filter(move |e| e.existed_at(tt))
     }
 
     /// Current elements of one object's partition (life-line).
@@ -158,11 +164,18 @@ impl TupleStore {
     /// Elements with `tt_b` in the inclusive window `[lo, hi]` — a binary-
     /// searched contiguous run of the transaction-time order, the probe the
     /// tt-proxy strategy issues.
-    #[must_use]
-    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> &[Element] {
+    pub fn tt_range(&self, lo: Timestamp, hi: Timestamp) -> impl Iterator<Item = &Element> + '_ {
         let start = self.elements.partition_point(|e| e.tt_begin < lo);
         let end = self.elements.partition_point(|e| e.tt_begin <= hi);
-        &self.elements[start..end]
+        self.elements.range(start..end)
+    }
+
+    /// An immutable chunk view of the store's current contents (see
+    /// [`ChunkedElements::snapshot`]): sealed chunks shared by pointer,
+    /// the open tail copied.
+    #[must_use]
+    pub fn snapshot(&self) -> ElementChunks {
+        self.elements.snapshot()
     }
 
     /// Number of elements current now.
@@ -181,14 +194,20 @@ impl TupleStore {
     /// reclaimed range, so the caller decides the retention policy.
     pub fn reclaim(&mut self, mut keep: impl FnMut(&Element) -> bool) -> usize {
         let before = self.elements.len();
-        self.elements.retain(|e| e.is_current() || keep(e));
-        if self.elements.len() != before {
+        let kept: Vec<Element> = self
+            .elements
+            .iter()
+            .filter(|e| e.is_current() || keep(e))
+            .cloned()
+            .collect();
+        if kept.len() != before {
             self.by_id.clear();
             self.by_object.clear();
-            for (i, e) in self.elements.iter().enumerate() {
+            for (i, e) in kept.iter().enumerate() {
                 self.by_id.insert(e.id, i);
                 self.by_object.entry(e.object).or_default().push(e.id);
             }
+            self.elements = ChunkedElements::from_vec(kept);
         }
         before - self.elements.len()
     }

@@ -192,7 +192,7 @@ proptest! {
             rel.insert(ObjectId::new(1), ts(0), vec![]).unwrap();
         }
         let (a, b) = (ts(lo), ts(lo + width));
-        let from_range: Vec<ElementId> = rel.tt_range(a, b).iter().map(|e| e.id).collect();
+        let from_range: Vec<ElementId> = rel.tt_range(a, b).map(|e| e.id).collect();
         let from_scan: Vec<ElementId> = rel
             .iter()
             .filter(|e| a <= e.tt_begin && e.tt_begin <= b)

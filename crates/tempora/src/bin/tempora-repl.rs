@@ -24,7 +24,9 @@
 //! `.explain SELECT …`, `.shards <relation> <n>`, `.metrics [prom]`,
 //! `.trace [n]`, `.taxonomy`, `.dump <file>`, `.restore <file>`,
 //! `.open <dir> [always|never|group:<n>]`, `.save`, `.wal [retry]`,
-//! `.help`, `.quit`. Statements may span lines by ending a line with `\`.
+//! `.connect <host:port>` (forward statements to a `tempora-serve`
+//! instance), `.disconnect`, `.help`, `.quit`. Statements may span lines
+//! by ending a line with `\`.
 
 use std::io::{self, BufRead, Write};
 use std::sync::Arc;
@@ -32,24 +34,28 @@ use std::sync::Arc;
 use tempora::design::dump::{dump, restore_into};
 use tempora::design::{report, Database};
 use tempora::prelude::*;
+use tempora::serve::{Client, ResponseStatus};
 use tempora::wal::{DirStorage, DurabilityConfig, DurableDatabase, FsyncPolicy};
 use tempora::time::RecoveryClock;
 
-/// The shell's database: plain in-memory, or wrapped in the WAL.
+/// The shell's database: plain in-memory, wrapped in the WAL, or a
+/// network client speaking to a `tempora-serve` instance.
 enum Session {
     Volatile(Database),
     Durable(DurableDatabase),
+    Remote(Client),
 }
 
 impl Session {
-    fn db(&self) -> &Database {
+    fn db(&self) -> Option<&Database> {
         match self {
-            Session::Volatile(db) => db,
-            Session::Durable(db) => db.db(),
+            Session::Volatile(db) => Some(db),
+            Session::Durable(db) => Some(db.db()),
+            Session::Remote(_) => None,
         }
     }
 
-    fn execute(&self, statement: &str) -> Result<String, String> {
+    fn execute(&mut self, statement: &str) -> Result<String, String> {
         match self {
             Session::Volatile(db) => db
                 .execute(statement)
@@ -59,7 +65,27 @@ impl Session {
                 .execute(statement)
                 .map(|o| o.to_string())
                 .map_err(|e| e.to_string()),
+            Session::Remote(client) => forward(client, statement),
         }
+    }
+}
+
+/// Sends one statement (or meta-command) to the server, rendering the
+/// response the way a local session would: `OK` bodies to stdout-text,
+/// everything else to an error string. Queries prepend the snapshot pin so
+/// it is visible which transaction tick answered.
+fn forward(client: &mut Client, statement: &str) -> Result<String, String> {
+    let response = client.request(statement).map_err(|e| {
+        format!("connection lost: {e} (use .connect to reconnect, .disconnect for local mode)")
+    })?;
+    match response.status {
+        ResponseStatus::Ok { pin: Some(pin) } => {
+            Ok(format!("pinned at tt={pin}\n{}", response.body.trim_end()))
+        }
+        ResponseStatus::Ok { pin: None } => Ok(response.body.trim_end().to_string()),
+        ResponseStatus::Busy => Err(format!("server busy: {} (safe to retry)", response.detail)),
+        ResponseStatus::ReadOnly => Err(format!("server read-only: {}", response.detail)),
+        ResponseStatus::Error => Err(response.detail),
     }
 }
 
@@ -135,25 +161,73 @@ fn main() {
 /// Handles a meta-command; returns false to quit.
 fn handle_meta(meta: &str, session: &mut Session) -> bool {
     let mut parts = meta.split_whitespace();
-    match parts.next().unwrap_or("") {
+    let cmd = parts.next().unwrap_or("");
+    match cmd {
         "quit" | "exit" | "q" => return false,
+        "connect" => {
+            match parts.next() {
+                None => eprintln!("usage: .connect <host:port>"),
+                Some(addr) => match Client::connect(addr) {
+                    Ok(client) => {
+                        println!("connected to {addr} (remote session; .disconnect for local)");
+                        *session = Session::Remote(client);
+                    }
+                    Err(e) => eprintln!("error: cannot connect to {addr}: {e}"),
+                },
+            }
+            return true;
+        }
+        "disconnect" => {
+            match session {
+                Session::Remote(_) => {
+                    *session = Session::Volatile(Database::new(Arc::new(SystemClock::new())));
+                    println!("disconnected; fresh volatile session");
+                }
+                _ => eprintln!("error: not a remote session"),
+            }
+            return true;
+        }
+        _ => {}
+    }
+    if let Session::Remote(client) = session {
+        // A remote session forwards the metas the server answers; the
+        // rest are design-time commands that need the database in-process.
+        match cmd {
+            "metrics" | "lint" | "wal" | "ping" => {
+                match forward(client, &format!(".{}", meta.trim())) {
+                    Ok(outcome) => println!("{outcome}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
+            "help" => print_help(),
+            other => eprintln!(
+                "remote session: .{other} runs in-process only \
+                 (remote metas: .metrics .lint .wal .ping; or .disconnect)"
+            ),
+        }
+        return true;
+    }
+    fn db(session: &Session) -> &Database {
+        session.db().expect("remote sessions returned above")
+    }
+    match cmd {
         "relations" => {
-            for name in session.db().relation_names() {
+            for name in db(session).relation_names() {
                 println!("{name}");
             }
         }
-        "report" => match parts.next().and_then(|name| session.db().report(name)) {
+        "report" => match parts.next().and_then(|name| db(session).report(name)) {
             Some(text) => println!("{text}"),
             None => eprintln!("usage: .report <relation>"),
         },
         "taxonomy" => println!("{}", report::taxonomy_overview()),
         "lint" => match parts.next() {
-            Some(relation) => match session.db().lint(relation) {
+            Some(relation) => match db(session).lint(relation) {
                 Some(analysis) => println!("{analysis}"),
                 None => eprintln!("unknown relation {relation:?}"),
             },
             None => {
-                let analyses = session.db().lint_all();
+                let analyses = db(session).lint_all();
                 if analyses.is_empty() {
                     println!("no relations to lint");
                 }
@@ -168,7 +242,7 @@ fn handle_meta(meta: &str, session: &mut Session) -> bool {
             if tql.is_empty() {
                 eprintln!("usage: .explain SELECT FROM <relation> …");
             } else {
-                match session.db().explain(&tql) {
+                match db(session).explain(&tql) {
                     Ok(annotated) => println!("{annotated}"),
                     Err(e) => eprintln!("error: {e}"),
                 }
@@ -179,7 +253,7 @@ fn handle_meta(meta: &str, session: &mut Session) -> bool {
             let shards = parts.next().and_then(|n| n.parse::<usize>().ok());
             match (relation, shards) {
                 (Some(relation), Some(shards)) => {
-                    match session.db().set_ingest_shards(relation, shards) {
+                    match db(session).set_ingest_shards(relation, shards) {
                         // Shard counts clamp to at least one; report the
                         // effective value.
                         Ok(()) => println!(
@@ -195,7 +269,7 @@ fn handle_meta(meta: &str, session: &mut Session) -> bool {
         "metrics" => {
             // `.metrics` — human-readable snapshot; `.metrics prom` — the
             // Prometheus text exposition for scraping or diffing.
-            let snapshot = session.db().metrics_snapshot();
+            let snapshot = db(session).metrics_snapshot();
             match parts.next() {
                 Some("prom") => print!("{}", snapshot.to_prometheus()),
                 Some(other) => eprintln!("usage: .metrics [prom] (got {other:?})"),
@@ -217,11 +291,11 @@ fn handle_meta(meta: &str, session: &mut Session) -> bool {
         "dump" => match parts.next() {
             None => eprintln!("usage: .dump <file>"),
             Some(path) => {
-                let text = dump(session.db());
+                let text = dump(db(session));
                 match std::fs::write(path, &text) {
                     Ok(()) => println!(
                         "dumped {} relation(s), {} byte(s) to {path}",
-                        session.db().relation_names().len(),
+                        db(session).relation_names().len(),
                         text.len()
                     ),
                     Err(e) => eprintln!("error: cannot write {path}: {e}"),
@@ -267,12 +341,12 @@ fn handle_meta(meta: &str, session: &mut Session) -> bool {
             None => eprintln!("usage: .open <dir> [always|never|group:<n>]"),
             Some(dir) => {
                 let policy = match parts.next() {
-                    None => Some(FsyncPolicy::Always),
+                    None => Ok(FsyncPolicy::Always),
                     Some(spec) => FsyncPolicy::parse(spec),
                 };
                 match policy {
-                    None => eprintln!("usage: .open <dir> [always|never|group:<n>]"),
-                    Some(policy) => match open_durable(dir, policy) {
+                    Err(e) => eprintln!("error: {e}"),
+                    Ok(policy) => match open_durable(dir, policy) {
                         Ok(durable) => *session = durable,
                         Err(e) => eprintln!("error: {e}"),
                     },
@@ -288,6 +362,7 @@ fn handle_meta(meta: &str, session: &mut Session) -> bool {
                 Ok(epoch) => println!("checkpointed; now at epoch {epoch}"),
                 Err(e) => eprintln!("error: checkpoint failed: {e}"),
             },
+            Session::Remote(_) => unreachable!("remote sessions returned above"),
         },
         "wal" => match session {
             Session::Volatile(_) => {
@@ -301,15 +376,18 @@ fn handle_meta(meta: &str, session: &mut Session) -> bool {
                 },
                 Some(other) => eprintln!("usage: .wal [retry] (got {other:?})"),
             },
+            Session::Remote(_) => unreachable!("remote sessions returned above"),
         },
-        "help" => {
-            println!(
-                "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .lint [r]  .explain SELECT …  .shards <r> <n>  .metrics [prom]  .trace [n]  .taxonomy  .quit\ndurability: .open <dir> [always|never|group:<n>]  .save  .wal [retry]  .dump <file>  .restore <file>"
-            );
-        }
+        "help" => print_help(),
         other => eprintln!("unknown meta-command .{other} (try .help)"),
     }
     true
+}
+
+fn print_help() {
+    println!(
+        "statements:\n  CREATE TEMPORAL RELATION <name> (<attrs>) AS EVENT|INTERVAL [GRANULARITY g] [WITH …]\n  INSERT INTO <r> OBJECT <n> VALID <ts> [TO <ts>] [SET a = v, …]\n  UPDATE <r> ELEMENT <n> VALID <ts> [TO <ts>] [SET …]\n  DELETE FROM <r> ELEMENT <n>\n  SELECT FROM <r> [WHERE a = v [AND …]] [AT <ts> [AS OF <ts>] | DURING <ts> TO <ts> | AS OF <ts> | HISTORY OF <n>]\nmeta: .relations  .report <r>  .lint [r]  .explain SELECT …  .shards <r> <n>  .metrics [prom]  .trace [n]  .taxonomy  .quit\ndurability: .open <dir> [always|never|group:<n>]  .save  .wal [retry]  .dump <file>  .restore <file>\nserving: .connect <host:port>  .disconnect (remote sessions forward statements plus .metrics .lint .wal .ping)"
+    );
 }
 
 /// Crude interactivity guess without platform deps: honor a NO_PROMPT env

@@ -53,7 +53,10 @@
 //! * [`workload`] — generators for every scenario the
 //!   paper names;
 //! * [`obs`] — the process-wide metrics registry and span
-//!   recorder every layer reports into (see `docs/observability.md`).
+//!   recorder every layer reports into (see `docs/observability.md`);
+//! * [`serve`] — the multi-client network layer: a length-prefixed
+//!   wire protocol serving snapshot-pinned queries and durable writes
+//!   over TCP (see `docs/serving.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +71,8 @@ pub use tempora_storage as storage;
 pub use tempora_time as time;
 pub use tempora_wal as wal;
 pub use tempora_workload as workload;
+
+pub mod serve;
 
 use std::sync::Arc;
 

@@ -132,6 +132,12 @@ pub struct RecoveryReport {
     pub frames_replayed: usize,
     /// Present when a torn tail was detected and truncated away.
     pub torn_tail: Option<String>,
+    /// Files from superseded epochs (`checkpoint.<e>`/`wal.<e>` with
+    /// `e` below the recovered epoch) deleted during recovery. A crash
+    /// between a checkpoint's rename and its cleanup leaves such files
+    /// behind; recovery sweeps them so the directory cannot grow one
+    /// stale epoch per crash.
+    pub stale_files_removed: usize,
 }
 
 impl fmt::Display for RecoveryReport {
@@ -145,6 +151,9 @@ impl fmt::Display for RecoveryReport {
         )?;
         if let Some(torn) = &self.torn_tail {
             write!(f, "; {torn}")?;
+        }
+        if self.stale_files_removed > 0 {
+            write!(f, "; {} stale epoch file(s) removed", self.stale_files_removed)?;
         }
         Ok(())
     }
@@ -248,6 +257,7 @@ impl DurableDatabase {
             checkpoint_restored: false,
             frames_replayed: 0,
             torn_tail: None,
+            stale_files_removed: 0,
         };
 
         if let Some(bytes) = storage.read(&checkpoint_name(epoch))? {
@@ -307,12 +317,15 @@ impl DurableDatabase {
             }
         };
 
-        // Earlier epochs are fully superseded; clear them best-effort.
+        // Earlier epochs are fully superseded; clear them best-effort and
+        // account for what was actually deleted.
         for name in names {
-            if epoch_of(&name).is_some_and(|e| e < epoch) {
-                let _ = storage.remove(&name);
+            if epoch_of(&name).is_some_and(|e| e < epoch) && storage.remove(&name).is_ok() {
+                report.stale_files_removed += 1;
             }
         }
+        tempora_obs::counter("tempora_wal_stale_files_removed_total")
+            .add(report.stale_files_removed as u64);
 
         clock.go_live();
         tempora_obs::counter("tempora_wal_recoveries_total").inc();
@@ -554,8 +567,21 @@ impl DurableDatabase {
         };
         w.wal = wal;
         w.epoch = next;
-        let _ = self.storage.remove(&checkpoint_name(next - 1));
-        let _ = self.storage.remove(&wal_name(next - 1));
+        // Sweep every epoch below the new one, not just `next − 1`: a
+        // crash between a past checkpoint's file creation and its cleanup
+        // leaves older epochs behind, and removing only the immediate
+        // predecessor would leak them forever.
+        if let Ok(names) = self.storage.list() {
+            let mut removed = 0_u64;
+            for name in names {
+                if epoch_of(&name).is_some_and(|e| e < next)
+                    && self.storage.remove(&name).is_ok()
+                {
+                    removed += 1;
+                }
+            }
+            tempora_obs::counter("tempora_wal_stale_files_removed_total").add(removed);
+        }
         tempora_obs::counter("tempora_wal_checkpoints_total").inc();
         Ok(next)
     }
@@ -816,6 +842,7 @@ mod tests {
             checkpoint_restored: false,
             frames_replayed: 0,
             torn_tail: None,
+            stale_files_removed: 0,
         });
         let b = seed(&db, &clock);
         clock.set(Timestamp::from_secs(300));
@@ -864,6 +891,60 @@ mod tests {
         third
             .insert("r", ObjectId::new(3), Timestamp::from_secs(450), vec![])
             .expect("insert after second recovery");
+    }
+
+    /// Regression: recovery used to delete superseded epoch files without
+    /// reporting it, and a crashed checkpoint could leave epochs behind
+    /// silently. The sweep must be visible in the [`RecoveryReport`].
+    #[test]
+    fn recovery_sweeps_stale_epochs_and_reports_the_count() {
+        let storage = MemStorage::new();
+        let clock = manual(0);
+        let (db, _) = open_mem(&storage, clock.clone());
+        seed(&db, &clock);
+        db.checkpoint().expect("checkpoint");
+        drop(db);
+        // Simulate the leak a crash mid-checkpoint leaves behind: stale
+        // files from epochs long since superseded.
+        storage
+            .write_atomic("checkpoint.0", b"TEMPORA DUMP v1\nDATA\n")
+            .expect("fabricate stale checkpoint");
+        storage.write_atomic("wal.0", b"junk").expect("fabricate stale wal");
+
+        let (_again, report) = open_mem(&storage, manual(0));
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.stale_files_removed, 2, "{report}");
+        assert!(report.to_string().contains("2 stale epoch file(s) removed"));
+        let names = storage.list().expect("list");
+        assert_eq!(names, vec!["checkpoint.1".to_string(), "wal.1".to_string()]);
+    }
+
+    /// Regression: `checkpoint()` used to remove only epoch `next − 1`, so
+    /// an epoch leaked by an earlier crash survived every later
+    /// checkpoint. It must sweep everything below the new epoch.
+    #[test]
+    fn checkpoint_sweeps_every_superseded_epoch() {
+        let storage = MemStorage::new();
+        let clock = manual(0);
+        let (db, _) = open_mem(&storage, clock.clone());
+        seed(&db, &clock);
+        db.checkpoint().expect("first checkpoint");
+        // Fabricate an epoch-0 pair the first checkpoint failed to clean.
+        storage
+            .write_atomic("checkpoint.0", b"TEMPORA DUMP v1\nDATA\n")
+            .expect("fabricate stale checkpoint");
+        storage.write_atomic("wal.0", b"junk").expect("fabricate stale wal");
+
+        clock.set(Timestamp::from_secs(400));
+        db.insert("r", ObjectId::new(5), Timestamp::from_secs(390), vec![])
+            .expect("insert");
+        db.checkpoint().expect("second checkpoint");
+        let names = storage.list().expect("list");
+        assert_eq!(
+            names,
+            vec!["checkpoint.2".to_string(), "wal.2".to_string()],
+            "epoch 0 leftovers and epoch 1 must both be gone"
+        );
     }
 
     #[test]

@@ -59,5 +59,5 @@ pub use durable::{
     DurabilityConfig, DurableDatabase, RecoveryReport, WalError, WalStatus,
 };
 pub use io::{AppendFault, DirStorage, FaultPlan, FaultStorage, LogFile, MemStorage, Storage};
-pub use log::{FsyncPolicy, Wal};
+pub use log::{FsyncPolicy, ParsePolicyError, Wal};
 pub use record::WalRecord;

@@ -28,17 +28,57 @@ pub enum FsyncPolicy {
     Never,
 }
 
+/// A rejected [`FsyncPolicy`] spelling, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    /// The offending input.
+    pub input: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid fsync policy {:?}: {} (expected `always`, `never`, or `group:<n>` with n ≥ 1)",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
 impl FsyncPolicy {
     /// Parses a policy from its status/CLI spelling: `always`, `never`, or
-    /// `group:<n>`.
-    #[must_use]
-    pub fn parse(text: &str) -> Option<FsyncPolicy> {
+    /// `group:<n>` with `n ≥ 1`.
+    ///
+    /// `group:0` is a hard error, not a silent clamp: group commit with a
+    /// zero batch has no meaning, and coercing it to `group:1` would
+    /// quietly strengthen durability semantics behind a typo'd config.
+    ///
+    /// # Errors
+    ///
+    /// [`ParsePolicyError`] naming the input and the reason.
+    pub fn parse(text: &str) -> Result<FsyncPolicy, ParsePolicyError> {
+        let err = |reason: &str| ParsePolicyError {
+            input: text.to_string(),
+            reason: reason.to_string(),
+        };
         match text {
-            "always" => Some(FsyncPolicy::Always),
-            "never" => Some(FsyncPolicy::Never),
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
             other => {
-                let n: usize = other.strip_prefix("group:")?.parse().ok()?;
-                Some(FsyncPolicy::GroupCommit(n.max(1)))
+                let n_text = other
+                    .strip_prefix("group:")
+                    .ok_or_else(|| err("unknown policy"))?;
+                let n: usize = n_text
+                    .parse()
+                    .map_err(|_| err("the group size is not a number"))?;
+                if n == 0 {
+                    return Err(err("a group of 0 appends can never commit"));
+                }
+                Ok(FsyncPolicy::GroupCommit(n))
             }
         }
     }
@@ -386,13 +426,25 @@ mod tests {
 
     #[test]
     fn fsync_policy_parses_and_displays() {
-        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
-        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
-        assert_eq!(FsyncPolicy::parse("group:8"), Some(FsyncPolicy::GroupCommit(8)));
-        assert_eq!(FsyncPolicy::parse("group:0"), Some(FsyncPolicy::GroupCommit(1)));
-        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+        assert_eq!(FsyncPolicy::parse("always"), Ok(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Ok(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("group:8"), Ok(FsyncPolicy::GroupCommit(8)));
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("group:x").is_err());
         for p in [FsyncPolicy::Always, FsyncPolicy::Never, FsyncPolicy::GroupCommit(4)] {
-            assert_eq!(FsyncPolicy::parse(&p.to_string()), Some(p));
+            assert_eq!(FsyncPolicy::parse(&p.to_string()), Ok(p));
         }
+    }
+
+    /// Regression: `group:0` used to be silently coerced to `group:1`,
+    /// changing durability semantics behind a typo. It must be a loud
+    /// parse error naming the input.
+    #[test]
+    fn group_zero_is_a_parse_error_not_a_coercion() {
+        let err = FsyncPolicy::parse("group:0").expect_err("group:0 must not parse");
+        assert_eq!(err.input, "group:0");
+        let msg = err.to_string();
+        assert!(msg.contains("group:0"), "{msg}");
+        assert!(msg.contains("n ≥ 1"), "{msg}");
     }
 }

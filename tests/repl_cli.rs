@@ -272,6 +272,7 @@ fn open_meta_switches_to_durable_and_save_needs_it() {
          CREATE TEMPORAL RELATION r (k KEY) AS EVENT\n\
          .wal\n\
          .open {dir} sometimes\n\
+         .open {dir} group:0\n\
          .quit\n"
     ));
     // Volatile sessions explain what .save/.wal need …
@@ -280,6 +281,16 @@ fn open_meta_switches_to_durable_and_save_needs_it() {
     // … .open switches to a durable session with the requested policy …
     assert!(stdout.contains(&format!("opened {dir}")), "{stdout}");
     assert!(stdout.contains("fsync group:4"), "{stdout}");
-    // … and a bad policy is a usage error, not a crash.
-    assert!(stderr.contains("usage: .open <dir>"), "{stderr}");
+    // … and a bad policy is a named parse error, not a crash and not a
+    // silent coercion (the `group:0` regression lives in tempora-wal).
+    assert!(
+        stderr.contains("invalid fsync policy \"sometimes\""),
+        "{stderr}"
+    );
+    // `group:0` historically coerced to `group:1` silently; it must be
+    // rejected with the reason.
+    assert!(
+        stderr.contains("invalid fsync policy \"group:0\""),
+        "{stderr}"
+    );
 }

@@ -497,3 +497,61 @@ fn durable_workload_load_matches_in_memory_and_survives_reopen() {
     assert_eq!(report.frames_replayed, w.events.len() + 1, "DDL + every insert");
     assert_eq!(dump(recovered.db()), expected);
 }
+
+/// A crash between a checkpoint's atomic rename and its cleanup pass
+/// leaves superseded `checkpoint.<e>`/`wal.<e>` files behind. Recovery
+/// must sweep *all* of them (not just the immediately preceding epoch),
+/// report the count, and restore the newest epoch's state untouched.
+#[test]
+fn recovery_sweeps_stale_epoch_files_left_by_a_crashed_checkpoint() {
+    let storage = MemStorage::new();
+    let clock = Arc::new(ManualClock::new(Timestamp::from_secs(0)));
+    let (db, _) = DurableDatabase::open(
+        Arc::new(storage.clone()),
+        clock.clone(),
+        DurabilityConfig::default(),
+    )
+    .expect("open");
+    clock.set(Timestamp::from_secs(1000));
+    db.execute_ddl(DDL).expect("ddl");
+    clock.set(Timestamp::from_secs(1010));
+    db.insert("plant", ObjectId::new(1), Timestamp::from_secs(500), attrs(7))
+        .expect("insert");
+    let epoch0_files = storage.snapshot();
+
+    db.checkpoint().expect("checkpoint to epoch 1");
+    clock.set(Timestamp::from_secs(1020));
+    db.insert("plant", ObjectId::new(2), Timestamp::from_secs(600), attrs(9))
+        .expect("insert");
+    let expected = dump(db.db());
+    drop(db);
+
+    // Fabricate the crash window: epoch 1 is live, but epoch 0's files
+    // were never cleaned up.
+    let mut files = storage.snapshot();
+    for (name, bytes) in epoch0_files {
+        files.entry(name).or_insert(bytes);
+    }
+    assert!(files.contains_key("checkpoint.0") || files.contains_key("wal.0"));
+    let crashed = MemStorage::from_files(files);
+
+    let (recovered, report) = DurableDatabase::open(
+        Arc::new(crashed.clone()),
+        Arc::new(ManualClock::new(Timestamp::from_secs(0))),
+        DurabilityConfig::default(),
+    )
+    .expect("recover past the stale epoch");
+    assert!(report.checkpoint_restored);
+    assert!(
+        report.stale_files_removed >= 1,
+        "the sweep must report what it deleted: {report}"
+    );
+    assert_eq!(dump(recovered.db()), expected, "state untouched by the sweep");
+    let mut names: Vec<String> = crashed.snapshot().keys().cloned().collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec!["checkpoint.1".to_string(), "wal.1".to_string()],
+        "only the live epoch survives"
+    );
+}
